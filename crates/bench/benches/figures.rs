@@ -1,0 +1,57 @@
+//! Criterion wrappers around the figure experiments at smoke scale —
+//! `cargo bench` exercises every table/figure generator end to end and
+//! tracks regressions in full-system simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proram_bench::exp;
+use proram_core::SchemeConfig;
+use proram_sim::{runner, MemoryKind, SystemConfig};
+use proram_workloads::{suite, Scale, Suite};
+use std::hint::black_box;
+
+fn smoke_scale() -> Scale {
+    Scale {
+        ops: 600,
+        warmup_ops: 0,
+        footprint_scale: 0.02,
+        seed: 42,
+    }
+}
+
+fn bench_full_system_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_run");
+    group.sample_size(10);
+    let spec = suite::specs(Suite::Splash2)
+        .into_iter()
+        .find(|s| s.name == "fft")
+        .unwrap();
+    for (name, kind) in [
+        ("dram", MemoryKind::Dram),
+        ("oram", MemoryKind::Oram(SchemeConfig::baseline())),
+        ("dyn", MemoryKind::Oram(SchemeConfig::dynamic(2))),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = SystemConfig::quick_test(kind.clone());
+            b.iter(|| black_box(runner::run_spec(spec, smoke_scale(), &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_smoke");
+    group.sample_size(10);
+    // The fast figure generators run end to end; the heavyweight suites
+    // (fig8/fig9/fig15 iterate dozens of benchmarks) are covered by the
+    // binary and the per-run benchmark above.
+    for name in ["table1", "fig6a", "fig6b", "fig7"] {
+        let f = exp::by_name(name).expect("registered");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(f(smoke_scale())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_system_run, bench_figure_generators);
+criterion_main!(benches);

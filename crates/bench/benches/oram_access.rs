@@ -1,0 +1,123 @@
+//! Criterion microbenchmarks of the ORAM controller itself: access cost
+//! of the baseline versus super-block configurations, Z sensitivity and
+//! background eviction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use proram_core::{SchemeConfig, SuperBlockOram};
+use proram_mem::{BlockAddr, MemRequest, MemoryBackend, NoProbe};
+use proram_oram::{OramConfig, PathOram};
+use proram_stats::{Rng64, Xoshiro256};
+use std::hint::black_box;
+
+fn oram_cfg(num_blocks: u64, z: usize) -> OramConfig {
+    OramConfig {
+        num_data_blocks: num_blocks,
+        z,
+        store_payloads: false,
+        trace_capacity: 0,
+        ..OramConfig::default()
+    }
+}
+
+fn bench_baseline_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_oram_access");
+    for z in [3usize, 4] {
+        group.bench_function(format!("random_access_z{z}"), |b| {
+            let mut oram = PathOram::new(oram_cfg(1 << 14, z), 1);
+            let mut rng = Xoshiro256::seed_from(2);
+            b.iter(|| {
+                let addr = BlockAddr(rng.next_below(1 << 14));
+                black_box(oram.access_block(addr, proram_mem::AccessKind::Read));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_background_eviction(c: &mut Criterion) {
+    c.bench_function("background_eviction", |b| {
+        let mut oram = PathOram::new(oram_cfg(1 << 14, 3), 3);
+        b.iter(|| oram.background_evict());
+    });
+}
+
+fn bench_superblock_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("superblock_access");
+    for (name, scheme) in [
+        ("baseline", SchemeConfig::baseline()),
+        ("static2", SchemeConfig::static_scheme(2)),
+        ("dynamic2", SchemeConfig::dynamic(2)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut oram = SuperBlockOram::new(oram_cfg(1 << 14, 3), scheme.clone(), 4);
+            let mut rng = Xoshiro256::seed_from(5);
+            let mut cursor = 0u64;
+            b.iter(|| {
+                // Half sequential, half random: exercises merge paths.
+                let addr = if rng.next_bool(0.5) {
+                    cursor += 1;
+                    BlockAddr(cursor % (1 << 14))
+                } else {
+                    BlockAddr(rng.next_below(1 << 14))
+                };
+                black_box(oram.access(0, MemRequest::read(addr), &NoProbe));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shi_oram_access(c: &mut Criterion) {
+    use proram_oram::{OramBackend, ShiOram, ShiOramConfig};
+    c.bench_function("shi_oram_access", |b| {
+        let mut oram = ShiOram::new(
+            ShiOramConfig {
+                num_data_blocks: 1 << 14,
+                ..Default::default()
+            },
+            9,
+        );
+        let mut rng = Xoshiro256::seed_from(10);
+        b.iter(|| {
+            let addr = BlockAddr(rng.next_below(1 << 14));
+            black_box(oram.access_block(addr, proram_mem::AccessKind::Read));
+        });
+        black_box(oram.oram_stats());
+    });
+}
+
+fn bench_strided_scheme_access(c: &mut Criterion) {
+    c.bench_function("strided_dynamic_access", |b| {
+        let mut oram = SuperBlockOram::new(
+            oram_cfg(1 << 14, 3),
+            SchemeConfig::dynamic(2).with_super_block_stride(8),
+            11,
+        );
+        let mut cursor = 0u64;
+        b.iter(|| {
+            cursor += 8;
+            black_box(oram.access(0, MemRequest::read(BlockAddr(cursor % (1 << 14))), &NoProbe));
+        });
+    });
+}
+
+fn bench_oram_construction(c: &mut Criterion) {
+    c.bench_function("oram_init_16k_blocks", |b| {
+        b.iter_batched(
+            || oram_cfg(1 << 14, 3),
+            |cfg| black_box(PathOram::new(cfg, 7)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_baseline_access,
+    bench_background_eviction,
+    bench_superblock_access,
+    bench_shi_oram_access,
+    bench_strided_scheme_access,
+    bench_oram_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the super-block machinery: group
+//! algebra, counter/threshold math, stash and tree primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proram_core::{SchemeConfig, SuperBlock, Thresholds, WindowStats};
+use proram_mem::BlockAddr;
+use proram_oram::{eviction, Block, Leaf, OramTree, Stash};
+use proram_stats::{Rng64, Xoshiro256};
+use std::hint::black_box;
+
+fn bench_superblock_algebra(c: &mut Criterion) {
+    c.bench_function("superblock_algebra", |b| {
+        let mut rng = Xoshiro256::seed_from(1);
+        b.iter(|| {
+            let addr = BlockAddr(rng.next_below(1 << 20));
+            let sb = SuperBlock::containing(addr, 4);
+            black_box((sb.neighbor(), sb.parent(), sb.half_containing(addr)));
+        });
+    });
+}
+
+fn bench_threshold_math(c: &mut Criterion) {
+    c.bench_function("adaptive_threshold", |b| {
+        let cfg = SchemeConfig::dynamic(8);
+        let mut w = WindowStats::new(1000);
+        for i in 0..1000 {
+            w.record_request(i % 3, 2000, 1500);
+        }
+        let rates = w.rates();
+        b.iter(|| {
+            let th = Thresholds::new(&cfg, rates);
+            black_box((th.merge_threshold(2), th.break_threshold(4)));
+        });
+    });
+}
+
+fn bench_path_read_write(c: &mut Criterion) {
+    c.bench_function("path_read_write_20_levels", |b| {
+        let mut tree = OramTree::new(20, 3);
+        let mut stash = Stash::new(1000);
+        let mut rng = Xoshiro256::seed_from(3);
+        // Pre-populate some blocks.
+        for i in 0..2000u64 {
+            let leaf = Leaf(rng.next_below(1 << 19) as u32);
+            stash.insert(Block::opaque(BlockAddr(i), leaf));
+        }
+        for i in 0..64 {
+            eviction::write_path(&mut tree, &mut stash, Leaf(i * 8191));
+        }
+        b.iter(|| {
+            let leaf = Leaf(rng.next_below(1 << 19) as u32);
+            eviction::read_path(&mut tree, &mut stash, leaf);
+            black_box(eviction::write_path(&mut tree, &mut stash, leaf));
+        });
+    });
+}
+
+fn bench_stash_ops(c: &mut Criterion) {
+    c.bench_function("stash_insert_take", |b| {
+        let mut stash = Stash::new(10_000);
+        let mut rng = Xoshiro256::seed_from(4);
+        b.iter(|| {
+            let addr = BlockAddr(rng.next_below(1 << 30));
+            if !stash.contains(addr) {
+                stash.insert(Block::opaque(addr, Leaf(0)));
+                black_box(stash.take(addr));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_superblock_algebra,
+    bench_threshold_math,
+    bench_path_read_write,
+    bench_stash_ops
+);
+criterion_main!(benches);

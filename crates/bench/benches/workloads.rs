@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks of trace generation: the simulator's
+//! frontend must never be the bottleneck.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proram_workloads::dbms::{Tpcc, Ycsb};
+use proram_workloads::synthetic::LocalityMix;
+use proram_workloads::{spec06, splash2, Workload};
+use std::hint::black_box;
+
+fn bench_kernel_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.bench_function("splash2_ocean_c", |b| {
+        let mut k = splash2::build("ocean_c", 0.25, u64::MAX / 2, 1);
+        b.iter(|| black_box(k.next_op()));
+    });
+    group.bench_function("spec06_mcf", |b| {
+        let mut k = spec06::build("mcf", 0.25, u64::MAX / 2, 1);
+        b.iter(|| black_box(k.next_op()));
+    });
+    group.bench_function("synthetic_mix", |b| {
+        let mut w = LocalityMix::new(8 << 20, 0.5, u64::MAX / 2, 1);
+        b.iter(|| black_box(w.next_op()));
+    });
+    group.finish();
+}
+
+fn bench_dbms_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbms_trace");
+    group.bench_function("ycsb_op", |b| {
+        let mut w = Ycsb::new(50_000, 0.5, u64::MAX / 2, 2);
+        b.iter(|| black_box(w.next_op()));
+    });
+    group.bench_function("tpcc_op", |b| {
+        let mut w = Tpcc::new(2, u64::MAX / 2, 3);
+        b.iter(|| black_box(w.next_op()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_generation, bench_dbms_engines);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! `proram-bench`: regenerate the PrORAM paper's tables and figures.
+//!
+//! ```text
+//! proram-bench <experiment|all> [--scale quick|standard] [--ops N]
+//!              [--fp-scale F] [--seed N] [--svg DIR]
+//! ```
+//!
+//! With `--svg DIR`, every regenerated table is also rendered as a
+//! grouped bar chart into `DIR/<experiment>_<n>.svg`.
+//!
+//! Experiments: `table1`, `fig5`, `fig6a`, `fig6b`, `fig7`, `fig8`,
+//! `fig9`, `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `fig15`,
+//! `ablation`.
+//!
+//! `proram-bench trace <benchmark>` dumps a benchmark's memory trace to
+//! stdout in the portable text format of `proram_workloads::tracefile`.
+
+use proram_bench::exp;
+use proram_stats::{BarChart, Table};
+use proram_workloads::{suite, tracefile, Scale, Suite};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn emit(name: &str, tables: &[Table], svg_dir: Option<&PathBuf>) {
+    for (i, table) in tables.iter().enumerate() {
+        println!("{table}");
+        let Some(dir) = svg_dir else { continue };
+        let Some(chart) = BarChart::from_table(table) else {
+            continue;
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}_{i}.svg"));
+        match std::fs::write(&path, chart.to_svg()) {
+            Ok(()) => eprintln!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: proram-bench <experiment|all|list> [--scale quick|standard] [--ops N] [--fp-scale F] [--seed N] [--svg DIR]"
+    );
+    eprintln!("       proram-bench trace <benchmark> [--ops N] [--fp-scale F] [--seed N]");
+    eprintln!("experiments:");
+    for (name, _) in exp::EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    ExitCode::FAILURE
+}
+
+fn dump_trace(bench: &str, mut scale: Scale) -> ExitCode {
+    // Trace dumps are verbatim: no measurement warmup prefix.
+    scale.warmup_ops = 0;
+    let spec = [Suite::Splash2, Suite::Spec06, Suite::Dbms]
+        .into_iter()
+        .flat_map(suite::specs)
+        .find(|s| s.name == bench);
+    let Some(spec) = spec else {
+        eprintln!("unknown benchmark '{bench}'");
+        return ExitCode::FAILURE;
+    };
+    let mut workload = suite::build(spec, scale);
+    let mut stdout = std::io::stdout().lock();
+    match tracefile::dump(workload.as_mut(), &mut stdout) {
+        Ok(n) => {
+            eprintln!("[dumped {n} ops of {bench}]");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace dump failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        return usage();
+    };
+
+    let mut scale = Scale::standard();
+    let mut svg_dir: Option<PathBuf> = None;
+    let mut trace_bench: Option<String> = None;
+    let mut i = 1;
+    if which == "trace" {
+        match args.get(i) {
+            Some(b) => trace_bench = Some(b.clone()),
+            None => return usage(),
+        }
+        i += 1;
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("quick") => scale = Scale::quick(),
+                    Some("standard") => scale = Scale::standard(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--ops" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => scale.ops = n,
+                    None => return usage(),
+                }
+            }
+            "--fp-scale" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(f) => scale.footprint_scale = f,
+                    None => return usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) => scale.seed = s,
+                    None => return usage(),
+                }
+            }
+            "--svg" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => svg_dir = Some(PathBuf::from(dir)),
+                    None => return usage(),
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(bench) = trace_bench {
+        return dump_trace(&bench, scale);
+    }
+    match which.as_str() {
+        "list" => {
+            for (name, _) in exp::EXPERIMENTS {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for (name, runner) in exp::EXPERIMENTS {
+                eprintln!("[running {name}...]");
+                emit(name, &runner(scale), svg_dir.as_ref());
+            }
+            ExitCode::SUCCESS
+        }
+        name => match exp::by_name(name) {
+            Some(runner) => {
+                emit(name, &runner(scale), svg_dir.as_ref());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                usage()
+            }
+        },
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 11: DRAM bandwidth sweep (4/8/16 GB/s).
+//!
+//! "The performance gain of the dynamic super block scheme is consistent
+//! across all configurations for memory intensive benchmarks ... this
+//! gain is orthogonal to the DRAM bandwidth."
+
+use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use proram_stats::Table;
+use proram_workloads::Scale;
+
+/// Benchmarks of the paper's Figure 11.
+pub const BENCHMARKS: &[&str] = &["ocean_c", "volrend"];
+
+/// Runs the sweep: normalized completion time (vs DRAM at the same
+/// bandwidth) for oram/stat/dyn.
+pub fn run(scale: Scale) -> Table {
+    let sweeps: Vec<SweptConfig> = [4u32, 8, 16]
+        .into_iter()
+        .map(|gbps| SweptConfig {
+            label: format!("{gbps}GB/s"),
+            apply: Box::new(move |cfg| cfg.with_bandwidth_gbps(gbps)),
+        })
+        .collect();
+    norm_completion_rows(
+        "Figure 11: DRAM bandwidth sweep, completion time normalized to DRAM",
+        BENCHMARKS,
+        sweeps,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_benchmarks_times_sweep_points() {
+        let t = run(Scale {
+            ops: 600,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed: 2,
+        });
+        assert_eq!(t.len(), BENCHMARKS.len() * 3);
+    }
+}

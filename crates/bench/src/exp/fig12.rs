@@ -1,0 +1,50 @@
+//! Figure 12: stash size sweep.
+//!
+//! "For super block schemes ... performance increases as stash size
+//! becomes larger. The baseline ORAM does not change much."
+
+use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use proram_stats::Table;
+use proram_workloads::Scale;
+
+/// Benchmarks of the paper's Figure 12.
+pub const BENCHMARKS: &[&str] = &["ocean_c", "volrend"];
+
+/// Stash sizes swept (blocks).
+pub const STASH_SIZES: &[usize] = &[25, 50, 100, 200, 400];
+
+/// Runs the sweep.
+pub fn run(scale: Scale) -> Table {
+    let sweeps: Vec<SweptConfig> = STASH_SIZES
+        .iter()
+        .map(|&size| SweptConfig {
+            label: format!("stash={size}"),
+            apply: Box::new(move |mut cfg| {
+                cfg.oram.stash_limit = size;
+                cfg
+            }),
+        })
+        .collect();
+    norm_completion_rows(
+        "Figure 12: stash size sweep, completion time normalized to DRAM",
+        BENCHMARKS,
+        sweeps,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size() {
+        let t = run(Scale {
+            ops: 400,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed: 2,
+        });
+        assert_eq!(t.len(), BENCHMARKS.len() * STASH_SIZES.len());
+    }
+}

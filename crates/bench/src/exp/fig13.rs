@@ -1,0 +1,48 @@
+//! Figure 13: Z = 3 vs Z = 4.
+//!
+//! "Z = 3 achieves better performance than Z = 4 for the baseline ORAM,
+//! which corroborates previous results. The dynamic super block scheme
+//! has consistent performance gain for both Z values."
+
+use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use proram_stats::Table;
+use proram_workloads::Scale;
+
+/// Benchmarks of the paper's Figure 13.
+pub const BENCHMARKS: &[&str] = &["fft", "ocean_c", "ocean_nc", "volrend"];
+
+/// Runs the Z sweep.
+pub fn run(scale: Scale) -> Table {
+    let sweeps: Vec<SweptConfig> = [3usize, 4]
+        .into_iter()
+        .map(|z| SweptConfig {
+            label: format!("Z={z}"),
+            apply: Box::new(move |mut cfg| {
+                cfg.oram.z = z;
+                cfg
+            }),
+        })
+        .collect();
+    norm_completion_rows(
+        "Figure 13: Z sweep, completion time normalized to DRAM",
+        BENCHMARKS,
+        sweeps,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size() {
+        let t = run(Scale {
+            ops: 400,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed: 2,
+        });
+        assert_eq!(t.len(), BENCHMARKS.len() * 2);
+    }
+}

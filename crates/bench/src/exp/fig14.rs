@@ -1,0 +1,44 @@
+//! Figure 14: cacheline (block) size sweep: 64 / 128 / 256 bytes.
+//!
+//! "In general, the behaviors of dynamic and static super block schemes
+//! do not change."
+
+use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use proram_stats::Table;
+use proram_workloads::Scale;
+
+/// Benchmarks of the paper's Figure 14.
+pub const BENCHMARKS: &[&str] = &["ocean_c", "volrend"];
+
+/// Runs the line-size sweep.
+pub fn run(scale: Scale) -> Table {
+    let sweeps: Vec<SweptConfig> = [64u32, 128, 256]
+        .into_iter()
+        .map(|lb| SweptConfig {
+            label: format!("{lb}B"),
+            apply: Box::new(move |cfg| cfg.with_line_bytes(lb)),
+        })
+        .collect();
+    norm_completion_rows(
+        "Figure 14: cacheline size sweep, completion time normalized to DRAM",
+        BENCHMARKS,
+        sweeps,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size() {
+        let t = run(Scale {
+            ops: 400,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed: 2,
+        });
+        assert_eq!(t.len(), BENCHMARKS.len() * 3);
+    }
+}

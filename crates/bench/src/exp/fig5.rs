@@ -1,0 +1,65 @@
+//! Figure 5: traditional data prefetching on DRAM vs ORAM.
+//!
+//! "Prefetching helps to improve performance on DRAM based systems. The
+//! ORAM, however, takes too much memory bandwidth and the memory
+//! subsystem is busy serving useful requests."
+
+use crate::common;
+use proram_core::SchemeConfig;
+use proram_sim::runner;
+use proram_stats::{table, Table};
+use proram_workloads::{splash2, suite, Scale, Suite};
+
+/// Runs the six Figure 5 benchmarks with a stream prefetcher on DRAM and
+/// on baseline ORAM; reports speedup of prefetching over the same system
+/// without it.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(&["bench", "dram_pre", "oram_pre"])
+        .with_title("Figure 5: traditional prefetching speedup (vs same system without prefetch)");
+    let mut dram_gains = Vec::new();
+    let mut oram_gains = Vec::new();
+    for spec in suite::specs(Suite::Splash2)
+        .into_iter()
+        .filter(|s| splash2::FIG5_NAMES.contains(&s.name))
+    {
+        let dram = runner::run_spec(spec, scale, &common::dram_config());
+        let mut dram_pf = common::dram_config();
+        dram_pf.prefetch = Some(Default::default());
+        let dram_pre = runner::run_spec(spec, scale, &dram_pf);
+
+        let oram_cfg = common::oram_config(SchemeConfig::baseline());
+        let oram = runner::run_spec(spec, scale, &oram_cfg);
+        let mut oram_pf = oram_cfg.clone();
+        oram_pf.prefetch = Some(Default::default());
+        let oram_pre = runner::run_spec(spec, scale, &oram_pf);
+
+        let dg = dram_pre.speedup_over(&dram);
+        let og = oram_pre.speedup_over(&oram);
+        dram_gains.push(dg);
+        oram_gains.push(og);
+        t.row(&[spec.name, &table::pct(dg), &table::pct(og)]);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    t.row(&[
+        "avg",
+        &table::pct(avg(&dram_gains)),
+        &table::pct(avg(&oram_gains)),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_benchmark_plus_average() {
+        let t = &run(Scale {
+            ops: 800,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed: 2,
+        })[0];
+        assert_eq!(t.len(), splash2::FIG5_NAMES.len() + 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! One module per paper table/figure.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sweep;
+pub mod table1;
+
+use proram_stats::Table;
+use proram_workloads::Scale;
+
+/// An experiment entry point: scale in, regenerated tables out.
+pub type ExperimentFn = fn(Scale) -> Vec<Table>;
+
+/// Every experiment, addressable by CLI name.
+pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
+    ("table1", table1::run),
+    ("fig5", fig5::run),
+    ("fig6a", |s| vec![fig6::run_6a(s)]),
+    ("fig6b", |s| vec![fig6::run_6b(s)]),
+    ("fig7", |s| vec![fig7::run(s)]),
+    ("fig8", fig8::run_all),
+    ("fig9", fig9::run),
+    ("fig10", |s| vec![fig10::run(s)]),
+    ("fig11", |s| vec![fig11::run(s)]),
+    ("fig12", |s| vec![fig12::run(s)]),
+    ("fig13", |s| vec![fig13::run(s)]),
+    ("fig14", |s| vec![fig14::run(s)]),
+    ("fig15", fig15::run),
+    ("ablation", ablation::run),
+];
+
+/// Looks up an experiment by name.
+pub fn by_name(name: &str) -> Option<ExperimentFn> {
+    EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| *f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_figures() {
+        let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "table1", "fig5", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "{expected} missing from registry"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("fig7").is_some());
+        assert!(by_name("fig99").is_none());
+    }
+}

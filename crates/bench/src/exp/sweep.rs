@@ -1,0 +1,92 @@
+//! Shared machinery for the sensitivity sweeps of Figures 11-14: run
+//! oram / stat / dyn (and the DRAM reference) under a swept system
+//! parameter and report completion time normalized to DRAM.
+
+use crate::common;
+use proram_core::SchemeConfig;
+use proram_sim::{runner, SystemConfig};
+use proram_stats::{table, Table};
+use proram_workloads::{Scale, Suite};
+
+/// One point of a sweep: a label and a configuration transform.
+pub struct SweptConfig {
+    /// Row label (e.g. `"8GB/s"`, `"Z=4"`).
+    pub label: String,
+    /// Applies the swept parameter to a base configuration.
+    pub apply: Box<dyn Fn(SystemConfig) -> SystemConfig>,
+}
+
+impl std::fmt::Debug for SweptConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SweptConfig({})", self.label)
+    }
+}
+
+/// Runs `benchmarks x sweeps`, producing one row per combination with
+/// oram/stat/dyn completion times normalized to the DRAM run under the
+/// same swept parameter.
+pub fn norm_completion_rows(
+    title: &str,
+    benchmarks: &[&str],
+    sweeps: Vec<SweptConfig>,
+    scale: Scale,
+) -> Table {
+    let mut t = Table::new(&["bench", "sweep", "oram", "stat", "dyn"]).with_title(title);
+    for spec in common::specs(Suite::Splash2)
+        .into_iter()
+        .filter(|s| benchmarks.contains(&s.name))
+    {
+        for sweep in &sweeps {
+            let dram_cfg = (sweep.apply)(common::dram_config());
+            let dram = runner::run_spec(spec, scale, &dram_cfg);
+            let mut cells = vec![spec.name.to_owned(), sweep.label.clone()];
+            for scheme in [
+                SchemeConfig::baseline(),
+                SchemeConfig::static_scheme(2),
+                SchemeConfig::dynamic(2),
+            ] {
+                let cfg = (sweep.apply)(common::oram_config(scheme));
+                let m = runner::run_spec(spec, scale, &cfg);
+                cells.push(table::f3(m.norm_completion_time(&dram)));
+            }
+            t.row(&cells);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_expected_grid() {
+        let sweeps = vec![SweptConfig {
+            label: "base".into(),
+            apply: Box::new(|c| c),
+        }];
+        let t = norm_completion_rows(
+            "test",
+            &["fft"],
+            sweeps,
+            Scale {
+                ops: 500,
+                warmup_ops: 0,
+                footprint_scale: 0.02,
+                seed: 1,
+            },
+        );
+        assert_eq!(t.len(), 1);
+        let s = t.to_string();
+        assert!(s.contains("fft"));
+    }
+
+    #[test]
+    fn swept_config_debug() {
+        let s = SweptConfig {
+            label: "x".into(),
+            apply: Box::new(|c| c),
+        };
+        assert!(format!("{s:?}").contains('x'));
+    }
+}

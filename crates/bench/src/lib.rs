@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of the PrORAM
+//! paper's evaluation (Section 5).
+//!
+//! Each experiment module produces the same rows/series the paper plots;
+//! the `proram-bench` binary prints them as text tables. Absolute numbers
+//! differ from the paper (different workload substitution and scale — see
+//! EXPERIMENTS.md) but the comparisons the paper draws are reproduced.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use proram_bench::exp;
+//! use proram_workloads::Scale;
+//!
+//! let tables = exp::fig6::run_6a(Scale::quick());
+//! println!("{tables}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod exp;

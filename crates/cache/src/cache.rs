@@ -1,0 +1,406 @@
+//! A single set-associative, write-back cache with LRU replacement.
+
+use crate::config::CacheConfig;
+use proram_mem::{BlockAddr, CacheProbe};
+
+/// Per-line metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    block: BlockAddr,
+    dirty: bool,
+    /// Set when the line was filled by a prefetch rather than a demand.
+    prefetched: bool,
+    /// Set on the first demand touch of a prefetched line.
+    used: bool,
+}
+
+/// Information returned on a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// `true` if this was the first demand touch of a prefetched line —
+    /// the event that sets the paper's *hit bit* (Algorithm 2).
+    pub prefetch_first_use: bool,
+}
+
+/// A line pushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The block that lost its line.
+    pub block: BlockAddr,
+    /// `true` if the line held modified data and must be written back.
+    pub dirty: bool,
+    /// `true` if the line was prefetched and never used — a prefetch miss
+    /// in the paper's accounting.
+    pub prefetched_unused: bool,
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub hits: u64,
+    /// Demand lookups that missed.
+    pub misses: u64,
+    /// Lines evicted (any reason).
+    pub evictions: u64,
+    /// Dirty lines evicted.
+    pub dirty_evictions: u64,
+}
+
+impl std::ops::Sub for CacheStats {
+    type Output = CacheStats;
+
+    /// Field-wise difference; used to exclude warmup from run statistics.
+    fn sub(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            evictions: self.evictions - rhs.evictions,
+            dirty_evictions: self.dirty_evictions - rhs.dirty_evictions,
+        }
+    }
+}
+
+impl CacheStats {
+    /// Miss ratio over demand lookups; `0.0` before any lookup.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache with true-LRU
+/// replacement.
+///
+/// Each set is kept in recency order (index 0 = most recently used), which
+/// makes LRU exact and cheap at simulator-scale associativities.
+///
+/// # Examples
+///
+/// ```
+/// use proram_cache::{Cache, CacheConfig};
+/// use proram_mem::BlockAddr;
+///
+/// let mut c = Cache::new(CacheConfig::new(256, 2, 128, 1)); // 1 set, 2 ways
+/// c.insert(BlockAddr(0), false);
+/// c.insert(BlockAddr(1), false);
+/// let evicted = c.insert(BlockAddr(2), false).expect("set was full");
+/// assert_eq!(evicted.block, BlockAddr(0)); // LRU victim
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = vec![Vec::with_capacity(config.ways as usize); config.num_sets() as usize];
+        Cache {
+            config,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Demand lookup. On a hit the line becomes MRU, `write` marks it
+    /// dirty, and a prefetched line records its first use. Returns `None`
+    /// on a miss.
+    pub fn lookup(&mut self, block: BlockAddr, write: bool) -> Option<HitInfo> {
+        let set = self.config.set_index(block.0);
+        let lines = &mut self.sets[set];
+        match lines.iter().position(|l| l.block == block) {
+            Some(pos) => {
+                let mut line = lines.remove(pos);
+                line.dirty |= write;
+                let first_use = line.prefetched && !line.used;
+                line.used = true;
+                lines.insert(0, line);
+                self.stats.hits += 1;
+                Some(HitInfo {
+                    prefetch_first_use: first_use,
+                })
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Tag-only probe; does not disturb LRU or counters.
+    pub fn peek(&self, block: BlockAddr) -> bool {
+        let set = self.config.set_index(block.0);
+        self.sets[set].iter().any(|l| l.block == block)
+    }
+
+    /// Inserts `block` as MRU, evicting the LRU line if the set is full.
+    ///
+    /// `prefetched` marks a super-block / prefetcher fill. If the block is
+    /// already resident the existing line is refreshed instead (its dirty
+    /// bit is kept; a resident line is never downgraded to prefetched).
+    pub fn insert(&mut self, block: BlockAddr, prefetched: bool) -> Option<Evicted> {
+        let set = self.config.set_index(block.0);
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|l| l.block == block) {
+            let line = lines.remove(pos);
+            lines.insert(0, line);
+            return None;
+        }
+        let victim = if lines.len() == self.config.ways as usize {
+            let v = lines.pop().expect("set nonempty");
+            self.stats.evictions += 1;
+            if v.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Some(Evicted {
+                block: v.block,
+                dirty: v.dirty,
+                prefetched_unused: v.prefetched && !v.used,
+            })
+        } else {
+            None
+        };
+        lines.insert(
+            0,
+            Line {
+                block,
+                dirty: false,
+                prefetched,
+                used: !prefetched,
+            },
+        );
+        victim
+    }
+
+    /// Marks a resident line dirty; returns `false` if absent.
+    pub fn mark_dirty(&mut self, block: BlockAddr) -> bool {
+        let set = self.config.set_index(block.0);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            line.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `block`, returning its eviction record if it was resident.
+    ///
+    /// Used for inclusive-hierarchy back-invalidation.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<Evicted> {
+        let set = self.config.set_index(block.0);
+        let lines = &mut self.sets[set];
+        let pos = lines.iter().position(|l| l.block == block)?;
+        let v = lines.remove(pos);
+        Some(Evicted {
+            block: v.block,
+            dirty: v.dirty,
+            prefetched_unused: v.prefetched && !v.used,
+        })
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Iterates over resident blocks (unspecified order).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.sets.iter().flatten().map(|l| l.block)
+    }
+}
+
+impl CacheProbe for Cache {
+    fn contains(&self, block: BlockAddr) -> bool {
+        self.peek(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 1 set, 2 ways.
+        Cache::new(CacheConfig::new(256, 2, 128, 1))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(c.lookup(BlockAddr(0), false).is_none());
+        c.insert(BlockAddr(0), false);
+        assert!(c.lookup(BlockAddr(0), false).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0), false);
+        c.insert(BlockAddr(1), false);
+        // Touch 0 so 1 becomes LRU.
+        c.lookup(BlockAddr(0), false);
+        let e = c.insert(BlockAddr(2), false).expect("eviction");
+        assert_eq!(e.block, BlockAddr(1));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0), false);
+        c.lookup(BlockAddr(0), true);
+        c.insert(BlockAddr(1), false);
+        let e = c.insert(BlockAddr(2), false).expect("eviction");
+        assert_eq!(e.block, BlockAddr(0));
+        assert!(e.dirty);
+    }
+
+    #[test]
+    fn prefetched_line_first_use_reported_once() {
+        let mut c = tiny();
+        c.insert(BlockAddr(7), true);
+        let h1 = c.lookup(BlockAddr(7), false).unwrap();
+        assert!(h1.prefetch_first_use);
+        let h2 = c.lookup(BlockAddr(7), false).unwrap();
+        assert!(!h2.prefetch_first_use);
+    }
+
+    #[test]
+    fn demand_fill_never_reports_first_use() {
+        let mut c = tiny();
+        c.insert(BlockAddr(7), false);
+        assert!(!c.lookup(BlockAddr(7), false).unwrap().prefetch_first_use);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_flagged() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0), true);
+        c.insert(BlockAddr(1), false);
+        c.lookup(BlockAddr(1), false);
+        let e = c.insert(BlockAddr(2), false).expect("eviction");
+        assert_eq!(e.block, BlockAddr(0));
+        assert!(e.prefetched_unused);
+    }
+
+    #[test]
+    fn used_prefetch_eviction_not_flagged() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0), true);
+        c.lookup(BlockAddr(0), false); // use it
+        c.insert(BlockAddr(1), false);
+        c.lookup(BlockAddr(1), false);
+        let e = c.insert(BlockAddr(2), false).expect("eviction");
+        assert_eq!(e.block, BlockAddr(0));
+        assert!(!e.prefetched_unused);
+    }
+
+    #[test]
+    fn reinserting_resident_block_keeps_dirty() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0), false);
+        c.lookup(BlockAddr(0), true);
+        assert!(c.insert(BlockAddr(0), false).is_none());
+        c.insert(BlockAddr(1), false);
+        let e = c.insert(BlockAddr(2), false).expect("eviction");
+        // Block 1 is LRU? No: insert(0) made 0 MRU, then 1 MRU. LRU is 0.
+        assert_eq!(e.block, BlockAddr(0));
+        assert!(e.dirty, "dirty bit survives re-insertion");
+    }
+
+    #[test]
+    fn peek_does_not_affect_lru_or_stats() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0), false);
+        c.insert(BlockAddr(1), false);
+        assert!(c.peek(BlockAddr(0)));
+        // 0 is still LRU despite the peek.
+        let e = c.insert(BlockAddr(2), false).expect("eviction");
+        assert_eq!(e.block, BlockAddr(0));
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0), false);
+        c.lookup(BlockAddr(0), true);
+        let e = c.invalidate(BlockAddr(0)).expect("was resident");
+        assert!(e.dirty);
+        assert!(!c.peek(BlockAddr(0)));
+        assert!(c.invalidate(BlockAddr(0)).is_none());
+    }
+
+    #[test]
+    fn mark_dirty_on_absent_block() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(BlockAddr(3)));
+        c.insert(BlockAddr(3), false);
+        assert!(c.mark_dirty(BlockAddr(3)));
+    }
+
+    #[test]
+    fn len_and_resident_blocks() {
+        let mut c = Cache::new(CacheConfig::new(1024, 2, 128, 1));
+        assert!(c.is_empty());
+        c.insert(BlockAddr(0), false);
+        c.insert(BlockAddr(4), false);
+        assert_eq!(c.len(), 2);
+        let mut blocks: Vec<u64> = c.resident_blocks().map(|b| b.0).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 4]);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = Cache::new(CacheConfig::new(1024, 2, 128, 1)); // 4 sets
+                                                                   // Fill set 0 with blocks 0 and 4; block 1 goes to set 1.
+        c.insert(BlockAddr(0), false);
+        c.insert(BlockAddr(4), false);
+        assert!(c.insert(BlockAddr(1), false).is_none());
+        // Third block in set 0 evicts.
+        assert!(c.insert(BlockAddr(8), false).is_some());
+    }
+
+    #[test]
+    fn probe_trait_is_the_tag_peek() {
+        let mut c = tiny();
+        c.insert(BlockAddr(3), false);
+        let probe: &dyn CacheProbe = &c;
+        assert!(probe.contains(BlockAddr(3)));
+        assert!(!probe.contains(BlockAddr(4)));
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = tiny();
+        c.lookup(BlockAddr(0), false);
+        c.insert(BlockAddr(0), false);
+        c.lookup(BlockAddr(0), false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property test: the cache must behave exactly like a reference
+//! true-LRU model over arbitrary operation sequences.
+
+use proptest::prelude::*;
+use proram_cache::{Cache, CacheConfig};
+use proram_mem::BlockAddr;
+use std::collections::VecDeque;
+
+/// Reference model: one recency list per set, most recent first.
+struct RefLru {
+    sets: Vec<VecDeque<(u64, bool)>>, // (block, dirty)
+    ways: usize,
+    num_sets: u64,
+}
+
+impl RefLru {
+    fn new(num_sets: u64, ways: usize) -> Self {
+        RefLru {
+            sets: (0..num_sets).map(|_| VecDeque::new()).collect(),
+            ways,
+            num_sets,
+        }
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.num_sets) as usize
+    }
+
+    fn lookup(&mut self, block: u64, write: bool) -> bool {
+        let set = self.set_of(block);
+        if let Some(pos) = self.sets[set].iter().position(|&(b, _)| b == block) {
+            let (b, d) = self.sets[set].remove(pos).expect("pos valid");
+            self.sets[set].push_front((b, d || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, block: u64) -> Option<(u64, bool)> {
+        let set = self.set_of(block);
+        if self.sets[set].iter().any(|&(b, _)| b == block) {
+            let pos = self.sets[set]
+                .iter()
+                .position(|&(b, _)| b == block)
+                .expect("present");
+            let entry = self.sets[set].remove(pos).expect("pos valid");
+            self.sets[set].push_front(entry);
+            return None;
+        }
+        let victim = if self.sets[set].len() == self.ways {
+            self.sets[set].pop_back()
+        } else {
+            None
+        };
+        self.sets[set].push_front((block, false));
+        victim
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64, bool),
+    Insert(u64),
+}
+
+fn op_strategy(addr_range: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..addr_range, any::<bool>()).prop_map(|(a, w)| Op::Lookup(a, w)),
+        (0..addr_range).prop_map(Op::Insert),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        ops in proptest::collection::vec(op_strategy(64), 1..300),
+        ways in 1usize..5,
+    ) {
+        // 4 sets x `ways`.
+        let config = CacheConfig::new(4 * ways as u64 * 128, ways as u32, 128, 1);
+        let mut cache = Cache::new(config);
+        let mut model = RefLru::new(4, ways);
+        for op in ops {
+            match op {
+                Op::Lookup(a, w) => {
+                    let hit = cache.lookup(BlockAddr(a), w).is_some();
+                    let model_hit = model.lookup(a, w);
+                    prop_assert_eq!(hit, model_hit, "hit mismatch on {}", a);
+                }
+                Op::Insert(a) => {
+                    let victim = cache.insert(BlockAddr(a), false);
+                    let model_victim = model.insert(a);
+                    match (victim, model_victim) {
+                        (None, None) => {}
+                        (Some(v), Some((mb, md))) => {
+                            prop_assert_eq!(v.block.0, mb, "victim mismatch");
+                            prop_assert_eq!(v.dirty, md, "victim dirtiness mismatch");
+                        }
+                        (a, b) => prop_assert!(false, "eviction mismatch: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_never_changes_behaviour(
+        ops in proptest::collection::vec(op_strategy(32), 1..200),
+    ) {
+        // Interleaving peeks between every operation must not change any
+        // outcome relative to the same run without peeks.
+        let config = CacheConfig::new(2 * 128 * 2, 2, 128, 1);
+        let mut plain = Cache::new(config);
+        let mut peeky = Cache::new(config);
+        for op in ops {
+            for probe in 0..8u64 {
+                peeky.peek(BlockAddr(probe));
+            }
+            match op {
+                Op::Lookup(a, w) => {
+                    prop_assert_eq!(
+                        plain.lookup(BlockAddr(a), w).is_some(),
+                        peeky.lookup(BlockAddr(a), w).is_some()
+                    );
+                }
+                Op::Insert(a) => {
+                    prop_assert_eq!(
+                        plain.insert(BlockAddr(a), false),
+                        peeky.insert(BlockAddr(a), false)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Super-block group algebra (paper Section 3.2), generalized to strides.
+//!
+//! "We only consider super blocks of size 2^k by merging blocks that
+//! differ only in the last k address bits." A super block is therefore an
+//! aligned power-of-two group in the block address space; the *neighbor*
+//! of a group of size `n` is the other size-`n` group of the enclosing
+//! size-`2n` group (Section 4.1).
+//!
+//! The paper's Section 6.2 notes that "merging striding blocks is also
+//! possible for the dynamic super block scheme. Such exploration is left
+//! for future work." This module implements that extension: a super
+//! block may carry a power-of-two *stride* `s`, holding members
+//! `base, base + s, base + 2s, ...`. All algebra (neighbors, parents,
+//! halves) happens in the stride-quotient space, so stride-1 groups are
+//! exactly the paper's original scheme.
+
+use proram_mem::BlockAddr;
+use std::fmt;
+
+/// An aligned power-of-two group of data blocks.
+///
+/// # Examples
+///
+/// ```
+/// use proram_core::SuperBlock;
+/// use proram_mem::BlockAddr;
+///
+/// let sb = SuperBlock::containing(BlockAddr(0x03), 2);
+/// assert_eq!(sb.base(), BlockAddr(0x02));
+/// assert_eq!(sb.neighbor().base(), BlockAddr(0x00));
+/// assert_eq!(sb.parent().size(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SuperBlock {
+    base: u64,
+    size: u64,
+    stride: u64,
+}
+
+impl SuperBlock {
+    /// The size-`size`, unit-stride group containing `addr` (the paper's
+    /// original scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is a power of two.
+    pub fn containing(addr: BlockAddr, size: u64) -> Self {
+        SuperBlock::containing_strided(addr, size, 1)
+    }
+
+    /// The size-`size` group with member spacing `stride` containing
+    /// `addr`: members share `addr`'s residue class modulo the stride and
+    /// are aligned in the stride-quotient space.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` and `stride` are powers of two.
+    pub fn containing_strided(addr: BlockAddr, size: u64, stride: u64) -> Self {
+        assert!(
+            size.is_power_of_two(),
+            "super block size must be a power of two"
+        );
+        assert!(
+            stride.is_power_of_two(),
+            "super block stride must be a power of two"
+        );
+        let r = addr.0 % stride;
+        let q = addr.0 / stride;
+        SuperBlock {
+            base: (q & !(size - 1)) * stride + r,
+            size,
+            stride,
+        }
+    }
+
+    /// A single block as a (trivial) size-1 super block.
+    pub fn single(addr: BlockAddr) -> Self {
+        SuperBlock {
+            base: addr.0,
+            size: 1,
+            stride: 1,
+        }
+    }
+
+    /// First block address of the group.
+    pub fn base(&self) -> BlockAddr {
+        BlockAddr(self.base)
+    }
+
+    /// Number of basic blocks (`sbsize`).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Spacing between consecutive members (1 = the paper's scheme).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Number of block addresses from the first member to one past the
+    /// last; the group must fit in one position-map block, so callers
+    /// bound this by the posmap fanout.
+    pub fn span(&self) -> u64 {
+        (self.size - 1) * self.stride + 1
+    }
+
+    /// `true` if `addr` belongs to this group.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        addr.0 % self.stride == self.base % self.stride
+            && (addr.0 / self.stride) & !(self.size - 1) == self.base / self.stride
+    }
+
+    /// Iterates over member block addresses in order.
+    pub fn members(&self) -> impl Iterator<Item = BlockAddr> {
+        let base = self.base;
+        let stride = self.stride;
+        (0..self.size).map(move |i| BlockAddr(base + i * stride))
+    }
+
+    /// The same-size group that would merge with this one: "B' is a
+    /// neighbor block of B if they have the same size and can form a
+    /// larger super block of size 2n."
+    pub fn neighbor(&self) -> SuperBlock {
+        SuperBlock {
+            base: self.base ^ (self.size * self.stride),
+            ..*self
+        }
+    }
+
+    /// The size-`2n` group formed by this group and its neighbor.
+    pub fn parent(&self) -> SuperBlock {
+        let r = self.base % self.stride;
+        let q = self.base / self.stride;
+        SuperBlock {
+            base: (q & !(2 * self.size - 1)) * self.stride + r,
+            size: 2 * self.size,
+            stride: self.stride,
+        }
+    }
+
+    /// Splits into the two size-`n/2` halves `(B1, B2)`, lower half first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a size-1 group.
+    pub fn halves(&self) -> (SuperBlock, SuperBlock) {
+        assert!(self.size >= 2, "cannot split a single block");
+        let half = self.size / 2;
+        (
+            SuperBlock {
+                base: self.base,
+                size: half,
+                ..*self
+            },
+            SuperBlock {
+                base: self.base + half * self.stride,
+                size: half,
+                ..*self
+            },
+        )
+    }
+
+    /// The half (of a size >= 2 group) containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a member or the group has size 1.
+    pub fn half_containing(&self, addr: BlockAddr) -> SuperBlock {
+        assert!(self.contains(addr), "{addr} not in {self}");
+        let (lo, hi) = self.halves();
+        if lo.contains(addr) {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// `true` if the whole group lies within the first `num_blocks`
+    /// addresses (a group straddling the end of the data region can never
+    /// merge).
+    pub fn fits_within(&self, num_blocks: u64) -> bool {
+        self.base + self.span() <= num_blocks
+    }
+}
+
+impl fmt::Display for SuperBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.stride == 1 {
+            write!(f, "sb[{:#x}+{}]", self.base, self.size)
+        } else {
+            write!(f, "sb[{:#x}+{}x{}]", self.base, self.size, self.stride)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment() {
+        assert_eq!(SuperBlock::containing(BlockAddr(7), 4).base(), BlockAddr(4));
+        assert_eq!(SuperBlock::containing(BlockAddr(8), 4).base(), BlockAddr(8));
+        assert_eq!(SuperBlock::containing(BlockAddr(5), 1).base(), BlockAddr(5));
+    }
+
+    #[test]
+    fn paper_figure_3_examples() {
+        // Blocks 0x00 and 0x01 can merge into a size-2 super block.
+        let b0 = SuperBlock::single(BlockAddr(0x00));
+        assert_eq!(b0.neighbor().base(), BlockAddr(0x01));
+        // Blocks 0x04..0x07 form a size-4 super block.
+        let sb = SuperBlock::containing(BlockAddr(0x05), 4);
+        assert_eq!(sb.base(), BlockAddr(0x04));
+        let members: Vec<u64> = sb.members().map(|b| b.0).collect();
+        assert_eq!(members, vec![4, 5, 6, 7]);
+        // 0x03 and 0x04 cannot be merged: they are not neighbors.
+        let b3 = SuperBlock::single(BlockAddr(0x03));
+        assert_ne!(b3.neighbor().base(), BlockAddr(0x04));
+        assert_eq!(b3.neighbor().base(), BlockAddr(0x02));
+    }
+
+    #[test]
+    fn neighbor_is_involutive() {
+        for addr in 0..32u64 {
+            for size in [1u64, 2, 4, 8] {
+                let sb = SuperBlock::containing(BlockAddr(addr), size);
+                assert_eq!(sb.neighbor().neighbor(), sb);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_share_a_parent() {
+        let sb = SuperBlock::containing(BlockAddr(0x02), 2);
+        let nb = sb.neighbor();
+        assert_eq!(sb.parent(), nb.parent());
+        assert_eq!(sb.parent().size(), 4);
+        assert_eq!(sb.parent().base(), BlockAddr(0));
+    }
+
+    #[test]
+    fn section_4_1_neighbor_examples() {
+        // "(0x00,0x01) is a neighbor block of (0x02,0x03)."
+        let a = SuperBlock::containing(BlockAddr(0x00), 2);
+        assert_eq!(a.neighbor(), SuperBlock::containing(BlockAddr(0x02), 2));
+        // "(0x02,0x03) is not a neighbor block of (0x04,0x05)."
+        let b = SuperBlock::containing(BlockAddr(0x02), 2);
+        assert_ne!(b.neighbor(), SuperBlock::containing(BlockAddr(0x04), 2));
+    }
+
+    #[test]
+    fn halves_partition_the_group() {
+        let sb = SuperBlock::containing(BlockAddr(8), 4);
+        let (lo, hi) = sb.halves();
+        assert_eq!(lo.base(), BlockAddr(8));
+        assert_eq!(hi.base(), BlockAddr(10));
+        assert_eq!(lo.size(), 2);
+        let all: Vec<BlockAddr> = lo.members().chain(hi.members()).collect();
+        let direct: Vec<BlockAddr> = sb.members().collect();
+        assert_eq!(all, direct);
+    }
+
+    #[test]
+    fn half_containing_picks_correctly() {
+        let sb = SuperBlock::containing(BlockAddr(8), 4);
+        assert_eq!(sb.half_containing(BlockAddr(9)).base(), BlockAddr(8));
+        assert_eq!(sb.half_containing(BlockAddr(11)).base(), BlockAddr(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split a single block")]
+    fn halves_of_single_panics() {
+        SuperBlock::single(BlockAddr(1)).halves();
+    }
+
+    #[test]
+    fn fits_within_region() {
+        assert!(SuperBlock::containing(BlockAddr(6), 2).fits_within(8));
+        assert!(!SuperBlock::containing(BlockAddr(6), 4).fits_within(6));
+    }
+
+    #[test]
+    fn contains_members_only() {
+        let sb = SuperBlock::containing(BlockAddr(4), 4);
+        for m in sb.members() {
+            assert!(sb.contains(m));
+        }
+        assert!(!sb.contains(BlockAddr(3)));
+        assert!(!sb.contains(BlockAddr(8)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            SuperBlock::containing(BlockAddr(4), 4).to_string(),
+            "sb[0x4+4]"
+        );
+        assert_eq!(
+            SuperBlock::containing_strided(BlockAddr(4), 2, 8).to_string(),
+            "sb[0x4+2x8]"
+        );
+    }
+
+    #[test]
+    fn strided_group_membership() {
+        // stride 8, size 2: block 19 (= 2*8 + 3) groups with block 27.
+        let sb = SuperBlock::containing_strided(BlockAddr(19), 2, 8);
+        assert_eq!(sb.base(), BlockAddr(19));
+        let members: Vec<u64> = sb.members().map(|b| b.0).collect();
+        assert_eq!(members, vec![19, 27]);
+        assert!(sb.contains(BlockAddr(27)));
+        assert!(!sb.contains(BlockAddr(20)), "different residue class");
+        assert!(!sb.contains(BlockAddr(35)), "next q-group");
+        assert_eq!(sb.span(), 9);
+    }
+
+    #[test]
+    fn strided_neighbor_and_parent() {
+        let sb = SuperBlock::containing_strided(BlockAddr(3), 2, 8); // {3, 11}
+        let nb = sb.neighbor(); // {19, 27}
+        assert_eq!(nb.base(), BlockAddr(19));
+        assert_eq!(nb.neighbor(), sb);
+        let p = sb.parent(); // {3, 11, 19, 27}
+        assert_eq!(p, nb.parent());
+        let members: Vec<u64> = p.members().map(|b| b.0).collect();
+        assert_eq!(members, vec![3, 11, 19, 27]);
+    }
+
+    #[test]
+    fn strided_halves() {
+        let sb = SuperBlock::containing_strided(BlockAddr(0), 4, 4); // {0,4,8,12}
+        let (lo, hi) = sb.halves();
+        assert_eq!(lo.members().map(|b| b.0).collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(hi.members().map(|b| b.0).collect::<Vec<_>>(), vec![8, 12]);
+        assert_eq!(sb.half_containing(BlockAddr(8)), hi);
+    }
+
+    #[test]
+    fn strided_fits_within_uses_span() {
+        let sb = SuperBlock::containing_strided(BlockAddr(0), 2, 8); // {0, 8}
+        assert!(sb.fits_within(9));
+        assert!(!sb.fits_within(8));
+    }
+
+    #[test]
+    fn stride_one_matches_original_scheme() {
+        for addr in 0..64u64 {
+            for k in 0..4u32 {
+                let a = SuperBlock::containing(BlockAddr(addr), 1 << k);
+                let b = SuperBlock::containing_strided(BlockAddr(addr), 1 << k, 1);
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

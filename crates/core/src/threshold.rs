@@ -1,0 +1,199 @@
+//! Merge/break counter widths and thresholds (paper Section 4.4).
+//!
+//! Static thresholding: merge two size-`n` neighbors when their merge
+//! counter reaches `2n`; break a super block when its break counter
+//! (initialized to `2n`) would fall below 0.
+//!
+//! Adaptive thresholding (Equation 1):
+//!
+//! ```text
+//! threshold = C * sbsize^2 * eviction_rate * access_rate / prefetch_hit_rate
+//! ```
+//!
+//! with hysteresis `threshold_merge = threshold + sbsize` and
+//! `threshold_break = threshold` so a group does not oscillate between
+//! merged and broken.
+
+use crate::policy::{BreakPolicy, MergePolicy, SchemeConfig};
+use crate::window::WindowRates;
+
+/// Counter-width helpers: the paper packs counters into the spare posmap
+/// bits of the blocks involved; we model them as saturating integers with
+/// the corresponding widths (see DESIGN.md, "Design liberties").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterWidth;
+
+impl CounterWidth {
+    /// Maximum value of the merge counter over a pair of size-`n` blocks:
+    /// "2n bits long".
+    pub fn merge_cap(n: u64) -> i32 {
+        let bits = (2 * n).min(14) as u32;
+        (1i32 << bits) - 1
+    }
+
+    /// Maximum value of the break counter of a size-`m` super block. The
+    /// paper's initial value `2m` must be representable, so we give the
+    /// counter `2m` bits as well.
+    pub fn break_cap(m: u64) -> i32 {
+        let bits = (2 * m).min(14) as u32;
+        (1i32 << bits) - 1
+    }
+
+    /// Initial break-counter value for a freshly merged size-`m` super
+    /// block ("the initial value of break counter is 2n where n is the
+    /// super block size").
+    pub fn break_init(m: u64) -> i32 {
+        (2 * m).min(i32::MAX as u64) as i32
+    }
+}
+
+/// Computes merge/break thresholds for a scheme configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds<'a> {
+    config: &'a SchemeConfig,
+    rates: WindowRates,
+}
+
+impl<'a> Thresholds<'a> {
+    /// Thresholds under the given configuration and window rates.
+    pub fn new(config: &'a SchemeConfig, rates: WindowRates) -> Self {
+        Thresholds { config, rates }
+    }
+
+    fn equation_1(&self, c: f64, sbsize: u64) -> f64 {
+        let phr = self.rates.prefetch_hit_rate.max(1e-3);
+        c * (sbsize * sbsize) as f64 * self.rates.eviction_rate * self.rates.access_rate / phr
+    }
+
+    /// Merge threshold for a pair of size-`n` neighbors. `None` when
+    /// merging is disabled.
+    pub fn merge_threshold(&self, n: u64) -> Option<i32> {
+        match self.config.merge {
+            MergePolicy::Off => None,
+            MergePolicy::Static => Some((2 * n) as i32),
+            MergePolicy::Adaptive => {
+                // Hysteresis: threshold_merge = threshold + sbsize. With
+                // calm rates (no eviction pressure) the threshold is just
+                // the hysteresis term, so merging starts after a single
+                // locality observation — blocks touched once per sweep
+                // still merge, matching the paper's synthetic results.
+                let t = self.equation_1(self.config.c_merge, n);
+                Some(t.ceil() as i32 + n as i32)
+            }
+        }
+    }
+
+    /// Break threshold for a size-`m` super block. `None` when breaking
+    /// is disabled.
+    pub fn break_threshold(&self, m: u64) -> Option<i32> {
+        match self.config.brk {
+            BreakPolicy::Off => None,
+            BreakPolicy::Static => Some(0),
+            BreakPolicy::Adaptive => Some(self.equation_1(self.config.c_break, m).ceil() as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(evr: f64, ar: f64, phr: f64) -> WindowRates {
+        WindowRates {
+            eviction_rate: evr,
+            access_rate: ar,
+            prefetch_hit_rate: phr,
+        }
+    }
+
+    #[test]
+    fn merge_caps_match_bit_widths() {
+        assert_eq!(CounterWidth::merge_cap(1), 3); // 2 bits
+        assert_eq!(CounterWidth::merge_cap(2), 15); // 4 bits
+        assert_eq!(CounterWidth::merge_cap(4), 255); // 8 bits
+    }
+
+    #[test]
+    fn break_init_fits_cap() {
+        for m in [2u64, 4, 8] {
+            assert!(CounterWidth::break_init(m) <= CounterWidth::break_cap(m));
+        }
+    }
+
+    #[test]
+    fn static_merge_thresholds_match_paper() {
+        // "For block size of 1, 2 and 4 before merging, this corresponds
+        // to the threshold value of 2, 4 and 8."
+        let cfg = SchemeConfig::static_merge_no_break(8);
+        let th = Thresholds::new(&cfg, rates(0.5, 0.5, 0.5));
+        assert_eq!(th.merge_threshold(1), Some(2));
+        assert_eq!(th.merge_threshold(2), Some(4));
+        assert_eq!(th.merge_threshold(4), Some(8));
+    }
+
+    #[test]
+    fn static_break_threshold_is_zero() {
+        let cfg = SchemeConfig {
+            brk: BreakPolicy::Static,
+            ..SchemeConfig::dynamic(2)
+        };
+        let th = Thresholds::new(&cfg, rates(0.9, 0.9, 0.1));
+        assert_eq!(th.break_threshold(2), Some(0));
+    }
+
+    #[test]
+    fn adaptive_threshold_rises_with_eviction_pressure() {
+        let cfg = SchemeConfig::dynamic(8);
+        let calm = Thresholds::new(&cfg, rates(0.0, 0.5, 1.0));
+        let stormy = Thresholds::new(&cfg, rates(2.0, 1.0, 1.0));
+        assert!(stormy.merge_threshold(2).unwrap() > calm.merge_threshold(2).unwrap());
+        assert!(stormy.break_threshold(4).unwrap() > calm.break_threshold(4).unwrap());
+    }
+
+    #[test]
+    fn adaptive_threshold_falls_with_good_prefetching() {
+        let cfg = SchemeConfig::dynamic(8);
+        let good = Thresholds::new(&cfg, rates(1.0, 1.0, 1.0));
+        let bad = Thresholds::new(&cfg, rates(1.0, 1.0, 0.1));
+        assert!(bad.merge_threshold(2).unwrap() > good.merge_threshold(2).unwrap());
+    }
+
+    #[test]
+    fn hysteresis_separates_merge_and_break() {
+        // With identical rates, merging a pair of size n into 2n must be
+        // strictly harder than keeping the merged block alive.
+        let cfg = SchemeConfig::dynamic(8);
+        let th = Thresholds::new(&cfg, rates(1.0, 1.0, 0.5));
+        let merge = th.merge_threshold(2).unwrap();
+        let brk = th.break_threshold(4).unwrap();
+        assert!(merge > 0);
+        assert!(brk >= 0);
+    }
+
+    #[test]
+    fn sbsize_squared_scaling() {
+        let cfg = SchemeConfig::dynamic(8);
+        let th = Thresholds::new(&cfg, rates(1.0, 1.0, 1.0));
+        let t2 = th.break_threshold(2).unwrap();
+        let t4 = th.break_threshold(4).unwrap();
+        assert_eq!(t4, t2 * 4, "threshold scales with sbsize^2");
+    }
+
+    #[test]
+    fn disabled_policies_return_none() {
+        let cfg = SchemeConfig::baseline();
+        let th = Thresholds::new(&cfg, rates(1.0, 1.0, 1.0));
+        assert_eq!(th.merge_threshold(1), None);
+        assert_eq!(th.break_threshold(2), None);
+    }
+
+    #[test]
+    fn coefficient_scales_linearly() {
+        let c1 = SchemeConfig::dynamic(8).with_coefficients(1.0, 1.0);
+        let c4 = SchemeConfig::dynamic(8).with_coefficients(4.0, 4.0);
+        let r = rates(1.0, 1.0, 1.0);
+        let t1 = Thresholds::new(&c1, r).break_threshold(2).unwrap();
+        let t4 = Thresholds::new(&c4, r).break_threshold(2).unwrap();
+        assert_eq!(t4, t1 * 4);
+    }
+}

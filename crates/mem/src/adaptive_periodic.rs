@@ -1,0 +1,278 @@
+//! Dynamically-adjusted periodic accesses with leakage accounting.
+//!
+//! Paper Section 2.5: "If one is willing to leak a few bits, timing
+//! channel protection schemes that allow for dynamically-changing `O_int`
+//! may be attractive \[9\], since they provide better performance. These
+//! schemes can be used with the techniques proposed in this paper if
+//! small data leakage is allowed."
+//!
+//! [`AdaptivePeriodic`] implements the epoch scheme of Fletcher et al.
+//! \[9\]: the interval is fixed within an *epoch*; at each epoch boundary
+//! the controller publicly picks the next interval from a small ladder
+//! based on the observed demand rate. Every choice is adversary-visible,
+//! so the leakage is bounded by `epochs * log2(ladder size)` bits — the
+//! struct keeps that running total so users can budget it explicitly.
+
+use crate::backend::{AccessOutcome, BackendStats, CacheProbe, MemoryBackend};
+use crate::periodic::Periodic;
+use crate::request::{BlockAddr, Cycle, MemRequest};
+
+/// Configuration of the adaptive timing protection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePeriodicConfig {
+    /// The public interval ladder, ascending. The controller only ever
+    /// selects intervals from this set (each choice leaks
+    /// `log2(intervals.len())` bits).
+    pub intervals: Vec<Cycle>,
+    /// Memory requests per epoch (the decision granularity).
+    pub epoch_requests: u64,
+    /// Target utilization: fraction of periodic slots that should carry a
+    /// real request. Above it the interval shrinks (more bandwidth);
+    /// below it the interval grows (less energy).
+    pub target_utilization: f64,
+}
+
+impl Default for AdaptivePeriodicConfig {
+    fn default() -> Self {
+        AdaptivePeriodicConfig {
+            intervals: vec![100, 200, 400, 800, 1600],
+            epoch_requests: 256,
+            target_utilization: 0.5,
+        }
+    }
+}
+
+impl AdaptivePeriodicConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty or unsorted, the epoch is zero, or
+    /// the utilization target is outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            !self.intervals.is_empty(),
+            "interval ladder must not be empty"
+        );
+        assert!(
+            self.intervals.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be ascending"
+        );
+        assert!(self.intervals[0] > 0, "intervals must be positive");
+        assert!(self.epoch_requests > 0, "epoch must be positive");
+        assert!(
+            self.target_utilization > 0.0 && self.target_utilization <= 1.0,
+            "target utilization in (0, 1]"
+        );
+    }
+}
+
+/// A periodic-access wrapper whose interval adapts at public epoch
+/// boundaries (Fletcher et al. \[9\]).
+///
+/// # Examples
+///
+/// ```
+/// use proram_mem::{AdaptivePeriodic, AdaptivePeriodicConfig, Dram, DramConfig};
+///
+/// let protected = AdaptivePeriodic::new(Dram::new(DramConfig::default()),
+///                                       AdaptivePeriodicConfig::default());
+/// assert_eq!(protected.leaked_bits(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptivePeriodic<B> {
+    inner: Periodic<B>,
+    config: AdaptivePeriodicConfig,
+    ladder_index: usize,
+    epoch_demand: u64,
+    epoch_start: Cycle,
+    epoch_decisions: u64,
+    label: String,
+}
+
+impl<B: MemoryBackend> AdaptivePeriodic<B> {
+    /// Wraps `inner` with adaptive timing protection, starting at the
+    /// middle of the ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(inner: B, config: AdaptivePeriodicConfig) -> Self {
+        config.validate();
+        let ladder_index = config.intervals.len() / 2;
+        let label = format!("{}_adintvl", inner.label());
+        AdaptivePeriodic {
+            inner: Periodic::new(inner, config.intervals[ladder_index]),
+            config,
+            ladder_index,
+            epoch_demand: 0,
+            epoch_start: 0,
+            epoch_decisions: 0,
+            label,
+        }
+    }
+
+    /// The interval currently in force.
+    pub fn current_interval(&self) -> Cycle {
+        self.config.intervals[self.ladder_index]
+    }
+
+    /// Upper bound on the bits leaked so far: one ladder choice per epoch
+    /// boundary.
+    pub fn leaked_bits(&self) -> f64 {
+        self.epoch_decisions as f64 * (self.config.intervals.len() as f64).log2()
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch_decisions
+    }
+
+    fn maybe_rotate_epoch(&mut self, now: Cycle) {
+        if self.epoch_demand < self.config.epoch_requests {
+            return;
+        }
+        // Public decision: compare achieved slot utilization in the epoch
+        // against the target and move one rung.
+        let elapsed = now.saturating_sub(self.epoch_start).max(1);
+        let slots = (elapsed / self.current_interval()).max(1);
+        let utilization = self.epoch_demand as f64 / slots as f64;
+        if utilization > self.config.target_utilization && self.ladder_index > 0 {
+            self.ladder_index -= 1; // busy: speed up
+        } else if utilization < self.config.target_utilization / 2.0
+            && self.ladder_index + 1 < self.config.intervals.len()
+        {
+            self.ladder_index += 1; // idle: slow down, save dummies
+        }
+        self.epoch_decisions += 1;
+        self.epoch_demand = 0;
+        self.epoch_start = now;
+        // Re-arm the wrapper at the newly chosen interval. The switch
+        // point is a public function of public information only.
+        self.inner.set_interval(self.current_interval());
+    }
+}
+
+impl<B: MemoryBackend> MemoryBackend for AdaptivePeriodic<B> {
+    fn access(&mut self, now: Cycle, req: MemRequest, llc: &dyn CacheProbe) -> AccessOutcome {
+        self.epoch_demand += 1;
+        let outcome = self.inner.access(now, req, llc);
+        self.maybe_rotate_epoch(outcome.complete_at);
+        outcome
+    }
+
+    fn dummy_access(&mut self, now: Cycle) -> Cycle {
+        self.inner.dummy_access(now)
+    }
+
+    fn free_at(&self) -> Cycle {
+        self.inner.free_at()
+    }
+
+    fn note_llc_hit(&mut self, block: BlockAddr) {
+        self.inner.note_llc_hit(block);
+    }
+
+    fn note_llc_eviction(&mut self, block: BlockAddr) {
+        self.inner.note_llc_eviction(block);
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.inner.stats()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::NoProbe;
+    use crate::dram::{Dram, DramConfig};
+
+    fn protected() -> AdaptivePeriodic<Dram> {
+        AdaptivePeriodic::new(
+            Dram::new(DramConfig::default()),
+            AdaptivePeriodicConfig::default(),
+        )
+    }
+
+    #[test]
+    fn starts_mid_ladder_with_zero_leakage() {
+        let p = protected();
+        assert_eq!(p.current_interval(), 400);
+        assert_eq!(p.leaked_bits(), 0.0);
+        assert_eq!(p.epochs(), 0);
+    }
+
+    #[test]
+    fn busy_traffic_shrinks_the_interval() {
+        let mut p = protected();
+        let mut now = 0;
+        for i in 0..600u64 {
+            now = p
+                .access(now, MemRequest::read(BlockAddr(i)), &NoProbe)
+                .complete_at;
+        }
+        assert!(
+            p.current_interval() < 400,
+            "interval should shrink under load"
+        );
+        assert!(p.epochs() >= 1);
+    }
+
+    #[test]
+    fn idle_traffic_grows_the_interval() {
+        let mut p = protected();
+        let mut now = 0;
+        for i in 0..600u64 {
+            now += 50_000; // long idle gaps between requests
+            now = p
+                .access(now, MemRequest::read(BlockAddr(i)), &NoProbe)
+                .complete_at;
+        }
+        assert!(p.current_interval() > 400, "interval should grow when idle");
+    }
+
+    #[test]
+    fn leakage_grows_with_epochs_only() {
+        let mut p = protected();
+        let mut now = 0;
+        for i in 0..1100u64 {
+            now = p
+                .access(now, MemRequest::read(BlockAddr(i)), &NoProbe)
+                .complete_at;
+        }
+        let epochs = p.epochs();
+        assert!(epochs >= 2);
+        let expected = epochs as f64 * 5f64.log2();
+        assert!((p.leaked_bits() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accesses_still_periodic_within_epoch() {
+        // Within an epoch the wrapper is a plain Periodic: dummies fill
+        // idle slots.
+        let mut p = protected();
+        p.access(0, MemRequest::read(BlockAddr(0)), &NoProbe);
+        p.access(100_000, MemRequest::read(BlockAddr(1)), &NoProbe);
+        assert!(p.stats().dummy_accesses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder must be ascending")]
+    fn unsorted_ladder_rejected() {
+        let cfg = AdaptivePeriodicConfig {
+            intervals: vec![200, 100],
+            ..Default::default()
+        };
+        AdaptivePeriodic::new(Dram::new(DramConfig::default()), cfg);
+    }
+
+    #[test]
+    fn label_reflects_protection() {
+        assert_eq!(protected().label(), "dram_adintvl");
+    }
+}

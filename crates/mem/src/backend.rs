@@ -1,0 +1,216 @@
+//! The [`MemoryBackend`] trait connecting the cache hierarchy to main
+//! memory, implemented by the DRAM model and by the ORAM controllers.
+
+use crate::request::{BlockAddr, Cycle, MemRequest};
+
+/// Read-only view of the last-level cache's tag array.
+///
+/// The PrORAM merge scheme (paper Section 4.2) probes the LLC to decide
+/// whether a block's neighbor is resident: "we need to probe the LLC to
+/// check if the neighbor block B' exists in the cache. Only the tag array
+/// of the LLC needs to be accessed." This trait is that tag-array port.
+pub trait CacheProbe {
+    /// `true` if `block` is currently resident in the cache.
+    fn contains(&self, block: BlockAddr) -> bool;
+}
+
+/// A probe that reports nothing resident.
+///
+/// Used by backends that do not need LLC information (DRAM) and by unit
+/// tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl CacheProbe for NoProbe {
+    fn contains(&self, _block: BlockAddr) -> bool {
+        false
+    }
+}
+
+/// One block delivered to the LLC by a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fill {
+    /// The block delivered.
+    pub block: BlockAddr,
+    /// `true` if the block was not the demand target (a super-block
+    /// prefetch or a prefetcher fill); it enters the LLC with its prefetch
+    /// bit set and hit bit clear (paper Section 4.3).
+    pub prefetched: bool,
+}
+
+impl Fill {
+    /// A demand fill of `block`.
+    pub fn demand(block: BlockAddr) -> Self {
+        Fill {
+            block,
+            prefetched: false,
+        }
+    }
+
+    /// A prefetch fill of `block`.
+    pub fn prefetch(block: BlockAddr) -> Self {
+        Fill {
+            block,
+            prefetched: true,
+        }
+    }
+}
+
+/// Result of one [`MemoryBackend::access`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Absolute cycle at which the requested data is available.
+    pub complete_at: Cycle,
+    /// Blocks to insert into the LLC (demand block first, then any blocks
+    /// prefetched alongside it).
+    pub fills: Vec<Fill>,
+}
+
+/// Aggregate statistics exposed by every backend.
+///
+/// Fields that do not apply to a given technology are zero (e.g. DRAM has
+/// no background evictions). `physical_accesses` is the quantity the paper
+/// normalizes as "Norm. Memory Accesses" — proportional to memory-subsystem
+/// energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Logical demand requests served (reads + writes, no prefetches).
+    pub demand_accesses: u64,
+    /// Prefetcher-issued requests served.
+    pub prefetch_requests: u64,
+    /// Physical memory operations, including ORAM path accesses for
+    /// position maps and dummy/background-eviction accesses.
+    pub physical_accesses: u64,
+    /// Dummy accesses (ORAM background evictions + periodic filler).
+    pub dummy_accesses: u64,
+    /// ORAM position-map tree accesses (0 for DRAM).
+    pub posmap_accesses: u64,
+    /// Total bytes moved on the memory bus.
+    pub bytes_moved: u64,
+    /// Super-block / prefetcher blocks that were later used by the core.
+    pub prefetch_hits: u64,
+    /// Super-block / prefetcher blocks evicted or reloaded unused.
+    pub prefetch_misses: u64,
+    /// Cycles during which the memory resource was busy.
+    pub busy_cycles: u64,
+}
+
+impl std::ops::Sub for BackendStats {
+    type Output = BackendStats;
+
+    /// Field-wise difference; used to exclude a measurement-warmup
+    /// prefix from run statistics.
+    fn sub(self, rhs: BackendStats) -> BackendStats {
+        BackendStats {
+            demand_accesses: self.demand_accesses - rhs.demand_accesses,
+            prefetch_requests: self.prefetch_requests - rhs.prefetch_requests,
+            physical_accesses: self.physical_accesses - rhs.physical_accesses,
+            dummy_accesses: self.dummy_accesses - rhs.dummy_accesses,
+            posmap_accesses: self.posmap_accesses - rhs.posmap_accesses,
+            bytes_moved: self.bytes_moved - rhs.bytes_moved,
+            prefetch_hits: self.prefetch_hits - rhs.prefetch_hits,
+            prefetch_misses: self.prefetch_misses - rhs.prefetch_misses,
+            busy_cycles: self.busy_cycles - rhs.busy_cycles,
+        }
+    }
+}
+
+impl BackendStats {
+    /// Fraction of prefetched blocks that were used; `None` if nothing was
+    /// prefetched yet.
+    pub fn prefetch_hit_rate(&self) -> Option<f64> {
+        let total = self.prefetch_hits + self.prefetch_misses;
+        (total > 0).then(|| self.prefetch_hits as f64 / total as f64)
+    }
+
+    /// Fraction of physical accesses that were dummies.
+    pub fn dummy_rate(&self) -> f64 {
+        if self.physical_accesses == 0 {
+            0.0
+        } else {
+            self.dummy_accesses as f64 / self.physical_accesses as f64
+        }
+    }
+}
+
+/// A main-memory technology: DRAM, Path ORAM, or an ORAM with super
+/// blocks.
+///
+/// The simulator core is agnostic to what sits behind this trait; swapping
+/// implementations is how the paper's `dram` / `oram` / `stat` / `dyn`
+/// configurations are produced.
+///
+/// Backends are sequential state machines: calls must be made with
+/// non-decreasing `now` values, and the backend internally serializes
+/// accesses onto its resources (a single ORAM access saturates the DRAM
+/// pins — paper Section 2.6 — so the ORAM backends model exactly one
+/// in-flight access).
+pub trait MemoryBackend {
+    /// Performs `req`, issued by the LLC at absolute cycle `now`.
+    ///
+    /// `llc` is the tag-probe port used by the dynamic super block merge
+    /// scheme; backends that do not need it ignore it.
+    fn access(&mut self, now: Cycle, req: MemRequest, llc: &dyn CacheProbe) -> AccessOutcome;
+
+    /// Performs one dummy access starting no earlier than `now`, returning
+    /// its completion cycle. For ORAM this is a background eviction
+    /// (Section 2.4); for DRAM it is a plain bus-occupying read.
+    fn dummy_access(&mut self, now: Cycle) -> Cycle;
+
+    /// First cycle at which a new access could begin.
+    fn free_at(&self) -> Cycle;
+
+    /// Informs the backend that the LLC hit on `block`.
+    ///
+    /// ORAM super-block schemes use this to set the block's *hit bit*
+    /// (paper Algorithm 2: "In Processor: when block b is accessed,
+    /// b.hit = true"). The default implementation ignores it.
+    fn note_llc_hit(&mut self, _block: BlockAddr) {}
+
+    /// Informs the backend that `block` was evicted from the LLC without a
+    /// writeback (clean eviction). Dirty evictions instead arrive as
+    /// [`MemRequest::write`] accesses. The default implementation ignores
+    /// it.
+    fn note_llc_eviction(&mut self, _block: BlockAddr) {}
+
+    /// Statistics accumulated since construction.
+    fn stats(&self) -> BackendStats;
+
+    /// Short human-readable name used in experiment output.
+    fn label(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_probe_is_empty() {
+        assert!(!NoProbe.contains(BlockAddr(0)));
+        assert!(!NoProbe.contains(BlockAddr(u64::MAX)));
+    }
+
+    #[test]
+    fn fill_constructors() {
+        assert!(!Fill::demand(BlockAddr(1)).prefetched);
+        assert!(Fill::prefetch(BlockAddr(1)).prefetched);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = BackendStats::default();
+        assert_eq!(s.prefetch_hit_rate(), None);
+        s.prefetch_hits = 3;
+        s.prefetch_misses = 1;
+        assert_eq!(s.prefetch_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn stats_dummy_rate() {
+        let mut s = BackendStats::default();
+        assert_eq!(s.dummy_rate(), 0.0);
+        s.physical_accesses = 10;
+        s.dummy_accesses = 4;
+        assert!((s.dummy_rate() - 0.4).abs() < 1e-12);
+    }
+}

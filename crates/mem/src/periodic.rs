@@ -1,0 +1,260 @@
+//! Timing-channel protection via periodic memory accesses.
+//!
+//! Section 2.5 of the paper: "periodic ORAM accesses are needed to protect
+//! the timing channel. ... we use `O_int` as the public time interval
+//! between two consecutive ORAM accesses. ... If there is no pending memory
+//! request when an ORAM access needs to happen due to periodicity, a dummy
+//! access will be issued." Section 5.6 evaluates the schemes under this
+//! discipline with `O_int = 100` cycles.
+//!
+//! [`Periodic`] wraps any [`MemoryBackend`]: real requests start only on
+//! multiples of `O_int`, and every periodic slot that passes without a
+//! pending request triggers one dummy access on the inner backend (which,
+//! for ORAM, is a background eviction that keeps mutating the stash —
+//! important for super-block behaviour).
+
+use crate::backend::{AccessOutcome, BackendStats, CacheProbe, MemoryBackend};
+use crate::request::{Cycle, MemRequest};
+
+/// A backend wrapper that enforces strictly periodic access timing.
+///
+/// # Examples
+///
+/// ```
+/// use proram_mem::{BlockAddr, Dram, DramConfig, MemRequest, MemoryBackend, NoProbe, Periodic};
+///
+/// let dram = Dram::new(DramConfig::default());
+/// let mut periodic = Periodic::new(dram, 100);
+/// let o = periodic.access(42, MemRequest::read(BlockAddr(1)), &NoProbe);
+/// // The access could not start before cycle 100 (the next slot).
+/// assert!(o.complete_at >= 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Periodic<B> {
+    inner: B,
+    interval: Cycle,
+    /// Time the current (or last) access finishes on the inner backend.
+    next_issue: Cycle,
+    label: String,
+}
+
+impl<B: MemoryBackend> Periodic<B> {
+    /// Wraps `inner` so accesses begin only at multiples of `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(inner: B, interval: Cycle) -> Self {
+        assert!(interval > 0, "periodic interval must be positive");
+        let label = format!("{}_intvl", inner.label());
+        Periodic {
+            inner,
+            interval,
+            next_issue: 0,
+            label,
+        }
+    }
+
+    /// The public access interval `O_int`.
+    pub fn interval(&self) -> Cycle {
+        self.interval
+    }
+
+    /// Changes the interval from this point onward (used by the adaptive
+    /// scheme at public epoch boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn set_interval(&mut self, interval: Cycle) {
+        assert!(interval > 0, "periodic interval must be positive");
+        self.interval = interval;
+    }
+
+    /// Gives back the wrapped backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// Borrows the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn round_up(&self, t: Cycle) -> Cycle {
+        t.div_ceil(self.interval) * self.interval
+    }
+
+    /// Fills periodic slots with dummy accesses up to (not including) the
+    /// slot at which a real request issued at `now` would start.
+    fn drain_dummies_until(&mut self, now: Cycle) {
+        // The memory resource performs an access every time it is free and
+        // a periodic slot arrives, whether or not a real request is
+        // pending. Replay the dummy accesses that must have happened while
+        // the processor was not asking for memory.
+        loop {
+            let slot = self.round_up(self.next_issue.max(self.inner.free_at()));
+            // A dummy happens in this slot only if it starts strictly
+            // before the demand request could: the demand claims the first
+            // slot at or after `now`.
+            if slot >= self.round_up(now.max(self.next_issue)) {
+                break;
+            }
+            let done = self.inner.dummy_access(slot);
+            self.next_issue = done.max(slot + self.interval);
+        }
+    }
+}
+
+impl<B: MemoryBackend> MemoryBackend for Periodic<B> {
+    fn access(&mut self, now: Cycle, req: MemRequest, llc: &dyn CacheProbe) -> AccessOutcome {
+        self.drain_dummies_until(now);
+        let slot = self.round_up(now.max(self.next_issue).max(self.inner.free_at()));
+        let outcome = self.inner.access(slot, req, llc);
+        self.next_issue = outcome.complete_at.max(slot + self.interval);
+        outcome
+    }
+
+    fn dummy_access(&mut self, now: Cycle) -> Cycle {
+        let slot = self.round_up(now.max(self.next_issue).max(self.inner.free_at()));
+        let done = self.inner.dummy_access(slot);
+        self.next_issue = done.max(slot + self.interval);
+        done
+    }
+
+    fn free_at(&self) -> Cycle {
+        self.next_issue.max(self.inner.free_at())
+    }
+
+    fn note_llc_hit(&mut self, block: crate::BlockAddr) {
+        self.inner.note_llc_hit(block);
+    }
+
+    fn note_llc_eviction(&mut self, block: crate::BlockAddr) {
+        self.inner.note_llc_eviction(block);
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.inner.stats()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::NoProbe;
+    use crate::dram::{Dram, DramConfig};
+    use crate::request::BlockAddr;
+
+    fn periodic_dram(interval: Cycle) -> Periodic<Dram> {
+        Periodic::new(Dram::new(DramConfig::default()), interval)
+    }
+
+    #[test]
+    fn access_starts_on_slot_boundary() {
+        let mut p = periodic_dram(100);
+        let o = p.access(42, MemRequest::read(BlockAddr(0)), &NoProbe);
+        // The controller is strictly periodic from cycle 0: a dummy fires in
+        // slot 0 (no request was pending) and finishes at 108, so the demand
+        // claims the next reachable slot, 200, completing at 308.
+        assert_eq!(o.complete_at, 308);
+        assert_eq!(p.stats().dummy_accesses, 1);
+    }
+
+    #[test]
+    fn access_behind_in_flight_dummy_waits_for_next_slot() {
+        let mut p = periodic_dram(100);
+        let o = p.access(100, MemRequest::read(BlockAddr(0)), &NoProbe);
+        // Slot 0's dummy is still in flight (finishes at 108); the demand
+        // starts at slot 200.
+        assert_eq!(o.complete_at, 308);
+    }
+
+    #[test]
+    fn first_access_at_cycle_zero_needs_no_dummy() {
+        let mut p = periodic_dram(100);
+        let o = p.access(0, MemRequest::read(BlockAddr(0)), &NoProbe);
+        assert_eq!(o.complete_at, 108);
+        assert_eq!(p.stats().dummy_accesses, 0);
+    }
+
+    #[test]
+    fn idle_gaps_filled_with_dummies() {
+        let mut p = periodic_dram(100);
+        p.access(0, MemRequest::read(BlockAddr(0)), &NoProbe);
+        // Long compute phase: cycle 0..10_000. The memory must have kept
+        // issuing dummy accesses meanwhile.
+        p.access(10_000, MemRequest::read(BlockAddr(1)), &NoProbe);
+        // Each dummy takes 108 cycles with O_int = 100, so dummies land on
+        // every other slot: ~49 of them in 10_000 cycles.
+        let s = p.stats();
+        assert!(s.dummy_accesses > 40, "dummies={}", s.dummy_accesses);
+        assert_eq!(s.demand_accesses, 2);
+    }
+
+    #[test]
+    fn no_dummies_under_back_to_back_load() {
+        let mut p = periodic_dram(100);
+        let mut now = 0;
+        for i in 0..50 {
+            now = p
+                .access(now, MemRequest::read(BlockAddr(i)), &NoProbe)
+                .complete_at;
+        }
+        assert_eq!(p.stats().dummy_accesses, 0);
+    }
+
+    #[test]
+    fn starts_are_strictly_periodic() {
+        // With O_int larger than the access time, completions must land at
+        // slot + access_time exactly.
+        let mut p = periodic_dram(500);
+        let a = p.access(1, MemRequest::read(BlockAddr(0)), &NoProbe);
+        assert_eq!(a.complete_at, 608); // slot 500
+        let b = p.access(a.complete_at, MemRequest::read(BlockAddr(1)), &NoProbe);
+        assert_eq!(b.complete_at, 1108); // slot 1000
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let p = periodic_dram(100);
+        assert_eq!(p.interval(), 100);
+        assert_eq!(p.label(), "dram_intvl");
+        assert_eq!(p.inner().label(), "dram");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        periodic_dram(0);
+    }
+
+    #[test]
+    fn interval_can_be_rearmed() {
+        let mut p = periodic_dram(100);
+        p.set_interval(500);
+        assert_eq!(p.interval(), 500);
+        let o = p.access(0, MemRequest::read(BlockAddr(0)), &NoProbe);
+        assert_eq!(o.complete_at, 108); // slot 0 at the new cadence
+    }
+
+    #[test]
+    fn into_inner_returns_backend() {
+        let mut p = periodic_dram(100);
+        p.access(0, MemRequest::read(BlockAddr(0)), &NoProbe);
+        let d = p.into_inner();
+        assert_eq!(d.stats().demand_accesses, 1);
+    }
+
+    #[test]
+    fn explicit_dummy_respects_slots() {
+        let mut p = periodic_dram(100);
+        let done = p.dummy_access(42);
+        assert_eq!(done, 208);
+        assert_eq!(p.stats().dummy_accesses, 1);
+    }
+}

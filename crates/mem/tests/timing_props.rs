@@ -1,0 +1,105 @@
+//! Property tests over the memory timing wrappers.
+
+use proptest::prelude::*;
+use proram_mem::{
+    AdaptivePeriodic, AdaptivePeriodicConfig, BlockAddr, Dram, DramConfig, MemRequest,
+    MemoryBackend, NoProbe, Periodic,
+};
+
+/// DRAM with a flat, deterministic access time (one bank keeps every
+/// access serial, so completion = start + 108).
+fn flat_dram() -> Dram {
+    Dram::new(DramConfig {
+        banks: 1,
+        ..DramConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn periodic_accesses_start_on_slot_boundaries(
+        interval in 1u64..2000,
+        gaps in proptest::collection::vec(0u64..5000, 1..40),
+    ) {
+        let mut p = Periodic::new(flat_dram(), interval);
+        let mut now = 0;
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            let o = p.access(now, MemRequest::read(BlockAddr(i as u64)), &NoProbe);
+            // With a single serial bank, completion - 108 is the start
+            // cycle, which must be a multiple of the interval.
+            let start = o.complete_at - 108;
+            prop_assert_eq!(start % interval, 0, "start {} not on an O_int boundary", start);
+            prop_assert!(start >= now, "access started before it was issued");
+            now = o.complete_at;
+        }
+    }
+
+    #[test]
+    fn periodic_timing_is_independent_of_addresses(
+        interval in 50u64..500,
+        addrs_a in proptest::collection::vec(0u64..1000, 20),
+        addrs_b in proptest::collection::vec(0u64..1000, 20),
+        gaps in proptest::collection::vec(0u64..3000, 20),
+    ) {
+        // Two different address sequences with identical request timing
+        // must produce identical completion timing — the timing channel
+        // carries no address information.
+        let run = |addrs: &[u64]| {
+            let mut p = Periodic::new(flat_dram(), interval);
+            let mut now = 0;
+            let mut completions = Vec::new();
+            for (a, g) in addrs.iter().zip(&gaps) {
+                now += g;
+                let o = p.access(now, MemRequest::read(BlockAddr(*a)), &NoProbe);
+                completions.push(o.complete_at);
+                now = o.complete_at;
+            }
+            (completions, p.stats().dummy_accesses)
+        };
+        let (ca, da) = run(&addrs_a);
+        let (cb, db) = run(&addrs_b);
+        prop_assert_eq!(ca, cb, "completion times depend on addresses");
+        prop_assert_eq!(da, db, "dummy counts depend on addresses");
+    }
+
+    #[test]
+    fn adaptive_interval_always_on_the_ladder(
+        gaps in proptest::collection::vec(0u64..60_000, 1..400),
+    ) {
+        let cfg = AdaptivePeriodicConfig {
+            intervals: vec![100, 400, 1600],
+            epoch_requests: 32,
+            target_utilization: 0.5,
+        };
+        let mut p = AdaptivePeriodic::new(flat_dram(), cfg.clone());
+        let mut now = 0;
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            now = p.access(now, MemRequest::read(BlockAddr(i as u64)), &NoProbe).complete_at;
+            prop_assert!(cfg.intervals.contains(&p.current_interval()));
+        }
+        // Leakage accounting is exactly one decision per completed epoch.
+        let expected_epochs = gaps.len() as u64 / cfg.epoch_requests;
+        prop_assert_eq!(p.epochs(), expected_epochs);
+    }
+
+    #[test]
+    fn dram_completions_are_monotonic(
+        reqs in proptest::collection::vec((0u64..10_000, 0u64..500), 1..100),
+    ) {
+        let mut d = Dram::new(DramConfig::default());
+        let mut now = 0;
+        let mut last_complete = 0;
+        for (addr, gap) in reqs {
+            now += gap;
+            let o = d.access(now, MemRequest::read(BlockAddr(addr)), &NoProbe);
+            prop_assert!(o.complete_at >= last_complete || o.complete_at > now,
+                "completion went backwards");
+            last_complete = last_complete.max(o.complete_at);
+            now = now.max(o.complete_at.saturating_sub(108));
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Leaf labels and the unified ORAM address space.
+//!
+//! The unified baseline (paper Section 2.3) stores data blocks *and*
+//! position-map blocks in one binary tree. [`AddressSpace`] lays out that
+//! combined block-address space: data blocks first, then one region per
+//! position-map hierarchy, each region 1/`entries_per_block` the size of
+//! the one below it. The top hierarchy's leaf labels are small enough to
+//! live on-chip.
+
+use proram_mem::BlockAddr;
+use std::fmt;
+
+/// A leaf label: which root-to-leaf path a block is mapped to.
+///
+/// Leaves are numbered `0..num_leaves` left to right, as in the paper's
+/// Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Leaf(pub u32);
+
+impl fmt::Display for Leaf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "leaf{}", self.0)
+    }
+}
+
+/// Which hierarchy a block belongs to: 0 = data, `1..` = position map.
+pub type Hierarchy = u8;
+
+/// Layout of the unified block address space.
+///
+/// # Examples
+///
+/// ```
+/// use proram_oram::AddressSpace;
+/// use proram_mem::BlockAddr;
+///
+/// // 1024 data blocks, 32 posmap entries per block, 2 on-tree posmap
+/// // hierarchies (the third level, with exactly one block, is on-chip).
+/// let space = AddressSpace::new(1024, 32, 2);
+/// assert_eq!(space.region_len(0), 1024);
+/// assert_eq!(space.region_len(1), 32);
+/// assert_eq!(space.region_len(2), 1);
+/// // The posmap block holding data block 40's entry:
+/// let pm = space.posmap_block_for(BlockAddr(40), 1);
+/// assert_eq!(space.hierarchy_of(pm), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressSpace {
+    num_data_blocks: u64,
+    entries_per_block: u64,
+    /// Number of posmap hierarchies whose blocks are stored in the tree.
+    /// Hierarchy `on_tree_hierarchies + 1`'s labels live on-chip.
+    on_tree_hierarchies: u8,
+    /// `region_base[h]` = first block address of hierarchy `h`'s region.
+    region_base: Vec<u64>,
+    /// `region_len[h]` = number of blocks in hierarchy `h`.
+    region_len: Vec<u64>,
+}
+
+impl AddressSpace {
+    /// Lays out an address space.
+    ///
+    /// `on_tree_hierarchies` is the number of position-map levels stored in
+    /// the tree (the paper's "number of ORAM hierarchies" minus one: with 4
+    /// hierarchies, data + 3 posmap levels exist and the top level is the
+    /// on-chip final position map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_data_blocks` is zero or `entries_per_block < 2`.
+    pub fn new(num_data_blocks: u64, entries_per_block: u64, on_tree_hierarchies: u8) -> Self {
+        assert!(num_data_blocks > 0, "address space needs data blocks");
+        assert!(
+            entries_per_block >= 2,
+            "posmap blocks must hold at least 2 entries"
+        );
+        let levels = usize::from(on_tree_hierarchies) + 2;
+        let mut region_base = Vec::with_capacity(levels);
+        let mut region_len = Vec::with_capacity(levels);
+        let mut base = 0u64;
+        let mut len = num_data_blocks;
+        for _ in 0..levels {
+            region_base.push(base);
+            region_len.push(len);
+            base += len;
+            len = len.div_ceil(entries_per_block);
+        }
+        AddressSpace {
+            num_data_blocks,
+            entries_per_block,
+            on_tree_hierarchies,
+            region_base,
+            region_len,
+        }
+    }
+
+    /// Number of data blocks (hierarchy 0 region size).
+    pub fn num_data_blocks(&self) -> u64 {
+        self.num_data_blocks
+    }
+
+    /// Position-map entries per posmap block.
+    pub fn entries_per_block(&self) -> u64 {
+        self.entries_per_block
+    }
+
+    /// Number of posmap hierarchies stored in the tree.
+    pub fn on_tree_hierarchies(&self) -> u8 {
+        self.on_tree_hierarchies
+    }
+
+    /// Hierarchy whose leaf labels are kept on-chip.
+    pub fn top_hierarchy(&self) -> Hierarchy {
+        self.on_tree_hierarchies + 1
+    }
+
+    /// Total number of blocks stored in the tree (data + on-tree posmap).
+    pub fn total_tree_blocks(&self) -> u64 {
+        (0..=self.on_tree_hierarchies)
+            .map(|h| self.region_len[h as usize])
+            .sum()
+    }
+
+    /// Number of blocks in hierarchy `h`'s region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` exceeds the top hierarchy.
+    pub fn region_len(&self, h: Hierarchy) -> u64 {
+        self.region_len[usize::from(h)]
+    }
+
+    /// First block address of hierarchy `h`'s region.
+    pub fn region_base(&self, h: Hierarchy) -> u64 {
+        self.region_base[usize::from(h)]
+    }
+
+    /// The hierarchy a block address belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is outside every region.
+    pub fn hierarchy_of(&self, block: BlockAddr) -> Hierarchy {
+        for h in 0..self.region_base.len() {
+            if block.0 < self.region_base[h] + self.region_len[h] {
+                return h as Hierarchy;
+            }
+        }
+        panic!("block {block} outside the unified address space");
+    }
+
+    /// The hierarchy-`h` posmap block whose entries cover `block` (a block
+    /// of hierarchy `h - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is zero, above the top hierarchy, or `block` is not in
+    /// hierarchy `h - 1`.
+    pub fn posmap_block_for(&self, block: BlockAddr, h: Hierarchy) -> BlockAddr {
+        assert!(h >= 1 && h <= self.top_hierarchy(), "invalid hierarchy {h}");
+        let child = usize::from(h) - 1;
+        let off = block
+            .0
+            .checked_sub(self.region_base[child])
+            .expect("block below its region base");
+        assert!(
+            off < self.region_len[child],
+            "block {block} not in hierarchy {child}"
+        );
+        BlockAddr(self.region_base[usize::from(h)] + off / self.entries_per_block)
+    }
+
+    /// Index of `block`'s entry within its covering posmap block.
+    pub fn entry_index(&self, block: BlockAddr) -> usize {
+        let h = self.hierarchy_of(block);
+        let off = block.0 - self.region_base[usize::from(h)];
+        (off % self.entries_per_block) as usize
+    }
+
+    /// The first child block address covered by posmap block `pm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pm` is a data block (hierarchy 0).
+    pub fn first_child(&self, pm: BlockAddr) -> BlockAddr {
+        let h = self.hierarchy_of(pm);
+        assert!(h >= 1, "data blocks have no children");
+        let off = pm.0 - self.region_base[usize::from(h)];
+        BlockAddr(self.region_base[usize::from(h) - 1] + off * self.entries_per_block)
+    }
+
+    /// Number of valid entries in posmap block `pm` (the last block of a
+    /// region can be partially used).
+    pub fn child_count(&self, pm: BlockAddr) -> usize {
+        let h = self.hierarchy_of(pm);
+        assert!(h >= 1, "data blocks have no children");
+        let child_len = self.region_len[usize::from(h) - 1];
+        let first = self.first_child(pm).0 - self.region_base[usize::from(h) - 1];
+        (child_len - first).min(self.entries_per_block) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(1000, 32, 2)
+    }
+
+    #[test]
+    fn region_sizes_shrink_by_fanout() {
+        let s = space();
+        assert_eq!(s.region_len(0), 1000);
+        assert_eq!(s.region_len(1), 32); // ceil(1000/32)
+        assert_eq!(s.region_len(2), 1);
+        assert_eq!(s.region_len(3), 1); // on-chip top
+        assert_eq!(s.total_tree_blocks(), 1033);
+    }
+
+    #[test]
+    fn region_bases_are_contiguous() {
+        let s = space();
+        assert_eq!(s.region_base(0), 0);
+        assert_eq!(s.region_base(1), 1000);
+        assert_eq!(s.region_base(2), 1032);
+    }
+
+    #[test]
+    fn hierarchy_of_classifies() {
+        let s = space();
+        assert_eq!(s.hierarchy_of(BlockAddr(0)), 0);
+        assert_eq!(s.hierarchy_of(BlockAddr(999)), 0);
+        assert_eq!(s.hierarchy_of(BlockAddr(1000)), 1);
+        assert_eq!(s.hierarchy_of(BlockAddr(1032)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the unified address space")]
+    fn hierarchy_of_out_of_range_panics() {
+        space().hierarchy_of(BlockAddr(10_000));
+    }
+
+    #[test]
+    fn posmap_chain_for_data_block() {
+        let s = space();
+        let b = BlockAddr(40);
+        let pm1 = s.posmap_block_for(b, 1);
+        assert_eq!(pm1, BlockAddr(1000 + 1)); // 40/32 = group 1
+        let pm2 = s.posmap_block_for(pm1, 2);
+        assert_eq!(pm2, BlockAddr(1032));
+        assert_eq!(s.entry_index(b), 8); // 40 % 32
+        assert_eq!(s.entry_index(pm1), 1);
+    }
+
+    #[test]
+    fn children_round_trip() {
+        let s = space();
+        let pm = BlockAddr(1003); // h1 group 3 => children 96..128
+        assert_eq!(s.first_child(pm), BlockAddr(96));
+        assert_eq!(s.child_count(pm), 32);
+        for c in 96..128u64 {
+            assert_eq!(s.posmap_block_for(BlockAddr(c), 1), pm);
+        }
+    }
+
+    #[test]
+    fn last_posmap_block_partially_used() {
+        let s = space();
+        // h1 region: 32 blocks covering 1000 children; last group holds
+        // 1000 - 31*32 = 8 entries.
+        let last = BlockAddr(1000 + 31);
+        assert_eq!(s.child_count(last), 8);
+    }
+
+    #[test]
+    fn zero_on_tree_hierarchies_means_flat_onchip_map() {
+        let s = AddressSpace::new(64, 32, 0);
+        assert_eq!(s.top_hierarchy(), 1);
+        assert_eq!(s.total_tree_blocks(), 64);
+        // Every data block's posmap entry is in the on-chip hierarchy.
+        assert_eq!(s.hierarchy_of(BlockAddr(63)), 0);
+        assert_eq!(s.posmap_block_for(BlockAddr(63), 1), BlockAddr(64 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hierarchy")]
+    fn posmap_block_for_hierarchy_zero_panics() {
+        space().posmap_block_for(BlockAddr(0), 0);
+    }
+
+    #[test]
+    fn leaf_display() {
+        assert_eq!(Leaf(5).to_string(), "leaf5");
+    }
+}

@@ -1,0 +1,68 @@
+//! The primitive interface super-block schemes build on.
+//!
+//! Paper Section 6.1: "other ORAM schemes (e.g., \[27\]) have similar
+//! binary tree structure to Path ORAM. After adding background eviction,
+//! these ORAM schemes can also benefit from using super blocks. In
+//! general, all ORAM schemes should be able to take advantage of super
+//! blocks as long as they have support for background eviction."
+//!
+//! [`OramBackend`] captures exactly the primitives the super-block
+//! controller in `proram-core` needs: position-map access, a
+//! read-path/write-path pair, stash access, remapping and background
+//! eviction. [`crate::PathOram`] implements it natively; so does the
+//! Shi-style tree ORAM in [`crate::shi`], which is how the Section 6.1
+//! claim is reproduced.
+
+use crate::addr::{AddressSpace, Leaf};
+use crate::block::Block;
+use crate::controller::{OramStats, PathKind};
+use crate::posmap::PosEntry;
+use proram_mem::BlockAddr;
+
+/// A tree-based ORAM offering the primitives super-block schemes need.
+pub trait OramBackend {
+    /// The unified block-address-space layout.
+    fn space(&self) -> &AddressSpace;
+
+    /// Ensures the position-map entries covering `child`'s group are
+    /// on-chip; returns the tree accesses spent doing so.
+    fn resolve_posmap(&mut self, child: BlockAddr) -> u64;
+
+    /// Borrows `child`'s position-map entry (requires a prior resolve).
+    fn entry(&self, child: BlockAddr) -> &PosEntry;
+
+    /// Mutably borrows `child`'s position-map entry.
+    fn entry_mut(&mut self, child: BlockAddr) -> &mut PosEntry;
+
+    /// Read phase of one access: brings every real block that the access
+    /// may serve into the stash, recording the adversary-visible event.
+    fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind);
+
+    /// Write phase of one access, paired with the preceding read.
+    fn write_path_from_stash(&mut self, leaf: Leaf);
+
+    /// Whether `addr` currently sits in the stash.
+    fn stash_contains(&self, addr: BlockAddr) -> bool;
+
+    /// Mutably borrows a stashed block.
+    fn stash_block_mut(&mut self, addr: BlockAddr) -> Option<&mut Block>;
+
+    /// Draws a fresh uniform leaf.
+    fn random_leaf(&mut self) -> Leaf;
+
+    /// One background eviction (a dummy access on the wire).
+    fn background_evict(&mut self);
+
+    /// Background-evicts until the stash is under its trigger; returns
+    /// the evictions run.
+    fn drain_background(&mut self) -> u64;
+
+    /// Cycles one physical tree access costs.
+    fn path_cycles(&self) -> u64;
+
+    /// Statistics so far.
+    fn oram_stats(&self) -> OramStats;
+
+    /// Short name of the underlying ORAM ("path", "shi", ...).
+    fn backend_name(&self) -> &'static str;
+}

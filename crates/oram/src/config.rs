@@ -1,0 +1,313 @@
+//! ORAM configuration.
+
+use crate::addr::AddressSpace;
+use crate::timing::OramTiming;
+
+/// Full configuration of a [`crate::PathOram`] instance.
+///
+/// Defaults follow the paper's Table 1, scaled down from the 8 GB /
+/// 2^26-block tree to a 2^20-block tree so experiments run at laptop
+/// scale. The timing formula is unchanged; see `DESIGN.md` §7.
+///
+/// # Examples
+///
+/// ```
+/// use proram_oram::OramConfig;
+///
+/// let cfg = OramConfig::default();
+/// assert_eq!(cfg.z, 3);
+/// assert_eq!(cfg.stash_limit, 100);
+/// assert!(cfg.tree_levels() >= 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OramConfig {
+    /// Number of data blocks stored (paper: 2^26; scaled default 2^20).
+    pub num_data_blocks: u64,
+    /// Blocks per bucket (paper default 3).
+    pub z: usize,
+    /// Position-map entries per posmap block (paper: 32 entries of 25+2
+    /// bits in a 128-byte block).
+    pub entries_per_posmap_block: u64,
+    /// Number of posmap hierarchies stored in the tree. The paper's
+    /// "Number of ORAM hierarchies = 4" is data + 3 posmap levels with
+    /// the smallest level's labels held on-chip; here that corresponds to
+    /// `on_tree_hierarchies = 3` minus however many fit on-chip — the
+    /// constructor clamps so the on-chip table stays small.
+    pub on_tree_hierarchies: u8,
+    /// Stash occupancy at which background eviction kicks in (paper
+    /// default 100).
+    pub stash_limit: usize,
+    /// PLB capacity in posmap blocks.
+    pub plb_blocks: usize,
+    /// Override for the number of tree levels; `None` sizes the tree so
+    /// total blocks occupy about a third of the slots (Z=3).
+    pub levels_override: Option<u32>,
+    /// Use a tree one level shorter than the default sizing, doubling
+    /// occupancy (~2/3 of slots at Z=3). Denser trees shorten paths but
+    /// raise background-eviction pressure — the trade-off explored in
+    /// \[25\]. Ignored when `levels_override` is set.
+    pub dense_tree: bool,
+    /// Number of levels at the top of the tree held in on-chip SRAM
+    /// (*treetop caching*, part of the design space of the paper's
+    /// baseline \[25\]). Cached levels cost no DRAM traffic on a path
+    /// access; level `k` needs `(2^k - 1) * Z` on-chip block slots, so
+    /// only a handful of levels are realistic.
+    pub treetop_levels: u32,
+    /// Timing model.
+    pub timing: OramTiming,
+    /// Keep and verify real payload bytes and an encrypted DRAM image.
+    /// Functional/crypto tests and examples only — costs memory and time.
+    pub store_payloads: bool,
+    /// Capacity of the adversary-trace recorder (0 = disabled).
+    pub trace_capacity: usize,
+    /// Initial super-block grouping: every aligned group of this many data
+    /// blocks starts mapped to one common leaf. `1` disables grouping;
+    /// the *static super block* scheme of paper Section 3.3 sets this to
+    /// its super-block size ("In the initialization stage of Path ORAM,
+    /// blocks are merged into super blocks").
+    pub init_group_size: u64,
+}
+
+impl OramConfig {
+    /// Scaled paper configuration with the given data-block count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_data_blocks` is zero.
+    pub fn scaled(num_data_blocks: u64) -> Self {
+        assert!(num_data_blocks > 0, "ORAM needs at least one data block");
+        OramConfig {
+            num_data_blocks,
+            ..OramConfig::default()
+        }
+    }
+
+    /// A tiny functional configuration for unit tests: payload storage and
+    /// trace recording on, small posmap fanout so recursion is exercised.
+    pub fn small_for_tests(num_data_blocks: u64) -> Self {
+        OramConfig {
+            num_data_blocks,
+            z: 4,
+            entries_per_posmap_block: 8,
+            on_tree_hierarchies: 2,
+            stash_limit: 50,
+            plb_blocks: 8,
+            levels_override: None,
+            timing: OramTiming::default(),
+            store_payloads: true,
+            trace_capacity: 1 << 16,
+            init_group_size: 1,
+            dense_tree: false,
+            treetop_levels: 0,
+        }
+    }
+
+    /// The unified address-space layout implied by this configuration.
+    pub fn address_space(&self) -> AddressSpace {
+        AddressSpace::new(
+            self.num_data_blocks,
+            self.entries_per_posmap_block,
+            self.on_tree_hierarchies,
+        )
+    }
+
+    /// Number of tree levels: the override, or a tree whose slot count is
+    /// roughly `3x` the block count (leaves = next power of two of half
+    /// the blocks), matching the occupancy regime of the paper's baseline
+    /// \[25\].
+    pub fn tree_levels(&self) -> u32 {
+        if let Some(l) = self.levels_override {
+            return l;
+        }
+        let total = self.address_space().total_tree_blocks();
+        let half = (total / 2).max(2);
+        // Round *down* to a power of two: with Z = 3 this puts occupancy a
+        // bit above 1/3 of the slots, the regime of the paper's baseline.
+        let leaves = 1u64 << (63 - half.leading_zeros());
+        let levels = leaves.trailing_zeros() + 1;
+        if self.dense_tree {
+            (levels - 1).max(2)
+        } else {
+            levels
+        }
+    }
+
+    /// Number of tree levels that actually move on the DRAM bus per path
+    /// access (total levels minus the treetop-cached ones, at least 1).
+    pub fn off_chip_levels(&self) -> u32 {
+        self.tree_levels()
+            .saturating_sub(self.treetop_levels)
+            .max(1)
+    }
+
+    /// Cycles for one path access under this configuration (treetop-cached
+    /// levels are on-chip and free).
+    pub fn path_cycles(&self) -> u64 {
+        self.timing.path_cycles(self.off_chip_levels(), self.z)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree cannot hold the blocks, or payload storage is
+    /// requested with a posmap fanout too large to serialize into one
+    /// block.
+    pub fn validate(&self) {
+        assert!(self.z > 0, "Z must be positive");
+        assert!(
+            self.entries_per_posmap_block >= 2,
+            "posmap fanout must be >= 2"
+        );
+        assert!(self.stash_limit > 0, "stash limit must be positive");
+        assert!(self.plb_blocks > 0, "PLB must hold at least one block");
+        assert!(
+            self.init_group_size.is_power_of_two()
+                && self.init_group_size <= self.entries_per_posmap_block,
+            "init_group_size must be a power of two no larger than the posmap fanout"
+        );
+        let space = self.address_space();
+        let levels = self.tree_levels();
+        let slots = (1u64 << levels).saturating_sub(1) * self.z as u64;
+        assert!(
+            space.total_tree_blocks() <= slots,
+            "tree too small: {} blocks, {} slots",
+            space.total_tree_blocks(),
+            slots
+        );
+        let leaves = 1u64 << (levels - 1);
+        assert!(leaves <= u64::from(u32::MAX), "leaf labels overflow u32");
+        assert!(
+            self.treetop_levels < levels,
+            "treetop cache ({}) must leave at least one off-chip level (tree has {levels})",
+            self.treetop_levels
+        );
+        assert!(
+            self.treetop_levels <= 16,
+            "treetop cache of {} levels needs 2^{} on-chip buckets",
+            self.treetop_levels,
+            self.treetop_levels
+        );
+        if self.store_payloads {
+            let entry_bytes = crate::storage::ENTRY_BYTES as u64;
+            assert!(
+                self.entries_per_posmap_block * entry_bytes <= u64::from(self.timing.block_bytes),
+                "posmap entries do not fit a serialized block; reduce entries_per_posmap_block"
+            );
+        }
+    }
+}
+
+impl Default for OramConfig {
+    fn default() -> Self {
+        OramConfig {
+            num_data_blocks: 1 << 20,
+            z: 3,
+            entries_per_posmap_block: 32,
+            on_tree_hierarchies: 2,
+            stash_limit: 100,
+            plb_blocks: 64,
+            levels_override: None,
+            timing: OramTiming::paper_calibrated(),
+            store_payloads: false,
+            trace_capacity: 0,
+            init_group_size: 1,
+            dense_tree: false,
+            treetop_levels: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tree_geometry() {
+        let cfg = OramConfig::default();
+        // 2^20 data + 2^15 + 2^10 posmap blocks => leaves = 2^19, 20 levels.
+        assert_eq!(cfg.tree_levels(), 20);
+        cfg.validate();
+    }
+
+    #[test]
+    fn small_config_validates() {
+        OramConfig::small_for_tests(256).validate();
+    }
+
+    #[test]
+    fn dense_tree_drops_one_level() {
+        let sparse = OramConfig::default();
+        let dense = OramConfig {
+            dense_tree: true,
+            ..OramConfig::default()
+        };
+        assert_eq!(dense.tree_levels(), sparse.tree_levels() - 1);
+        dense.validate();
+    }
+
+    #[test]
+    fn levels_override_respected() {
+        let cfg = OramConfig {
+            levels_override: Some(22),
+            ..OramConfig::default()
+        };
+        assert_eq!(cfg.tree_levels(), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "tree too small")]
+    fn undersized_tree_rejected() {
+        let cfg = OramConfig {
+            levels_override: Some(5),
+            ..OramConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "posmap entries do not fit")]
+    fn oversized_posmap_rejected_with_payloads() {
+        let cfg = OramConfig {
+            entries_per_posmap_block: 64,
+            store_payloads: true,
+            ..OramConfig::small_for_tests(1 << 10)
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn path_cycles_positive() {
+        assert!(OramConfig::default().path_cycles() > 1000);
+    }
+
+    #[test]
+    fn treetop_caching_shortens_the_paid_path() {
+        let plain = OramConfig::default();
+        let cached = OramConfig {
+            treetop_levels: 4,
+            ..OramConfig::default()
+        };
+        assert_eq!(cached.off_chip_levels(), plain.tree_levels() - 4);
+        assert!(cached.path_cycles() < plain.path_cycles());
+        cached.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one off-chip level")]
+    fn treetop_covering_whole_tree_rejected() {
+        let cfg = OramConfig {
+            treetop_levels: 64,
+            ..OramConfig::small_for_tests(64)
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn scaled_changes_only_size() {
+        let cfg = OramConfig::scaled(1 << 16);
+        assert_eq!(cfg.num_data_blocks, 1 << 16);
+        assert_eq!(cfg.z, 3);
+        cfg.validate();
+    }
+}

@@ -1,0 +1,1090 @@
+//! The Path ORAM controller.
+//!
+//! Implements the five-step access of paper Section 2.2 on top of the
+//! unified recursive position map of Section 2.3 and background eviction
+//! of Section 2.4. The controller exposes both a high-level
+//! [`PathOram::access_block`] (the `oram` baseline of the evaluation) and
+//! the lower-level primitives — [`PathOram::resolve_posmap`],
+//! [`PathOram::read_path_into_stash`], [`PathOram::write_path_from_stash`],
+//! entry accessors — that the super-block schemes in `proram-core` compose
+//! into grouped accesses.
+
+use crate::addr::{AddressSpace, Hierarchy, Leaf};
+use crate::block::{Block, Payload};
+use crate::config::OramConfig;
+use crate::eviction::{read_path, write_path};
+use crate::plb::Plb;
+use crate::posmap::PosEntry;
+use crate::stash::Stash;
+use crate::storage::EncryptedStore;
+use crate::trace::{PhysEvent, TraceRecorder};
+use crate::tree::OramTree;
+use proram_mem::{
+    AccessKind, AccessOutcome, BackendStats, BlockAddr, CacheProbe, Cycle, Fill, MemRequest,
+    MemoryBackend,
+};
+use proram_stats::{Rng64, Xoshiro256};
+
+/// Bound on background evictions after one access. A dense tree with a
+/// tiny stash target can enter a persistent eviction storm (the regime of
+/// the paper's Figure 12 at stash size 25); the controller then keeps
+/// serving requests while evicting at this rate instead of livelocking.
+const MAX_BACKGROUND_EVICTIONS_PER_ACCESS: u64 = 64;
+
+/// Statistics kept by the controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OramStats {
+    /// Logical block requests served.
+    pub logical_accesses: u64,
+    /// Path accesses for data blocks.
+    pub data_path_accesses: u64,
+    /// Path accesses for position-map blocks.
+    pub posmap_path_accesses: u64,
+    /// Background-eviction (dummy) path accesses.
+    pub background_evictions: u64,
+    /// Bytes moved on the memory bus (all path accesses).
+    pub bytes_moved: u64,
+}
+
+impl OramStats {
+    /// All physical path accesses.
+    pub fn total_path_accesses(&self) -> u64 {
+        self.data_path_accesses + self.posmap_path_accesses + self.background_evictions
+    }
+}
+
+/// Ground-truth classification of a path access (for statistics; on the
+/// wire every kind is identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// A data-block (or super-block) access.
+    Data,
+    /// A position-map block fetch.
+    PosMap,
+    /// A dummy access: background eviction or periodic filler.
+    Dummy,
+}
+
+/// Result of one logical access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessReport {
+    /// Cycles the access occupied the ORAM (path transfers + overheads).
+    pub latency: u64,
+    /// Total tree path accesses performed (data + posmap + background).
+    pub tree_accesses: u64,
+    /// Position-map path accesses among them.
+    pub posmap_accesses: u64,
+    /// Background evictions among them.
+    pub background_evictions: u64,
+}
+
+/// The Path ORAM controller plus its in-DRAM tree.
+///
+/// # Examples
+///
+/// ```
+/// use proram_oram::{OramConfig, PathOram};
+/// use proram_mem::{AccessKind, BlockAddr};
+///
+/// let mut oram = PathOram::new(OramConfig::small_for_tests(512), 1);
+/// let r1 = oram.access_block(BlockAddr(7), AccessKind::Read);
+/// assert!(r1.tree_accesses >= 1);
+/// oram.check_invariants();
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathOram {
+    config: OramConfig,
+    space: AddressSpace,
+    tree: OramTree,
+    stash: Stash,
+    plb: Plb,
+    /// On-chip entries for blocks of the highest on-tree hierarchy (or for
+    /// the data blocks themselves when `on_tree_hierarchies == 0`).
+    top: Vec<PosEntry>,
+    rng: Xoshiro256,
+    store: Option<EncryptedStore>,
+    trace: TraceRecorder,
+    stats: OramStats,
+    path_cycles: u64,
+    path_bytes: u64,
+    busy_until: Cycle,
+    label: String,
+}
+
+impl PathOram {
+    /// Builds and initializes an ORAM: every data and position-map block
+    /// is mapped to a random leaf and placed into the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`OramConfig::validate`].
+    pub fn new(config: OramConfig, seed: u64) -> Self {
+        config.validate();
+        let space = config.address_space();
+        let levels = config.tree_levels();
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut tree = OramTree::new(levels, config.z);
+        let num_leaves = tree.num_leaves();
+
+        // Random initial leaf for every on-tree block. Data blocks may be
+        // grouped (static super block scheme, Section 3.3): every aligned
+        // group of `init_group_size` shares one leaf.
+        let total = space.total_tree_blocks();
+        let group = config.init_group_size;
+        let mut leaves: Vec<Leaf> = Vec::with_capacity(total as usize);
+        for addr in 0..total {
+            if addr < space.num_data_blocks() && group > 1 && addr % group != 0 {
+                let base = (addr / group * group) as usize;
+                leaves.push(leaves[base]);
+            } else {
+                leaves.push(Leaf(rng.next_below(u64::from(num_leaves)) as u32));
+            }
+        }
+
+        // On-chip table: entries for the highest on-tree hierarchy (or for
+        // the data blocks directly when there is no on-tree posmap).
+        let top_child = space.on_tree_hierarchies();
+        let top_base = space.region_base(top_child);
+        let top: Vec<PosEntry> = (0..space.region_len(top_child))
+            .map(|i| PosEntry::new(leaves[(top_base + i) as usize]))
+            .collect();
+
+        // The configured stash size is the *physical* capacity, which
+        // must also buffer one in-flight path of `levels * Z` blocks
+        // (at the paper's full scale a Z=4 path is 104 blocks against the
+        // 100-block stash — the regime that makes super-block schemes
+        // eviction-bound). Background eviction therefore triggers when
+        // resting occupancy exceeds what leaves room for one path.
+        let path_blocks = levels as usize * config.z;
+        let resting_limit = config.stash_limit.saturating_sub(path_blocks).max(8);
+        let mut stash = Stash::new(resting_limit);
+        let mut store = if config.store_payloads {
+            Some(EncryptedStore::new(
+                tree.num_buckets(),
+                config.z,
+                config.timing.block_bytes as usize,
+                rng.next_u64(),
+            ))
+        } else {
+            None
+        };
+
+        // Materialize blocks and place each as deep as possible on its
+        // own path.
+        for addr in 0..total {
+            let block = Self::make_block(
+                &config,
+                &space,
+                BlockAddr(addr),
+                leaves[addr as usize],
+                &leaves,
+            );
+            let mut placed = false;
+            let path: Vec<usize> = tree.path_indices(block.leaf).collect();
+            for &idx in path.iter().rev() {
+                if !tree.bucket(idx).is_full() {
+                    tree.bucket_mut(idx).push(block.clone());
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                stash.insert(block);
+            }
+        }
+        if let Some(store) = store.as_mut() {
+            for idx in 0..tree.num_buckets() {
+                store.write_bucket(idx, tree.bucket(idx));
+            }
+        }
+
+        let trace = if config.trace_capacity > 0 {
+            TraceRecorder::enabled(config.trace_capacity)
+        } else {
+            TraceRecorder::disabled()
+        };
+        // Treetop-cached levels live in on-chip SRAM: they cost neither
+        // bus cycles nor bytes. The functional tree is unchanged — the
+        // cached buckets simply reside on-chip.
+        let off_chip = config.off_chip_levels();
+        let path_cycles = config.timing.path_cycles(off_chip, config.z);
+        let path_bytes = config.timing.path_bytes(off_chip, config.z);
+        PathOram {
+            plb: Plb::new(config.plb_blocks),
+            config,
+            space,
+            tree,
+            stash,
+            top,
+            rng,
+            store,
+            trace,
+            stats: OramStats::default(),
+            path_cycles,
+            path_bytes,
+            busy_until: 0,
+            label: "oram".to_owned(),
+        }
+    }
+
+    fn make_block(
+        config: &OramConfig,
+        space: &AddressSpace,
+        addr: BlockAddr,
+        leaf: Leaf,
+        leaves: &[Leaf],
+    ) -> Block {
+        match space.hierarchy_of(addr) {
+            0 => {
+                if config.store_payloads {
+                    Block::with_data(
+                        addr,
+                        leaf,
+                        vec![0; config.timing.block_bytes as usize].into(),
+                    )
+                } else {
+                    Block::opaque(addr, leaf)
+                }
+            }
+            _ => {
+                let first = space.first_child(addr);
+                let count = space.child_count(addr);
+                let entries: Vec<PosEntry> = (0..count as u64)
+                    .map(|i| PosEntry::new(leaves[(first.0 + i) as usize]))
+                    .collect();
+                Block::posmap(addr, leaf, entries.into())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration this ORAM was built with.
+    pub fn config(&self) -> &OramConfig {
+        &self.config
+    }
+
+    /// The unified address-space layout.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Cycles one path access costs under the timing model.
+    pub fn path_cycles(&self) -> u64 {
+        self.path_cycles
+    }
+
+    /// Statistics so far.
+    pub fn oram_stats(&self) -> OramStats {
+        self.stats
+    }
+
+    /// PLB `(hits, misses)`.
+    pub fn plb_stats(&self) -> (u64, u64) {
+        self.plb.stats()
+    }
+
+    /// The stash (for occupancy statistics).
+    pub fn stash(&self) -> &Stash {
+        &self.stash
+    }
+
+    /// The adversary-trace recorder.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// The encrypted DRAM image, when payload storage is enabled.
+    pub fn storage(&self) -> Option<&EncryptedStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the encrypted image — fault-injection tests use
+    /// this to tamper with ciphertexts and check detection.
+    pub fn storage_mut(&mut self) -> Option<&mut EncryptedStore> {
+        self.store.as_mut()
+    }
+
+    /// Clears the recorded adversary trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Draws a fresh uniformly random leaf.
+    pub fn random_leaf(&mut self) -> Leaf {
+        Leaf(self.rng.next_below(u64::from(self.tree.num_leaves())) as u32)
+    }
+
+    // ------------------------------------------------------------------
+    // Position-map primitives (shared with the super-block schemes)
+    // ------------------------------------------------------------------
+
+    /// Hierarchy of the posmap container holding `child`'s entry.
+    fn parent_hierarchy(&self, child: BlockAddr) -> Hierarchy {
+        self.space.hierarchy_of(child) + 1
+    }
+
+    /// Ensures the position-map block holding `child`'s entry is on-chip
+    /// (PLB or the top table), fetching ancestors as needed. Returns the
+    /// number of tree accesses performed.
+    ///
+    /// After this call [`PathOram::entry`] / [`PathOram::entry_mut`] for
+    /// `child` (and for every sibling covered by the same posmap block)
+    /// are guaranteed to succeed without further accesses.
+    pub fn resolve_posmap(&mut self, child: BlockAddr) -> u64 {
+        let h = self.parent_hierarchy(child);
+        if h == self.space.top_hierarchy() {
+            return 0; // entry lives in the on-chip table
+        }
+        let pm_addr = self.space.posmap_block_for(child, h);
+        if self.plb.get_mut(pm_addr).is_some() {
+            return 0;
+        }
+        // Miss: resolve the posmap block's own mapping one level up, then
+        // fetch it with a real path access.
+        let mut accesses = self.resolve_posmap(pm_addr);
+        let old_leaf = self.entry(pm_addr).leaf;
+        let new_leaf = self.random_leaf();
+        self.entry_mut(pm_addr).leaf = new_leaf;
+
+        self.read_path_into_stash(old_leaf, PathKind::PosMap);
+        accesses += 1;
+        let mut block = self.stash.take(pm_addr).unwrap_or_else(|| {
+            panic!("posmap block {pm_addr} missing from path {old_leaf} and stash")
+        });
+        block.leaf = new_leaf;
+        if let Some(victim) = self.plb.insert(block) {
+            self.stash.insert(victim);
+        }
+        self.write_path_from_stash(old_leaf);
+        accesses
+    }
+
+    /// Borrows `child`'s position-map entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covering posmap block is not on-chip — call
+    /// [`PathOram::resolve_posmap`] first.
+    pub fn entry(&self, child: BlockAddr) -> &PosEntry {
+        let h = self.parent_hierarchy(child);
+        let idx = self.space.entry_index(child);
+        if h == self.space.top_hierarchy() {
+            let base = self.space.region_base(h - 1);
+            let off = (child.0 - base) as usize;
+            return &self.top[off];
+        }
+        let pm_addr = self.space.posmap_block_for(child, h);
+        let block = self
+            .plb
+            .peek(pm_addr)
+            .unwrap_or_else(|| panic!("posmap block {pm_addr} not resolved"));
+        &block.entries()[idx]
+    }
+
+    /// Mutably borrows `child`'s position-map entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covering posmap block is not on-chip.
+    pub fn entry_mut(&mut self, child: BlockAddr) -> &mut PosEntry {
+        let h = self.parent_hierarchy(child);
+        let idx = self.space.entry_index(child);
+        if h == self.space.top_hierarchy() {
+            let base = self.space.region_base(h - 1);
+            let off = (child.0 - base) as usize;
+            return &mut self.top[off];
+        }
+        let pm_addr = self.space.posmap_block_for(child, h);
+        let block = self
+            .plb
+            .peek_mut(pm_addr)
+            .unwrap_or_else(|| panic!("posmap block {pm_addr} not resolved"));
+        &mut block.entries_mut()[idx]
+    }
+
+    // ------------------------------------------------------------------
+    // Path primitives
+    // ------------------------------------------------------------------
+
+    /// Reads every bucket on the path to `leaf` into the stash, recording
+    /// the adversary-visible event, statistics and byte movement. Callers
+    /// must pair this with [`PathOram::write_path_from_stash`] on the same
+    /// leaf.
+    pub fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) {
+        if let Some(store) = self.store.as_ref() {
+            // Exercise and verify the encrypted image on the read half.
+            let indices: Vec<usize> = self.tree.path_indices(leaf).collect();
+            for idx in indices {
+                let mut from_store: Vec<u64> =
+                    store.read_bucket(idx).iter().map(|b| b.addr.0).collect();
+                let mut from_tree: Vec<u64> =
+                    self.tree.bucket(idx).iter().map(|b| b.addr.0).collect();
+                from_store.sort_unstable();
+                from_tree.sort_unstable();
+                assert_eq!(
+                    from_store, from_tree,
+                    "encrypted image diverged at bucket {idx}"
+                );
+            }
+        }
+        read_path(&mut self.tree, &mut self.stash, leaf);
+        match kind {
+            PathKind::Data => {
+                self.stats.data_path_accesses += 1;
+                self.trace.record(PhysEvent::PathAccess(leaf));
+            }
+            PathKind::PosMap => {
+                self.stats.posmap_path_accesses += 1;
+                self.trace.record(PhysEvent::PathAccess(leaf));
+            }
+            PathKind::Dummy => {
+                self.stats.background_evictions += 1;
+                self.trace.record(PhysEvent::DummyAccess(leaf));
+            }
+        }
+        self.stats.bytes_moved += self.path_bytes;
+        self.stash.sample_occupancy();
+    }
+
+    /// Greedily writes stash blocks back to the path to `leaf` and
+    /// re-encrypts the touched buckets into the storage image.
+    pub fn write_path_from_stash(&mut self, leaf: Leaf) {
+        write_path(&mut self.tree, &mut self.stash, leaf);
+        if let Some(store) = self.store.as_mut() {
+            for idx in self.tree.path_indices(leaf) {
+                store.write_bucket(idx, self.tree.bucket(idx));
+            }
+        }
+    }
+
+    /// Whether `addr` is currently in the stash.
+    pub fn stash_contains(&self, addr: BlockAddr) -> bool {
+        self.stash.contains(addr)
+    }
+
+    /// Mutably borrows a stashed block.
+    pub fn stash_block_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
+        self.stash.get_mut(addr)
+    }
+
+    /// Performs one background eviction (paper Section 2.4): read and
+    /// write a random path, remapping nothing.
+    pub fn background_evict(&mut self) {
+        let leaf = self.random_leaf();
+        self.read_path_into_stash(leaf, PathKind::Dummy);
+        self.write_path_from_stash(leaf);
+    }
+
+    /// Issues background evictions until the stash is under its limit,
+    /// bounded per call so a persistent eviction storm degrades
+    /// throughput instead of livelocking the simulator; returns how many
+    /// evictions ran.
+    pub fn drain_background(&mut self) -> u64 {
+        let mut n = 0;
+        while self.stash.over_limit() && n < MAX_BACKGROUND_EVICTIONS_PER_ACCESS {
+            self.background_evict();
+            n += 1;
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // High-level access (the `oram` baseline)
+    // ------------------------------------------------------------------
+
+    /// Performs one logical access to data block `addr` following the
+    /// five steps of paper Section 2.2, plus recursion and background
+    /// eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block.
+    pub fn access_block(&mut self, addr: BlockAddr, _kind: AccessKind) -> AccessReport {
+        assert_eq!(
+            self.space.hierarchy_of(addr),
+            0,
+            "access_block takes data blocks"
+        );
+        self.stats.logical_accesses += 1;
+
+        // Steps 1 & 4: look up the leaf and remap to a fresh one.
+        let posmap_accesses = self.resolve_posmap(addr);
+        let old_leaf = self.entry(addr).leaf;
+        let new_leaf = self.random_leaf();
+        self.entry_mut(addr).leaf = new_leaf;
+
+        // Steps 2, 3 & 5: read the path, claim the block, write back.
+        self.read_path_into_stash(old_leaf, PathKind::Data);
+        let block = self
+            .stash
+            .get_mut(addr)
+            .unwrap_or_else(|| panic!("invariant broken: {addr} not on path {old_leaf} or stash"));
+        block.leaf = new_leaf;
+        self.write_path_from_stash(old_leaf);
+
+        let background_evictions = self.drain_background();
+        let tree_accesses = 1 + posmap_accesses + background_evictions;
+        AccessReport {
+            latency: tree_accesses * self.path_cycles,
+            tree_accesses,
+            posmap_accesses,
+            background_evictions,
+        }
+    }
+
+    /// Reads the data payload of `addr` (a full ORAM access).
+    ///
+    /// Returns `None` if payload storage is disabled.
+    pub fn read_block(&mut self, addr: BlockAddr) -> Option<Vec<u8>> {
+        self.access_block(addr, AccessKind::Read);
+        self.with_data_block(addr, |bytes| bytes.to_vec())
+    }
+
+    /// Writes the data payload of `addr` (a full ORAM access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if payload storage is disabled or `bytes` is not exactly one
+    /// block.
+    pub fn write_block(&mut self, addr: BlockAddr, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.config.timing.block_bytes as usize,
+            "payload must be exactly one block"
+        );
+        self.access_block(addr, AccessKind::Write);
+        let found = self.update_data_block(addr, bytes);
+        assert!(found, "payload storage disabled; enable store_payloads");
+    }
+
+    /// Applies `f` to the payload bytes of a data block wherever it
+    /// currently lives (stash or tree).
+    fn with_data_block<T>(&mut self, addr: BlockAddr, f: impl FnOnce(&[u8]) -> T) -> Option<T> {
+        let block = self.find_block(addr)?;
+        match &block.payload {
+            Payload::Data(bytes) => Some(f(bytes)),
+            _ => None,
+        }
+    }
+
+    fn update_data_block(&mut self, addr: BlockAddr, bytes: &[u8]) -> bool {
+        // The block is in the stash or somewhere on its mapped path
+        // (write-back just ran).
+        if let Some(block) = self.stash.get_mut(addr) {
+            return match &mut block.payload {
+                Payload::Data(old) => {
+                    *old = bytes.to_vec().into();
+                    true
+                }
+                _ => false,
+            };
+        }
+        let Some(leaf) = self.known_leaf(addr) else {
+            return false;
+        };
+        let indices: Vec<usize> = self.tree.path_indices(leaf).collect();
+        for idx in indices {
+            let updated = match self.tree.bucket_mut(idx).block_mut(addr) {
+                Some(block) => match &mut block.payload {
+                    Payload::Data(old) => {
+                        *old = bytes.to_vec().into();
+                        true
+                    }
+                    _ => return false,
+                },
+                None => false,
+            };
+            if updated {
+                // Keep the encrypted image coherent.
+                let bucket = self.tree.bucket(idx).clone();
+                if let Some(store) = self.store.as_mut() {
+                    store.write_bucket(idx, &bucket);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn find_block(&self, addr: BlockAddr) -> Option<&Block> {
+        if let Some(b) = self.stash.get(addr) {
+            return Some(b);
+        }
+        let leaf = self.known_leaf(addr)?;
+        self.tree
+            .path_indices(leaf)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .find_map(|idx| self.tree.bucket(idx).iter().find(|b| b.addr == addr))
+    }
+
+    /// Leaf of `addr` if its covering posmap block happens to be on-chip;
+    /// used only by the payload helpers right after an access (when it
+    /// always is).
+    fn known_leaf(&self, addr: BlockAddr) -> Option<Leaf> {
+        let h = self.parent_hierarchy(addr);
+        if h == self.space.top_hierarchy() {
+            let base = self.space.region_base(h - 1);
+            return Some(self.top[(addr.0 - base) as usize].leaf);
+        }
+        let pm_addr = self.space.posmap_block_for(addr, h);
+        self.plb
+            .peek(pm_addr)
+            .map(|b| b.entries()[self.space.entry_index(addr)].leaf)
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests)
+    // ------------------------------------------------------------------
+
+    /// Verifies the Path ORAM invariant for every reachable block: a block
+    /// mapped to leaf `s` is in the stash, in the PLB/top (posmap blocks),
+    /// or on the path to `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violation. Intended for tests; cost is
+    /// `O(total blocks * levels)`.
+    pub fn check_invariants(&self) {
+        // Walk the posmap chain top-down, gathering the authoritative leaf
+        // of every block, then check placement.
+        let total = self.space.total_tree_blocks();
+        for addr in 0..total {
+            let addr = BlockAddr(addr);
+            if let Some(leaf) = self.authoritative_leaf(addr) {
+                assert!(
+                    self.block_is_findable(addr, leaf),
+                    "invariant violation: block {addr} mapped to {leaf} is not on its path/stash/PLB"
+                );
+            }
+        }
+    }
+
+    fn authoritative_leaf(&self, addr: BlockAddr) -> Option<Leaf> {
+        let h = self.parent_hierarchy(addr);
+        if h == self.space.top_hierarchy() {
+            let base = self.space.region_base(h - 1);
+            return Some(self.top[(addr.0 - base) as usize].leaf);
+        }
+        let pm_addr = self.space.posmap_block_for(addr, h);
+        if let Some(block) = self.plb.peek(pm_addr) {
+            return Some(block.entries()[self.space.entry_index(addr)].leaf);
+        }
+        // The parent itself must be findable; read its entry wherever it
+        // is (stash or tree).
+        let parent_leaf = self.authoritative_leaf(pm_addr)?;
+        let parent = self.locate(pm_addr, parent_leaf)?;
+        Some(parent.entries()[self.space.entry_index(addr)].leaf)
+    }
+
+    fn locate(&self, addr: BlockAddr, leaf: Leaf) -> Option<&Block> {
+        if let Some(b) = self.stash.get(addr) {
+            return Some(b);
+        }
+        if let Some(b) = self.plb.peek(addr) {
+            return Some(b);
+        }
+        for idx in self.tree.path_indices(leaf) {
+            if let Some(b) = self.tree.bucket(idx).iter().find(|b| b.addr == addr) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    fn block_is_findable(&self, addr: BlockAddr, leaf: Leaf) -> bool {
+        self.locate(addr, leaf).is_some()
+    }
+
+    /// Schedules `tree_accesses` path accesses on the serialized ORAM
+    /// resource starting no earlier than `now`; returns the completion
+    /// cycle.
+    fn schedule(&mut self, now: Cycle, tree_accesses: u64) -> Cycle {
+        let start = now.max(self.busy_until);
+        let complete = start + tree_accesses * self.path_cycles;
+        self.busy_until = complete;
+        complete
+    }
+}
+
+impl crate::backend_trait::OramBackend for PathOram {
+    fn space(&self) -> &AddressSpace {
+        PathOram::space(self)
+    }
+
+    fn resolve_posmap(&mut self, child: BlockAddr) -> u64 {
+        PathOram::resolve_posmap(self, child)
+    }
+
+    fn entry(&self, child: BlockAddr) -> &PosEntry {
+        PathOram::entry(self, child)
+    }
+
+    fn entry_mut(&mut self, child: BlockAddr) -> &mut PosEntry {
+        PathOram::entry_mut(self, child)
+    }
+
+    fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) {
+        PathOram::read_path_into_stash(self, leaf, kind)
+    }
+
+    fn write_path_from_stash(&mut self, leaf: Leaf) {
+        PathOram::write_path_from_stash(self, leaf)
+    }
+
+    fn stash_contains(&self, addr: BlockAddr) -> bool {
+        PathOram::stash_contains(self, addr)
+    }
+
+    fn stash_block_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
+        PathOram::stash_block_mut(self, addr)
+    }
+
+    fn random_leaf(&mut self) -> Leaf {
+        PathOram::random_leaf(self)
+    }
+
+    fn background_evict(&mut self) {
+        PathOram::background_evict(self)
+    }
+
+    fn drain_background(&mut self) -> u64 {
+        PathOram::drain_background(self)
+    }
+
+    fn path_cycles(&self) -> u64 {
+        PathOram::path_cycles(self)
+    }
+
+    fn oram_stats(&self) -> OramStats {
+        PathOram::oram_stats(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "path"
+    }
+}
+
+impl MemoryBackend for PathOram {
+    fn access(&mut self, now: Cycle, req: MemRequest, _llc: &dyn CacheProbe) -> AccessOutcome {
+        let report = self.access_block(req.block, req.kind);
+        let complete_at = self.schedule(now, report.tree_accesses);
+        let fills = match req.kind {
+            AccessKind::Read => vec![Fill {
+                block: req.block,
+                prefetched: req.prefetch,
+            }],
+            AccessKind::Write => Vec::new(),
+        };
+        AccessOutcome { complete_at, fills }
+    }
+
+    fn dummy_access(&mut self, now: Cycle) -> Cycle {
+        self.background_evict();
+        self.schedule(now, 1)
+    }
+
+    fn free_at(&self) -> Cycle {
+        self.busy_until
+    }
+
+    fn stats(&self) -> BackendStats {
+        let s = self.stats;
+        BackendStats {
+            demand_accesses: s.logical_accesses,
+            prefetch_requests: 0,
+            physical_accesses: s.total_path_accesses(),
+            dummy_accesses: s.background_evictions,
+            posmap_accesses: s.posmap_path_accesses,
+            bytes_moved: s.bytes_moved,
+            prefetch_hits: 0,
+            prefetch_misses: 0,
+            busy_cycles: s.total_path_accesses() * self.path_cycles,
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PathOram {
+        PathOram::new(OramConfig::small_for_tests(256), 42)
+    }
+
+    #[test]
+    fn construction_satisfies_invariants() {
+        let oram = small();
+        oram.check_invariants();
+    }
+
+    #[test]
+    fn every_data_block_is_accessible() {
+        let mut oram = PathOram::new(OramConfig::small_for_tests(64), 7);
+        for a in 0..64 {
+            let r = oram.access_block(BlockAddr(a), AccessKind::Read);
+            assert!(r.tree_accesses >= 1);
+        }
+        oram.check_invariants();
+    }
+
+    #[test]
+    fn access_remaps_to_fresh_leaf() {
+        let mut oram = small();
+        let addr = BlockAddr(10);
+        oram.resolve_posmap(addr);
+        let before = oram.entry(addr).leaf;
+        // Access many times; the leaf must change (collision chance over
+        // 20 draws from >=128 leaves is negligible at this seed).
+        let mut changed = false;
+        for _ in 0..20 {
+            oram.access_block(addr, AccessKind::Read);
+            oram.resolve_posmap(addr);
+            if oram.entry(addr).leaf != before {
+                changed = true;
+            }
+        }
+        assert!(changed, "leaf never remapped");
+    }
+
+    #[test]
+    fn repeated_access_is_stable_under_invariants() {
+        let mut oram = small();
+        let mut rng = Xoshiro256::seed_from(3);
+        for _ in 0..300 {
+            let a = BlockAddr(rng.next_below(256));
+            oram.access_block(a, AccessKind::Read);
+        }
+        oram.check_invariants();
+        let s = oram.oram_stats();
+        assert_eq!(s.logical_accesses, 300);
+        assert_eq!(s.data_path_accesses, 300);
+    }
+
+    #[test]
+    fn posmap_recursion_costs_extra_accesses() {
+        let mut oram = small();
+        // First touch of a cold region must miss the PLB.
+        let r = oram.access_block(BlockAddr(100), AccessKind::Read);
+        assert!(r.posmap_accesses >= 1, "cold access should walk the posmap");
+        // Immediately repeated access hits the PLB.
+        let r2 = oram.access_block(BlockAddr(100), AccessKind::Read);
+        assert_eq!(r2.posmap_accesses, 0);
+    }
+
+    #[test]
+    fn plb_locality_for_neighbors() {
+        let mut oram = small();
+        oram.access_block(BlockAddr(8), AccessKind::Read);
+        // Same posmap group (entries_per_block = 8): no extra posmap walk.
+        let r = oram.access_block(BlockAddr(9), AccessKind::Read);
+        assert_eq!(r.posmap_accesses, 0);
+    }
+
+    #[test]
+    fn trace_records_accesses() {
+        let mut oram = small();
+        oram.clear_trace();
+        oram.access_block(BlockAddr(0), AccessKind::Read);
+        assert!(!oram.trace().events().is_empty());
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let mut oram = PathOram::new(OramConfig::small_for_tests(64), 5);
+        let data = vec![0xAB; 128];
+        oram.write_block(BlockAddr(3), &data);
+        let read = oram.read_block(BlockAddr(3)).expect("payloads enabled");
+        assert_eq!(read, data);
+        oram.check_invariants();
+    }
+
+    #[test]
+    fn payloads_survive_many_interleaved_accesses() {
+        let mut oram = PathOram::new(OramConfig::small_for_tests(64), 6);
+        for a in 0..16u64 {
+            oram.write_block(BlockAddr(a), &[a as u8; 128]);
+        }
+        let mut rng = Xoshiro256::seed_from(9);
+        for _ in 0..100 {
+            oram.access_block(BlockAddr(rng.next_below(64)), AccessKind::Read);
+        }
+        for a in 0..16u64 {
+            assert_eq!(
+                oram.read_block(BlockAddr(a)).unwrap(),
+                vec![a as u8; 128],
+                "payload of block {a} corrupted"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must be exactly one block")]
+    fn wrong_payload_size_panics() {
+        let mut oram = small();
+        oram.write_block(BlockAddr(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "access_block takes data blocks")]
+    fn posmap_address_rejected() {
+        let mut oram = small();
+        // First posmap block lives right after the data region.
+        oram.access_block(BlockAddr(256), AccessKind::Read);
+    }
+
+    #[test]
+    fn background_eviction_triggers_under_pressure() {
+        // A small stash target and a Z=2 tree at ~90% occupancy force
+        // background evictions (Z=4 at low occupancy essentially never
+        // overflows, which is why the paper pairs small Z with background
+        // eviction).
+        let cfg = OramConfig {
+            stash_limit: 4,
+            z: 2,
+            ..OramConfig::small_for_tests(400)
+        };
+        let mut oram = PathOram::new(cfg, 11);
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..200 {
+            oram.access_block(BlockAddr(rng.next_below(400)), AccessKind::Read);
+        }
+        assert!(oram.oram_stats().background_evictions > 0);
+        assert!(
+            oram.stash().len() <= 8,
+            "stash drained to the resting limit after access"
+        );
+        oram.check_invariants();
+    }
+
+    #[test]
+    fn memory_backend_serializes_accesses() {
+        use proram_mem::NoProbe;
+        let mut oram = small();
+        let a = oram.access(0, MemRequest::read(BlockAddr(1)), &NoProbe);
+        let b = oram.access(0, MemRequest::read(BlockAddr(2)), &NoProbe);
+        assert!(b.complete_at >= a.complete_at + oram.path_cycles());
+    }
+
+    #[test]
+    fn memory_backend_write_returns_no_fills() {
+        use proram_mem::NoProbe;
+        let mut oram = small();
+        let o = oram.access(0, MemRequest::write(BlockAddr(1)), &NoProbe);
+        assert!(o.fills.is_empty());
+        let o2 = oram.access(0, MemRequest::read(BlockAddr(1)), &NoProbe);
+        assert_eq!(o2.fills, vec![Fill::demand(BlockAddr(1))]);
+    }
+
+    #[test]
+    fn backend_stats_are_consistent() {
+        use proram_mem::NoProbe;
+        let mut oram = small();
+        for i in 0..20 {
+            oram.access(0, MemRequest::read(BlockAddr(i)), &NoProbe);
+        }
+        let s = MemoryBackend::stats(&oram);
+        assert_eq!(s.demand_accesses, 20);
+        assert!(s.physical_accesses >= 20);
+        assert!(s.bytes_moved > 0);
+    }
+
+    #[test]
+    fn dummy_access_is_background_eviction() {
+        let mut oram = small();
+        let before = oram.oram_stats().background_evictions;
+        let done = oram.dummy_access(100);
+        assert!(done >= 100 + oram.path_cycles());
+        assert_eq!(oram.oram_stats().background_evictions, before + 1);
+    }
+
+    #[test]
+    fn observed_leaves_cover_the_tree() {
+        let mut oram = PathOram::new(OramConfig::small_for_tests(512), 13);
+        oram.clear_trace();
+        let mut rng = Xoshiro256::seed_from(2);
+        for _ in 0..400 {
+            oram.access_block(BlockAddr(rng.next_below(512)), AccessKind::Read);
+        }
+        let leaves = oram.trace().observed_leaves();
+        assert!(leaves.len() >= 400);
+        // Many distinct leaves must appear (uniform remapping).
+        let mut distinct: Vec<u64> = leaves.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct leaves",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_bytes() {
+        let mut oram = small();
+        oram.access_block(BlockAddr(0), AccessKind::Read);
+        let s = oram.oram_stats();
+        assert_eq!(s.bytes_moved, s.total_path_accesses() * oram.path_bytes);
+    }
+
+    #[test]
+    fn small_flat_posmap_config_works() {
+        // on_tree_hierarchies = 0: the whole position map is on-chip.
+        let cfg = OramConfig {
+            on_tree_hierarchies: 0,
+            ..OramConfig::small_for_tests(128)
+        };
+        let mut oram = PathOram::new(cfg, 3);
+        for a in 0..128 {
+            let r = oram.access_block(BlockAddr(a), AccessKind::Read);
+            assert_eq!(r.posmap_accesses, 0);
+        }
+        oram.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod init_group_tests {
+    use super::*;
+
+    #[test]
+    fn grouped_init_maps_groups_to_common_leaves() {
+        let cfg = OramConfig {
+            init_group_size: 4,
+            ..OramConfig::small_for_tests(64)
+        };
+        let mut oram = PathOram::new(cfg, 17);
+        for base in (0..64u64).step_by(4) {
+            oram.resolve_posmap(BlockAddr(base));
+            let leaf = oram.entry(BlockAddr(base)).leaf;
+            for off in 1..4 {
+                assert_eq!(
+                    oram.entry(BlockAddr(base + off)).leaf,
+                    leaf,
+                    "group at {base} not co-located"
+                );
+            }
+        }
+        oram.check_invariants();
+    }
+
+    #[test]
+    fn grouped_init_still_serves_accesses() {
+        let cfg = OramConfig {
+            init_group_size: 2,
+            ..OramConfig::small_for_tests(64)
+        };
+        let mut oram = PathOram::new(cfg, 18);
+        for a in 0..64 {
+            oram.access_block(BlockAddr(a), AccessKind::Read);
+        }
+        oram.check_invariants();
+    }
+}

@@ -1,0 +1,168 @@
+//! Path read and greedy write-back.
+//!
+//! Steps 2 and 5 of the Path ORAM access (paper Section 2.2): reading a
+//! path moves every real block on it into the stash; writing the path back
+//! greedily evicts as many stash blocks as possible, placing each block as
+//! deep as its leaf mapping allows. Background eviction (Section 2.4)
+//! reuses the same two operations on a random path without remapping
+//! anything.
+
+use crate::addr::Leaf;
+use crate::stash::Stash;
+use crate::tree::OramTree;
+
+/// Moves every real block on the path to `leaf` into the stash.
+pub fn read_path(tree: &mut OramTree, stash: &mut Stash, leaf: Leaf) {
+    let indices: Vec<usize> = tree.path_indices(leaf).collect();
+    for idx in indices {
+        for block in tree.bucket_mut(idx).drain() {
+            stash.insert(block);
+        }
+    }
+}
+
+/// Greedily writes stash blocks back onto the path to `leaf`.
+///
+/// Each stash block may be placed in any bucket on the path no deeper than
+/// the deepest level its own leaf shares with `leaf`; the greedy pass
+/// fills from the leaf level upward, deepest-eligible blocks first —
+/// the standard Path ORAM eviction. Returns the number of blocks placed.
+pub fn write_path(tree: &mut OramTree, stash: &mut Stash, leaf: Leaf) -> usize {
+    // Candidates sorted by how deep they can go, deepest first.
+    let mut candidates: Vec<(u32, u64)> = stash
+        .iter()
+        .map(|b| (tree.common_level(b.leaf, leaf), b.addr.0))
+        .collect();
+    candidates.sort_unstable_by(|a, b| b.cmp(a));
+
+    let mut placed = 0;
+    let mut cursor = 0;
+    for level in (0..tree.levels()).rev() {
+        let idx = tree.bucket_index(leaf, level);
+        while !tree.bucket(idx).is_full() && cursor < candidates.len() {
+            let (common, addr) = candidates[cursor];
+            if common < level {
+                break; // everything left is shallower-only
+            }
+            cursor += 1;
+            let block = stash
+                .take(proram_mem::BlockAddr(addr))
+                .expect("candidate vanished from stash");
+            debug_assert!(tree.common_level(block.leaf, leaf) >= level);
+            tree.bucket_mut(idx).push(block);
+            placed += 1;
+        }
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use proram_mem::BlockAddr;
+
+    fn setup(levels: u32, z: usize) -> (OramTree, Stash) {
+        (OramTree::new(levels, z), Stash::new(1000))
+    }
+
+    #[test]
+    fn read_path_empties_buckets() {
+        let (mut tree, mut stash) = setup(4, 2);
+        let idx = tree.bucket_index(Leaf(3), 3);
+        tree.bucket_mut(idx)
+            .push(Block::opaque(BlockAddr(1), Leaf(3)));
+        let root = tree.bucket_index(Leaf(3), 0);
+        tree.bucket_mut(root)
+            .push(Block::opaque(BlockAddr(2), Leaf(0)));
+        read_path(&mut tree, &mut stash, Leaf(3));
+        assert_eq!(stash.len(), 2);
+        assert_eq!(tree.occupancy(), 0);
+    }
+
+    #[test]
+    fn read_path_leaves_other_paths_alone() {
+        let (mut tree, mut stash) = setup(4, 2);
+        let idx = tree.bucket_index(Leaf(0), 3); // leaf bucket of path 0
+        tree.bucket_mut(idx)
+            .push(Block::opaque(BlockAddr(1), Leaf(0)));
+        read_path(&mut tree, &mut stash, Leaf(7));
+        assert_eq!(stash.len(), 0);
+        assert_eq!(tree.occupancy(), 1);
+    }
+
+    #[test]
+    fn write_path_places_block_at_its_leaf() {
+        let (mut tree, mut stash) = setup(4, 2);
+        stash.insert(Block::opaque(BlockAddr(1), Leaf(5)));
+        let placed = write_path(&mut tree, &mut stash, Leaf(5));
+        assert_eq!(placed, 1);
+        assert!(stash.is_empty());
+        // Greedy puts it in the deepest bucket: the leaf bucket.
+        let leaf_idx = tree.bucket_index(Leaf(5), 3);
+        assert_eq!(tree.bucket(leaf_idx).len(), 1);
+    }
+
+    #[test]
+    fn mismatched_block_goes_to_common_ancestor() {
+        let (mut tree, mut stash) = setup(4, 2);
+        // Leaf 6 vs path 7: common level 2.
+        stash.insert(Block::opaque(BlockAddr(1), Leaf(6)));
+        write_path(&mut tree, &mut stash, Leaf(7));
+        let idx = tree.bucket_index(Leaf(7), 2);
+        assert_eq!(tree.bucket(idx).len(), 1);
+        let leaf_idx = tree.bucket_index(Leaf(7), 3);
+        assert!(tree.bucket(leaf_idx).is_empty());
+    }
+
+    #[test]
+    fn totally_disjoint_block_goes_to_root_only() {
+        let (mut tree, mut stash) = setup(4, 2);
+        stash.insert(Block::opaque(BlockAddr(1), Leaf(0)));
+        write_path(&mut tree, &mut stash, Leaf(7));
+        assert_eq!(tree.bucket(0).len(), 1);
+    }
+
+    #[test]
+    fn overflow_stays_in_stash() {
+        let (mut tree, mut stash) = setup(3, 1); // Z = 1, 3 buckets per path
+        for i in 0..5 {
+            stash.insert(Block::opaque(BlockAddr(i), Leaf(3)));
+        }
+        let placed = write_path(&mut tree, &mut stash, Leaf(3));
+        assert_eq!(placed, 3, "one block per bucket on the path");
+        assert_eq!(stash.len(), 2);
+    }
+
+    #[test]
+    fn deepest_eligible_blocks_win_slots() {
+        let (mut tree, mut stash) = setup(4, 1);
+        // Block A can go to the leaf bucket (same leaf); block B only to
+        // the root (disjoint). Both must be placed.
+        stash.insert(Block::opaque(BlockAddr(1), Leaf(7)));
+        stash.insert(Block::opaque(BlockAddr(2), Leaf(0)));
+        let placed = write_path(&mut tree, &mut stash, Leaf(7));
+        assert_eq!(placed, 2);
+        assert_eq!(tree.bucket(tree.bucket_index(Leaf(7), 3)).len(), 1);
+        assert_eq!(tree.bucket(0).len(), 1);
+    }
+
+    #[test]
+    fn read_then_write_is_stable() {
+        // A full read/write cycle never loses blocks and never grows the
+        // stash (everything read in can at least go back where it was).
+        let (mut tree, mut stash) = setup(5, 2);
+        let path = Leaf(9);
+        let l4 = tree.bucket_index(path, 4);
+        let l2 = tree.bucket_index(path, 2);
+        tree.bucket_mut(l4)
+            .push(Block::opaque(BlockAddr(1), Leaf(9)));
+        tree.bucket_mut(l2)
+            .push(Block::opaque(BlockAddr(2), Leaf(11)));
+        read_path(&mut tree, &mut stash, path);
+        assert_eq!(stash.len(), 2);
+        write_path(&mut tree, &mut stash, path);
+        assert_eq!(stash.len(), 0, "background-eviction guarantee");
+        assert_eq!(tree.occupancy(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Path ORAM for the PrORAM reproduction.
+//!
+//! Implements the paper's baseline memory system (Sections 2.2-2.4):
+//!
+//! * the **binary-tree storage** with `Z`-slot buckets ([`tree`]),
+//! * the **stash** and greedy path write-back ([`stash`], [`eviction`]),
+//! * the **recursive/unified position map**: position-map blocks live in
+//!   the same tree as data blocks and are cached on-chip in a position-map
+//!   lookaside buffer ([`posmap`], [`plb`]), following Unified/Freecursive
+//!   ORAM which the paper uses as its baseline,
+//! * **background eviction** for small `Z` (Section 2.4),
+//! * a **probabilistic encryption** layer and byte-level DRAM image
+//!   ([`crypto`], [`storage`]),
+//! * the **adversary-observable physical trace** ([`trace`]) used by the
+//!   obliviousness test-suite,
+//! * a first-principles **timing model** (path bytes / pin bandwidth,
+//!   [`timing`]).
+//!
+//! The high-level entry point is [`PathOram`]; it also implements
+//! [`proram_mem::MemoryBackend`] so it can serve as the `oram` baseline in
+//! the system simulator. The super-block machinery of the paper itself
+//! lives in the `proram-core` crate, built on the primitives exposed here.
+//!
+//! # Examples
+//!
+//! ```
+//! use proram_oram::{OramConfig, PathOram};
+//!
+//! let mut oram = PathOram::new(OramConfig::small_for_tests(1 << 10), 7);
+//! let report = oram.access_block(proram_mem::BlockAddr(42), proram_mem::AccessKind::Read);
+//! assert!(report.tree_accesses >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod backend_trait;
+pub mod block;
+pub mod bucket;
+pub mod config;
+pub mod controller;
+pub mod crypto;
+pub mod eviction;
+pub mod plb;
+pub mod posmap;
+pub mod shi;
+pub mod stash;
+pub mod storage;
+pub mod timing;
+pub mod trace;
+pub mod tree;
+
+pub use addr::{AddressSpace, Leaf};
+pub use backend_trait::OramBackend;
+pub use block::{Block, Payload};
+pub use bucket::Bucket;
+pub use config::OramConfig;
+pub use controller::{AccessReport, OramStats, PathKind, PathOram};
+pub use crypto::{Mac, StreamCipher};
+pub use plb::Plb;
+pub use posmap::PosEntry;
+pub use shi::{ShiOram, ShiOramConfig};
+pub use stash::Stash;
+pub use storage::{EncryptedStore, IntegrityError};
+pub use timing::OramTiming;
+pub use trace::{PhysEvent, TraceRecorder};
+pub use tree::OramTree;

@@ -1,0 +1,200 @@
+//! The position-map lookaside buffer (PLB).
+//!
+//! The unified baseline "caches position map ORAM blocks to exploit
+//! locality (similar to the TLB exploiting locality in page tables)"
+//! (paper Section 2.3). PLB-resident posmap blocks are on-chip: reading or
+//! updating their entries costs no tree access. On a miss the controller
+//! fetches the block with a real ORAM access and inserts it here; the LRU
+//! victim returns to the stash.
+
+use crate::block::Block;
+use proram_mem::BlockAddr;
+
+/// A small fully-associative LRU cache of position-map blocks.
+///
+/// # Examples
+///
+/// ```
+/// use proram_oram::{Block, Leaf, Plb, PosEntry};
+/// use proram_mem::BlockAddr;
+///
+/// let mut plb = Plb::new(2);
+/// let pm = Block::posmap(BlockAddr(100), Leaf(0), vec![PosEntry::new(Leaf(5))].into());
+/// assert!(plb.insert(pm).is_none());
+/// assert!(plb.get_mut(BlockAddr(100)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plb {
+    /// Most recently used first.
+    blocks: Vec<Block>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Plb {
+    /// Creates an empty PLB holding up to `capacity` posmap blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PLB capacity must be positive");
+        Plb {
+            blocks: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Looks up a resident posmap block, refreshing LRU and counting
+    /// hit/miss statistics.
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
+        match self.blocks.iter().position(|b| b.addr == addr) {
+            Some(pos) => {
+                self.hits += 1;
+                let b = self.blocks.remove(pos);
+                self.blocks.insert(0, b);
+                Some(&mut self.blocks[0])
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Tag probe without LRU or counter effects.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.blocks.iter().any(|b| b.addr == addr)
+    }
+
+    /// Borrows a resident block without touching LRU order or the hit/miss
+    /// counters. Used for entry reads that follow an already-counted
+    /// lookup.
+    pub fn peek_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
+        self.blocks.iter_mut().find(|b| b.addr == addr)
+    }
+
+    /// Borrows a resident block immutably without statistics effects.
+    pub fn peek(&self, addr: BlockAddr) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.addr == addr)
+    }
+
+    /// Inserts a posmap block as MRU; returns the LRU victim if full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not a posmap block or is already resident.
+    pub fn insert(&mut self, block: Block) -> Option<Block> {
+        assert!(block.payload.is_posmap(), "PLB holds only posmap blocks");
+        assert!(!self.contains(block.addr), "posmap block already in PLB");
+        let victim = if self.blocks.len() == self.capacity {
+            self.blocks.pop()
+        } else {
+            None
+        };
+        self.blocks.insert(0, block);
+        victim
+    }
+
+    /// Removes every resident block (used when flushing state for tests).
+    pub fn drain(&mut self) -> Vec<Block> {
+        std::mem::take(&mut self.blocks)
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Leaf;
+    use crate::posmap::PosEntry;
+
+    fn pm(addr: u64) -> Block {
+        Block::posmap(
+            BlockAddr(addr),
+            Leaf(0),
+            vec![PosEntry::new(Leaf(1))].into(),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut p = Plb::new(4);
+        p.insert(pm(1));
+        assert!(p.get_mut(BlockAddr(1)).is_some());
+        assert!(p.get_mut(BlockAddr(2)).is_none());
+        assert_eq!(p.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut p = Plb::new(2);
+        p.insert(pm(1));
+        p.insert(pm(2));
+        p.get_mut(BlockAddr(1)); // 2 becomes LRU
+        let victim = p.insert(pm(3)).expect("victim");
+        assert_eq!(victim.addr, BlockAddr(2));
+    }
+
+    #[test]
+    fn entries_survive_and_mutate() {
+        let mut p = Plb::new(2);
+        p.insert(pm(1));
+        p.get_mut(BlockAddr(1)).unwrap().entries_mut()[0].leaf = Leaf(42);
+        assert_eq!(p.get_mut(BlockAddr(1)).unwrap().entries()[0].leaf, Leaf(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "only posmap blocks")]
+    fn data_block_rejected() {
+        Plb::new(2).insert(Block::opaque(BlockAddr(0), Leaf(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in PLB")]
+    fn duplicate_rejected() {
+        let mut p = Plb::new(2);
+        p.insert(pm(1));
+        p.insert(pm(1));
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut p = Plb::new(3);
+        p.insert(pm(1));
+        p.insert(pm(2));
+        let all = p.drain();
+        assert_eq!(all.len(), 2);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let mut p = Plb::new(2);
+        p.insert(pm(1));
+        assert!(p.contains(BlockAddr(1)));
+        assert_eq!(p.stats(), (0, 0));
+    }
+}

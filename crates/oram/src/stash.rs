@@ -1,0 +1,209 @@
+//! The on-chip stash.
+//!
+//! "The stash is a piece of memory that stores up to a small number of
+//! data blocks at a time" (paper Section 2.2). Blocks overflow into the
+//! stash when path write-back cannot place them; when occupancy crosses
+//! the configured limit the controller issues background evictions
+//! (Section 2.4) until it drains.
+
+use crate::block::Block;
+use proram_mem::BlockAddr;
+use proram_stats::Histogram;
+use std::collections::HashMap;
+
+/// The stash: an address-indexed set of blocks with occupancy tracking.
+///
+/// # Examples
+///
+/// ```
+/// use proram_oram::{Block, Leaf, Stash};
+/// use proram_mem::BlockAddr;
+///
+/// let mut stash = Stash::new(100);
+/// stash.insert(Block::opaque(BlockAddr(1), Leaf(3)));
+/// assert!(stash.contains(BlockAddr(1)));
+/// assert_eq!(stash.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stash {
+    blocks: HashMap<u64, Block>,
+    limit: usize,
+    occupancy_hist: Histogram,
+    peak: usize,
+}
+
+impl Stash {
+    /// Creates an empty stash with a background-eviction threshold of
+    /// `limit` blocks (the paper's "Stash Size", default 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "stash limit must be positive");
+        Stash {
+            blocks: HashMap::new(),
+            limit,
+            occupancy_hist: Histogram::new(),
+            peak: 0,
+        }
+    }
+
+    /// The background-eviction threshold.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Number of blocks currently stashed.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the stash holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// `true` once occupancy is at or above the limit — the condition that
+    /// triggers background eviction.
+    pub fn over_limit(&self) -> bool {
+        self.blocks.len() >= self.limit
+    }
+
+    /// Inserts a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block with the same address is already stashed (the
+    /// controller must never duplicate blocks).
+    pub fn insert(&mut self, block: Block) {
+        let prev = self.blocks.insert(block.addr.0, block);
+        assert!(prev.is_none(), "duplicate block in stash");
+        self.peak = self.peak.max(self.blocks.len());
+    }
+
+    /// `true` if a block with this address is stashed.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.blocks.contains_key(&addr.0)
+    }
+
+    /// Borrows the stashed block with this address.
+    pub fn get(&self, addr: BlockAddr) -> Option<&Block> {
+        self.blocks.get(&addr.0)
+    }
+
+    /// Mutably borrows the stashed block with this address.
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
+        self.blocks.get_mut(&addr.0)
+    }
+
+    /// Removes and returns the block with this address.
+    pub fn take(&mut self, addr: BlockAddr) -> Option<Block> {
+        self.blocks.remove(&addr.0)
+    }
+
+    /// Iterates over stashed blocks (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.values()
+    }
+
+    /// Addresses of all stashed blocks (unspecified order).
+    pub fn addrs(&self) -> Vec<BlockAddr> {
+        self.blocks.keys().map(|&a| BlockAddr(a)).collect()
+    }
+
+    /// Records the current occupancy into the histogram; the controller
+    /// calls this once per ORAM access.
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy_hist.record(self.blocks.len() as u64);
+    }
+
+    /// Occupancy histogram accumulated via [`Stash::sample_occupancy`].
+    pub fn occupancy_histogram(&self) -> &Histogram {
+        &self.occupancy_hist
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Leaf;
+
+    fn blk(a: u64) -> Block {
+        Block::opaque(BlockAddr(a), Leaf(0))
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut s = Stash::new(10);
+        s.insert(blk(5));
+        assert!(s.contains(BlockAddr(5)));
+        let b = s.take(BlockAddr(5)).unwrap();
+        assert_eq!(b.addr, BlockAddr(5));
+        assert!(!s.contains(BlockAddr(5)));
+        assert!(s.take(BlockAddr(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn duplicate_insert_panics() {
+        let mut s = Stash::new(10);
+        s.insert(blk(1));
+        s.insert(blk(1));
+    }
+
+    #[test]
+    fn over_limit_threshold() {
+        let mut s = Stash::new(2);
+        assert!(!s.over_limit());
+        s.insert(blk(1));
+        assert!(!s.over_limit());
+        s.insert(blk(2));
+        assert!(s.over_limit());
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut s = Stash::new(4);
+        s.insert(blk(1));
+        s.get_mut(BlockAddr(1)).unwrap().leaf = Leaf(9);
+        assert_eq!(s.get(BlockAddr(1)).unwrap().leaf, Leaf(9));
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut s = Stash::new(10);
+        s.sample_occupancy();
+        s.insert(blk(1));
+        s.insert(blk(2));
+        s.sample_occupancy();
+        s.take(BlockAddr(1));
+        s.sample_occupancy();
+        let h = s.occupancy_histogram();
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(s.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn zero_limit_panics() {
+        Stash::new(0);
+    }
+
+    #[test]
+    fn addrs_lists_blocks() {
+        let mut s = Stash::new(10);
+        s.insert(blk(3));
+        s.insert(blk(7));
+        let mut a: Vec<u64> = s.addrs().iter().map(|b| b.0).collect();
+        a.sort_unstable();
+        assert_eq!(a, vec![3, 7]);
+    }
+}

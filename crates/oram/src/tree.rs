@@ -1,0 +1,210 @@
+//! The ORAM binary tree.
+//!
+//! A complete binary tree of [`Bucket`]s in heap layout: level 0 is the
+//! root, level `L` the leaves (paper Figure 1). The path to leaf `s` is the
+//! set of buckets whose level-`l` ancestor index matches `s`'s.
+
+use crate::addr::Leaf;
+use crate::bucket::Bucket;
+
+/// The binary-tree bucket store.
+///
+/// # Examples
+///
+/// ```
+/// use proram_oram::{OramTree, Leaf};
+///
+/// let tree = OramTree::new(4, 3); // 4 levels => 8 leaves, Z = 3
+/// assert_eq!(tree.num_leaves(), 8);
+/// assert_eq!(tree.path_indices(Leaf(5)).count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OramTree {
+    levels: u32,
+    z: usize,
+    buckets: Vec<Bucket>,
+}
+
+impl OramTree {
+    /// Creates an empty tree with `levels` levels (root through leaves)
+    /// and `z` slots per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero or large enough to overflow leaf labels
+    /// (more than 31), or `z` is zero.
+    pub fn new(levels: u32, z: usize) -> Self {
+        assert!((1..=31).contains(&levels), "levels must be in 1..=31");
+        assert!(z > 0, "Z must be positive");
+        let num_buckets = (1usize << levels) - 1;
+        let buckets = vec![Bucket::new(z); num_buckets];
+        OramTree { levels, z, buckets }
+    }
+
+    /// Number of levels (root through leaves). The paper's `L` is
+    /// `levels - 1`.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Bucket slot count `Z`.
+    pub fn z(&self) -> usize {
+        self.z
+    }
+
+    /// Number of leaves, `2^(levels-1)`.
+    pub fn num_leaves(&self) -> u32 {
+        1 << (self.levels - 1)
+    }
+
+    /// Number of buckets, `2^levels - 1`.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total real-block capacity, `Z * num_buckets`.
+    pub fn capacity(&self) -> usize {
+        self.z * self.num_buckets()
+    }
+
+    /// Heap index of the bucket at `level` on the path to `leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels` or `leaf` is out of range.
+    pub fn bucket_index(&self, leaf: Leaf, level: u32) -> usize {
+        assert!(level < self.levels, "level {level} out of range");
+        assert!(leaf.0 < self.num_leaves(), "{leaf} out of range");
+        let prefix = leaf.0 >> (self.levels - 1 - level);
+        ((1u32 << level) - 1 + prefix) as usize
+    }
+
+    /// Heap indices of the buckets on the path to `leaf`, root first.
+    pub fn path_indices(&self, leaf: Leaf) -> impl Iterator<Item = usize> + '_ {
+        (0..self.levels).map(move |l| self.bucket_index(leaf, l))
+    }
+
+    /// Borrows the bucket at a heap index.
+    pub fn bucket(&self, index: usize) -> &Bucket {
+        &self.buckets[index]
+    }
+
+    /// Mutably borrows the bucket at a heap index.
+    pub fn bucket_mut(&mut self, index: usize) -> &mut Bucket {
+        &mut self.buckets[index]
+    }
+
+    /// Deepest level (0-based) shared by the paths to `a` and `b`.
+    ///
+    /// A block mapped to leaf `a` may be stored in any bucket on the path
+    /// to `b` at levels `0..=common_level(a, b)` — the quantity the greedy
+    /// write-back in [`crate::eviction`] maximizes.
+    pub fn common_level(&self, a: Leaf, b: Leaf) -> u32 {
+        let diff = a.0 ^ b.0;
+        let leaf_bits = self.levels - 1;
+        if diff == 0 {
+            leaf_bits
+        } else {
+            leaf_bits - (32 - diff.leading_zeros())
+        }
+    }
+
+    /// Number of real blocks currently stored in the tree.
+    pub fn occupancy(&self) -> usize {
+        self.buckets.iter().map(Bucket::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use proram_mem::BlockAddr;
+
+    #[test]
+    fn geometry() {
+        let t = OramTree::new(4, 3);
+        assert_eq!(t.num_leaves(), 8);
+        assert_eq!(t.num_buckets(), 15);
+        assert_eq!(t.capacity(), 45);
+        assert_eq!(t.levels(), 4);
+        assert_eq!(t.z(), 3);
+    }
+
+    #[test]
+    fn path_indices_match_figure_1() {
+        // 4-level tree, path to leaf 5: root(0), then right(2), then
+        // left-of-right(5), then leaf index 5 => heap 7 + 5 = 12.
+        let t = OramTree::new(4, 3);
+        let path: Vec<usize> = t.path_indices(Leaf(5)).collect();
+        assert_eq!(path, vec![0, 2, 5, 12]);
+    }
+
+    #[test]
+    fn paths_share_the_root() {
+        let t = OramTree::new(5, 3);
+        for leaf in 0..t.num_leaves() {
+            assert_eq!(t.path_indices(Leaf(leaf)).next(), Some(0));
+        }
+    }
+
+    #[test]
+    fn sibling_leaves_share_all_but_last() {
+        let t = OramTree::new(4, 3);
+        let a: Vec<usize> = t.path_indices(Leaf(6)).collect();
+        let b: Vec<usize> = t.path_indices(Leaf(7)).collect();
+        assert_eq!(a[..3], b[..3]);
+        assert_ne!(a[3], b[3]);
+    }
+
+    #[test]
+    fn common_level_examples() {
+        let t = OramTree::new(4, 3); // leaf bits = 3
+        assert_eq!(t.common_level(Leaf(5), Leaf(5)), 3);
+        assert_eq!(t.common_level(Leaf(6), Leaf(7)), 2);
+        assert_eq!(t.common_level(Leaf(0), Leaf(7)), 0);
+        assert_eq!(t.common_level(Leaf(4), Leaf(6)), 1);
+    }
+
+    #[test]
+    fn common_level_is_symmetric() {
+        let t = OramTree::new(6, 3);
+        for a in 0..t.num_leaves() {
+            for b in 0..t.num_leaves() {
+                assert_eq!(
+                    t.common_level(Leaf(a), Leaf(b)),
+                    t.common_level(Leaf(b), Leaf(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_store_blocks() {
+        let mut t = OramTree::new(3, 2);
+        let idx = t.bucket_index(Leaf(2), 2);
+        t.bucket_mut(idx).push(Block::opaque(BlockAddr(1), Leaf(2)));
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.bucket(idx).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_level_panics() {
+        OramTree::new(3, 2).bucket_index(Leaf(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_leaf_panics() {
+        OramTree::new(3, 2).bucket_index(Leaf(4), 0);
+    }
+
+    #[test]
+    fn single_level_tree() {
+        let t = OramTree::new(1, 2);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.num_buckets(), 1);
+        assert_eq!(t.common_level(Leaf(0), Leaf(0)), 0);
+    }
+}

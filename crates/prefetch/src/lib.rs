@@ -1,0 +1,29 @@
+//! Traditional hardware prefetchers.
+//!
+//! Section 3.1/5.2 of the paper evaluates a conventional stream prefetcher
+//! on both DRAM and Path ORAM and shows it helps the former but not the
+//! latter ("prefetching is likely to block normal requests and hurt
+//! performance"). This crate provides that prefetcher: a stride-detecting
+//! stream table in the spirit of Chen & Baer \[3\] and stream buffers \[24\].
+//!
+//! # Examples
+//!
+//! ```
+//! use proram_prefetch::{StreamPrefetcher, StreamPrefetcherConfig};
+//! use proram_mem::BlockAddr;
+//!
+//! let mut pf = StreamPrefetcher::new(StreamPrefetcherConfig::default());
+//! pf.on_miss(BlockAddr(100));
+//! pf.on_miss(BlockAddr(101));
+//! // Two unit-stride misses establish a stream; the third miss triggers
+//! // prefetches ahead of it.
+//! let prefetches = pf.on_miss(BlockAddr(102));
+//! assert!(prefetches.contains(&BlockAddr(103)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stream;
+
+pub use stream::{StreamPrefetcher, StreamPrefetcherConfig};

@@ -1,0 +1,294 @@
+//! A stride-detecting stream prefetcher.
+
+use proram_mem::BlockAddr;
+
+/// Configuration of the stream prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPrefetcherConfig {
+    /// Number of concurrent streams tracked.
+    pub table_entries: usize,
+    /// Misses with a consistent stride required before prefetching.
+    pub train_threshold: u32,
+    /// Blocks prefetched ahead once a stream is established.
+    pub degree: u32,
+    /// Largest absolute stride (in blocks) considered a stream.
+    pub max_stride: i64,
+}
+
+impl Default for StreamPrefetcherConfig {
+    fn default() -> Self {
+        StreamPrefetcherConfig {
+            table_entries: 16,
+            train_threshold: 2,
+            degree: 2,
+            max_stride: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    last: u64,
+    stride: i64,
+    confidence: u32,
+    lru: u64,
+}
+
+/// The stream prefetcher: watches the miss stream, learns strides, and
+/// proposes blocks to prefetch.
+///
+/// The component is purely advisory — it emits candidate addresses; the
+/// system decides whether bandwidth exists to fetch them. That split is
+/// what lets the same prefetcher help DRAM and hurt ORAM in the Figure 5
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    config: StreamPrefetcherConfig,
+    table: Vec<StreamEntry>,
+    clock: u64,
+    issued: u64,
+    trained_streams: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size, threshold or degree is zero.
+    pub fn new(config: StreamPrefetcherConfig) -> Self {
+        assert!(config.table_entries > 0, "table must have entries");
+        assert!(
+            config.train_threshold > 0,
+            "train threshold must be positive"
+        );
+        assert!(config.degree > 0, "degree must be positive");
+        StreamPrefetcher {
+            config,
+            table: Vec::new(),
+            clock: 0,
+            issued: 0,
+            trained_streams: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamPrefetcherConfig {
+        &self.config
+    }
+
+    /// Total prefetch candidates emitted.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Streams that reached the training threshold.
+    pub fn trained_streams(&self) -> u64 {
+        self.trained_streams
+    }
+
+    /// Observes a demand miss and returns blocks to prefetch (possibly
+    /// empty).
+    pub fn on_miss(&mut self, block: BlockAddr) -> Vec<BlockAddr> {
+        self.clock += 1;
+        let clock = self.clock;
+
+        // Find a stream this miss continues: the miss extends entry
+        // `e` if block == e.last + e.stride, or redefines a small stride
+        // from e.last.
+        let mut best: Option<usize> = None;
+        for (i, e) in self.table.iter().enumerate() {
+            let delta = block.0 as i64 - e.last as i64;
+            if delta != 0 && delta.abs() <= self.config.max_stride {
+                // Prefer an exact stride continuation.
+                if delta == e.stride {
+                    best = Some(i);
+                    break;
+                }
+                if best.is_none() {
+                    best = Some(i);
+                }
+            }
+        }
+
+        match best {
+            Some(i) => {
+                let delta = block.0 as i64 - self.table[i].last as i64;
+                let entry = &mut self.table[i];
+                if delta == entry.stride {
+                    entry.confidence += 1;
+                } else {
+                    entry.stride = delta;
+                    entry.confidence = 1;
+                }
+                entry.last = block.0;
+                entry.lru = clock;
+                if entry.confidence == self.config.train_threshold {
+                    self.trained_streams += 1;
+                }
+                if entry.confidence >= self.config.train_threshold {
+                    let stride = entry.stride;
+                    let base = entry.last;
+                    let mut out = Vec::with_capacity(self.config.degree as usize);
+                    for k in 1..=i64::from(self.config.degree) {
+                        let target = base as i64 + stride * k;
+                        if target >= 0 {
+                            out.push(BlockAddr(target as u64));
+                        }
+                    }
+                    self.issued += out.len() as u64;
+                    return out;
+                }
+                Vec::new()
+            }
+            None => {
+                // Allocate a fresh stream, evicting the LRU entry.
+                if self.table.len() == self.config.table_entries {
+                    let lru = self
+                        .table
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.lru)
+                        .map(|(i, _)| i)
+                        .expect("nonempty table");
+                    self.table.swap_remove(lru);
+                }
+                self.table.push(StreamEntry {
+                    last: block.0,
+                    stride: 0,
+                    confidence: 0,
+                    lru: clock,
+                });
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> StreamPrefetcher {
+        StreamPrefetcher::new(StreamPrefetcherConfig::default())
+    }
+
+    #[test]
+    fn sequential_stream_trains_and_prefetches() {
+        let mut p = pf();
+        assert!(p.on_miss(BlockAddr(10)).is_empty());
+        assert!(p.on_miss(BlockAddr(11)).is_empty());
+        let out = p.on_miss(BlockAddr(12));
+        assert_eq!(out, vec![BlockAddr(13), BlockAddr(14)]);
+        assert_eq!(p.trained_streams(), 1);
+    }
+
+    #[test]
+    fn negative_stride_stream() {
+        let mut p = pf();
+        p.on_miss(BlockAddr(100));
+        p.on_miss(BlockAddr(99));
+        let out = p.on_miss(BlockAddr(98));
+        assert_eq!(out, vec![BlockAddr(97), BlockAddr(96)]);
+    }
+
+    #[test]
+    fn strided_stream() {
+        let mut p = pf();
+        p.on_miss(BlockAddr(0));
+        p.on_miss(BlockAddr(4));
+        let out = p.on_miss(BlockAddr(8));
+        assert_eq!(out, vec![BlockAddr(12), BlockAddr(16)]);
+    }
+
+    #[test]
+    fn random_misses_never_prefetch() {
+        let mut p = pf();
+        // Deltas all exceed max_stride.
+        for &a in &[5u64, 1000, 42, 90_000, 7, 50_000] {
+            assert!(
+                p.on_miss(BlockAddr(a)).is_empty(),
+                "prefetched on random miss {a}"
+            );
+        }
+        assert_eq!(p.issued(), 0);
+    }
+
+    #[test]
+    fn stride_change_retrains() {
+        let mut p = pf();
+        p.on_miss(BlockAddr(10));
+        p.on_miss(BlockAddr(11));
+        p.on_miss(BlockAddr(12)); // trained at stride 1
+        assert!(
+            p.on_miss(BlockAddr(14)).is_empty(),
+            "stride change must retrain"
+        );
+        let out = p.on_miss(BlockAddr(16));
+        assert_eq!(out, vec![BlockAddr(18), BlockAddr(20)]);
+    }
+
+    #[test]
+    fn multiple_concurrent_streams() {
+        let mut p = pf();
+        // Interleave two distant streams.
+        for i in 0..3u64 {
+            p.on_miss(BlockAddr(100 + i));
+            p.on_miss(BlockAddr(90_000 + i));
+        }
+        let a = p.on_miss(BlockAddr(103));
+        assert!(a.contains(&BlockAddr(104)));
+        let b = p.on_miss(BlockAddr(90_003));
+        assert!(b.contains(&BlockAddr(90_004)));
+    }
+
+    #[test]
+    fn table_capacity_evicts_lru() {
+        let cfg = StreamPrefetcherConfig {
+            table_entries: 2,
+            ..StreamPrefetcherConfig::default()
+        };
+        let mut p = StreamPrefetcher::new(cfg);
+        p.on_miss(BlockAddr(1_000));
+        p.on_miss(BlockAddr(50_000));
+        p.on_miss(BlockAddr(900_000)); // evicts the 1_000 stream
+                                       // Continuing the evicted stream restarts training.
+        assert!(p.on_miss(BlockAddr(1_001)).is_empty());
+        assert!(p.on_miss(BlockAddr(1_002)).is_empty());
+        assert!(!p.on_miss(BlockAddr(1_003)).is_empty());
+    }
+
+    #[test]
+    fn degree_controls_prefetch_count() {
+        let cfg = StreamPrefetcherConfig {
+            degree: 4,
+            ..StreamPrefetcherConfig::default()
+        };
+        let mut p = StreamPrefetcher::new(cfg);
+        p.on_miss(BlockAddr(10));
+        p.on_miss(BlockAddr(11));
+        let out = p.on_miss(BlockAddr(12));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn prefetch_addresses_never_negative() {
+        let mut p = pf();
+        p.on_miss(BlockAddr(2));
+        p.on_miss(BlockAddr(1));
+        let out = p.on_miss(BlockAddr(0));
+        assert!(
+            out.is_empty(),
+            "would-be negative targets are dropped: {out:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn zero_degree_rejected() {
+        StreamPrefetcher::new(StreamPrefetcherConfig {
+            degree: 0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,179 @@
+//! System configuration (the paper's Table 1).
+
+use proram_cache::HierarchyConfig;
+use proram_core::SchemeConfig;
+use proram_mem::{Cycle, DramConfig};
+use proram_oram::OramConfig;
+use proram_prefetch::StreamPrefetcherConfig;
+
+/// Which main-memory technology backs the LLC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryKind {
+    /// Insecure DRAM (the paper's `dram` baseline).
+    Dram,
+    /// Path ORAM with the given super-block scheme. Use
+    /// [`SchemeConfig::baseline`] for plain ORAM, `static_scheme` for
+    /// `stat`, `dynamic` for PrORAM.
+    Oram(SchemeConfig),
+}
+
+impl MemoryKind {
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemoryKind::Dram => "dram",
+            MemoryKind::Oram(s) => s.label(),
+        }
+    }
+}
+
+/// Full system configuration.
+///
+/// Defaults mirror Table 1: 1 GHz in-order core, 32 KB L1, 512 KB L2,
+/// 128-byte lines, 16 GB/s DRAM, Z = 3 ORAM with 100-entry stash and a
+/// maximum super-block size of 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Main-memory technology.
+    pub memory: MemoryKind,
+    /// ORAM parameters (used when `memory` is [`MemoryKind::Oram`]).
+    /// `num_data_blocks` is treated as a minimum — the runner grows it to
+    /// cover the workload footprint.
+    pub oram: OramConfig,
+    /// DRAM parameters (used for DRAM runs; the pin bandwidth also feeds
+    /// the ORAM timing model).
+    pub dram: DramConfig,
+    /// Enable the traditional stream prefetcher (Figure 5).
+    pub prefetch: Option<StreamPrefetcherConfig>,
+    /// Periodic-access interval `O_int` for timing-channel protection
+    /// (Figure 15); `None` disables it.
+    pub periodic_interval: Option<Cycle>,
+    /// RNG seed for the ORAM.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Table 1 defaults with the given memory kind.
+    pub fn paper_default(memory: MemoryKind) -> Self {
+        SystemConfig {
+            hierarchy: HierarchyConfig::default(),
+            memory,
+            oram: OramConfig::default(),
+            dram: DramConfig::default(),
+            prefetch: None,
+            periodic_interval: None,
+            seed: 42,
+        }
+    }
+
+    /// A tiny configuration for unit tests: small caches and ORAM so runs
+    /// finish in milliseconds.
+    pub fn quick_test(memory: MemoryKind) -> Self {
+        SystemConfig {
+            oram: OramConfig {
+                num_data_blocks: 1 << 12,
+                store_payloads: false,
+                trace_capacity: 0,
+                ..OramConfig::default()
+            },
+            ..SystemConfig::paper_default(memory)
+        }
+    }
+
+    /// Line size in bytes (shared by caches, DRAM and ORAM blocks).
+    pub fn line_bytes(&self) -> u64 {
+        u64::from(self.hierarchy.l2.line_bytes)
+    }
+
+    /// Applies a line-size sweep (Figure 14), keeping every component
+    /// consistent.
+    pub fn with_line_bytes(mut self, line_bytes: u32) -> Self {
+        self.hierarchy = HierarchyConfig::paper(line_bytes);
+        self.dram.line_bytes = line_bytes;
+        self.oram.timing.block_bytes = line_bytes;
+        self
+    }
+
+    /// Applies a bandwidth sweep in GB/s at 1 GHz (Figure 11).
+    pub fn with_bandwidth_gbps(mut self, gbps: u32) -> Self {
+        self.dram.bytes_per_cycle = gbps;
+        self.oram.timing.bytes_per_cycle = gbps;
+        self
+    }
+
+    /// Checks consistency of line sizes across components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cache, DRAM and ORAM line sizes disagree.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.hierarchy.l1.line_bytes, self.hierarchy.l2.line_bytes,
+            "L1/L2 line sizes differ"
+        );
+        assert_eq!(
+            self.dram.line_bytes, self.hierarchy.l2.line_bytes,
+            "DRAM line size differs"
+        );
+        assert_eq!(
+            self.oram.timing.block_bytes, self.hierarchy.l2.line_bytes,
+            "ORAM block size differs from the cache line size"
+        );
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_default(MemoryKind::Oram(SchemeConfig::dynamic(2)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.hierarchy.l1.capacity_bytes, 32 * 1024);
+        assert_eq!(cfg.hierarchy.l2.capacity_bytes, 512 * 1024);
+        assert_eq!(cfg.line_bytes(), 128);
+        assert_eq!(cfg.dram.bytes_per_cycle, 16);
+        assert_eq!(cfg.oram.z, 3);
+        assert_eq!(cfg.oram.stash_limit, 100);
+        cfg.validate();
+    }
+
+    #[test]
+    fn line_size_sweep_stays_consistent() {
+        for lb in [64u32, 128, 256] {
+            let cfg = SystemConfig::default().with_line_bytes(lb);
+            cfg.validate();
+            assert_eq!(cfg.line_bytes(), u64::from(lb));
+        }
+    }
+
+    #[test]
+    fn bandwidth_sweep_updates_both_models() {
+        let cfg = SystemConfig::default().with_bandwidth_gbps(4);
+        assert_eq!(cfg.dram.bytes_per_cycle, 4);
+        assert_eq!(cfg.oram.timing.bytes_per_cycle, 4);
+    }
+
+    #[test]
+    fn memory_labels() {
+        assert_eq!(MemoryKind::Dram.label(), "dram");
+        assert_eq!(MemoryKind::Oram(SchemeConfig::dynamic(2)).label(), "dyn");
+        assert_eq!(MemoryKind::Oram(SchemeConfig::baseline()).label(), "oram");
+    }
+
+    #[test]
+    #[should_panic(expected = "ORAM block size")]
+    fn inconsistent_line_size_rejected() {
+        let mut cfg = SystemConfig::default();
+        cfg.oram.timing.block_bytes = 64;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,84 @@
+//! One-call experiment execution.
+
+use crate::config::SystemConfig;
+use crate::metrics::RunMetrics;
+use crate::system::System;
+use proram_workloads::{suite, BenchSpec, Scale, Workload};
+
+/// Runs a workload on a freshly built system.
+pub fn run_workload(workload: &mut dyn Workload, config: &SystemConfig) -> RunMetrics {
+    let system = System::build(config, workload.footprint_bytes());
+    system.run(workload)
+}
+
+/// Builds a registered benchmark at `scale` and runs it, excluding the
+/// scale's warmup prefix from the metrics.
+pub fn run_spec(spec: BenchSpec, scale: Scale, config: &SystemConfig) -> RunMetrics {
+    let mut workload = suite::build(spec, scale);
+    let system = System::build(config, workload.footprint_bytes());
+    system.run_with_warmup(workload.as_mut(), scale.warmup_ops)
+}
+
+/// Runs one benchmark under several memory configurations, returning the
+/// metrics in the same order. Each run rebuilds the workload so traces
+/// are identical across configurations.
+pub fn compare(spec: BenchSpec, scale: Scale, configs: &[SystemConfig]) -> Vec<RunMetrics> {
+    configs
+        .iter()
+        .map(|cfg| run_spec(spec, scale, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryKind;
+    use proram_core::SchemeConfig;
+    use proram_workloads::Suite;
+
+    fn quick_scale() -> Scale {
+        Scale {
+            ops: 1500,
+            warmup_ops: 0,
+            footprint_scale: 0.03,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn run_spec_executes_named_benchmark() {
+        let spec = suite::specs(Suite::Splash2)
+            .into_iter()
+            .find(|s| s.name == "fft")
+            .expect("fft registered");
+        let cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        let m = run_spec(spec, quick_scale(), &cfg);
+        assert_eq!(m.benchmark, "fft");
+        assert_eq!(m.trace_ops, 1500);
+    }
+
+    #[test]
+    fn compare_keeps_traces_identical() {
+        let spec = suite::specs(Suite::Splash2)
+            .into_iter()
+            .find(|s| s.name == "ocean_c")
+            .expect("registered");
+        let configs = vec![
+            SystemConfig::quick_test(MemoryKind::Oram(SchemeConfig::baseline())),
+            SystemConfig::quick_test(MemoryKind::Oram(SchemeConfig::baseline())),
+        ];
+        let results = compare(spec, quick_scale(), &configs);
+        // Identical configs on identical traces give identical cycles.
+        assert_eq!(results[0].cycles, results[1].cycles);
+        assert_eq!(results[0].trace_ops, results[1].trace_ops);
+    }
+
+    #[test]
+    fn dbms_benchmarks_run() {
+        let cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        for spec in suite::specs(Suite::Dbms) {
+            let m = run_spec(spec, quick_scale(), &cfg);
+            assert_eq!(m.trace_ops, 1500, "{}", spec.name);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The assembled system: in-order core + caches + prefetcher + memory.
+
+use crate::config::{MemoryKind, SystemConfig};
+use crate::metrics::RunMetrics;
+use proram_cache::{CacheAccess, CacheHierarchy, Evicted};
+use proram_core::SuperBlockOram;
+use proram_mem::{BlockAddr, Cycle, Dram, MemRequest, MemoryBackend, Periodic};
+use proram_oram::OramConfig;
+use proram_prefetch::StreamPrefetcher;
+use proram_workloads::TraceOp;
+
+/// A runnable single-tile system.
+///
+/// The core is in-order and blocking (Table 1): it advances its clock by
+/// each trace op's compute cycles, then performs the memory access,
+/// stalling on LLC misses until the demand data returns. Write-backs and
+/// prefetches are issued without stalling but occupy the memory resource,
+/// which is how ORAM bandwidth contention (Section 3.1) arises.
+pub struct System {
+    hierarchy: CacheHierarchy,
+    memory: Box<dyn MemoryBackend>,
+    prefetcher: Option<StreamPrefetcher>,
+    now: Cycle,
+    line_bytes: u64,
+    metrics: RunMetrics,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("memory", &self.memory.label())
+            .field("now", &self.now)
+            .field("line_bytes", &self.line_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system for a workload with the given footprint.
+    ///
+    /// The ORAM is sized to the next power of two covering
+    /// `footprint_bytes` (at least the configured minimum) so every trace
+    /// address maps to a valid block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn build(config: &SystemConfig, footprint_bytes: u64) -> Self {
+        config.validate();
+        let line_bytes = config.line_bytes();
+        let memory: Box<dyn MemoryBackend> = match &config.memory {
+            MemoryKind::Dram => Box::new(Dram::new(config.dram)),
+            MemoryKind::Oram(scheme) => {
+                let needed = footprint_bytes.div_ceil(line_bytes).next_power_of_two();
+                let oram_cfg = OramConfig {
+                    num_data_blocks: needed.max(config.oram.num_data_blocks),
+                    ..config.oram.clone()
+                };
+                let backend = SuperBlockOram::new(oram_cfg, scheme.clone(), config.seed);
+                match config.periodic_interval {
+                    Some(interval) => Box::new(Periodic::new(backend, interval)),
+                    None => Box::new(backend),
+                }
+            }
+        };
+        let label = match config.periodic_interval {
+            Some(_) => format!("{}_intvl", config.memory.label()),
+            None => config.memory.label().to_owned(),
+        };
+        System {
+            hierarchy: CacheHierarchy::new(config.hierarchy),
+            memory,
+            prefetcher: config.prefetch.map(StreamPrefetcher::new),
+            now: 0,
+            line_bytes,
+            metrics: RunMetrics {
+                label,
+                ..RunMetrics::default()
+            },
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The memory backend (for ORAM-specific inspection in tests).
+    pub fn memory(&self) -> &dyn MemoryBackend {
+        self.memory.as_ref()
+    }
+
+    /// Executes one trace op.
+    pub fn step(&mut self, op: TraceOp) {
+        self.now += u64::from(op.comp_cycles);
+        self.metrics.trace_ops += 1;
+        let block = BlockAddr::from_byte_addr(op.addr, self.line_bytes);
+        match self.hierarchy.access(block, op.write) {
+            CacheAccess::L1Hit { latency } => {
+                self.now += latency;
+            }
+            CacheAccess::L2Hit {
+                latency,
+                prefetch_first_use,
+            } => {
+                self.now += latency;
+                if prefetch_first_use {
+                    self.memory.note_llc_hit(block);
+                }
+            }
+            CacheAccess::Miss { latency } => {
+                self.now += latency;
+                self.demand_fetch(block, op.write);
+            }
+        }
+    }
+
+    /// Runs an entire workload to completion, returning the metrics.
+    pub fn run(self, workload: &mut dyn proram_workloads::Workload) -> RunMetrics {
+        self.run_with_warmup(workload, 0)
+    }
+
+    /// Runs a workload, excluding the first `warmup_ops` operations from
+    /// the reported metrics so results reflect steady state (caches and
+    /// super-block state warm) rather than cold-start behaviour.
+    pub fn run_with_warmup(
+        mut self,
+        workload: &mut dyn proram_workloads::Workload,
+        warmup_ops: u64,
+    ) -> RunMetrics {
+        self.metrics.benchmark = workload.name().to_owned();
+        let mut executed = 0u64;
+        while executed < warmup_ops {
+            let Some(op) = workload.next_op() else { break };
+            self.step(op);
+            executed += 1;
+        }
+        let cycles0 = self.now;
+        let caches0 = self.hierarchy.stats();
+        let backend0 = self.memory.stats();
+        let ops0 = self.metrics.trace_ops;
+        let fetches0 = self.metrics.demand_fetches;
+        let writebacks0 = self.metrics.writebacks;
+        let unused0 = self.metrics.unused_prefetch_evictions;
+        while let Some(op) = workload.next_op() {
+            self.step(op);
+        }
+        let mut m = self.finish();
+        m.cycles -= cycles0;
+        m.caches = m.caches - caches0;
+        m.backend = m.backend - backend0;
+        m.trace_ops -= ops0;
+        m.demand_fetches -= fetches0;
+        m.writebacks -= writebacks0;
+        m.unused_prefetch_evictions -= unused0;
+        m
+    }
+
+    /// Finalizes and returns the metrics.
+    pub fn finish(mut self) -> RunMetrics {
+        self.metrics.cycles = self.now;
+        self.metrics.caches = self.hierarchy.stats();
+        self.metrics.backend = self.memory.stats();
+        self.metrics
+    }
+
+    fn demand_fetch(&mut self, block: BlockAddr, write: bool) {
+        self.metrics.demand_fetches += 1;
+        // Write misses are write-allocate: fetch the line, then dirty it.
+        let outcome = self
+            .memory
+            .access(self.now, MemRequest::read(block), &self.hierarchy);
+        self.now = outcome.complete_at;
+        let mut evictions: Vec<Evicted> = Vec::new();
+        for fill in &outcome.fills {
+            let is_demand = fill.block == block && !fill.prefetched;
+            evictions.extend(
+                self.hierarchy
+                    .fill(fill.block, fill.prefetched, is_demand && write),
+            );
+        }
+        for ev in evictions {
+            self.handle_eviction(ev);
+        }
+        // Traditional prefetcher (Figure 5): candidates issue behind the
+        // demand access without stalling the core, but they occupy the
+        // memory resource.
+        if let Some(pf) = self.prefetcher.as_mut() {
+            let candidates = pf.on_miss(block);
+            for cand in candidates {
+                if self.hierarchy.contains_block(cand) {
+                    self.metrics.prefetch_candidates_filtered += 1;
+                    continue;
+                }
+                let o = self
+                    .memory
+                    .access(self.now, MemRequest::prefetch(cand), &self.hierarchy);
+                let mut evs: Vec<Evicted> = Vec::new();
+                for fill in &o.fills {
+                    evs.extend(self.hierarchy.fill(fill.block, true, false));
+                }
+                for ev in evs {
+                    self.handle_eviction(ev);
+                }
+            }
+        }
+    }
+
+    fn handle_eviction(&mut self, ev: Evicted) {
+        if ev.prefetched_unused {
+            self.metrics.unused_prefetch_evictions += 1;
+        }
+        // The hit/prefetch-bit bookkeeping sees every departure.
+        self.memory.note_llc_eviction(ev.block);
+        if ev.dirty {
+            self.metrics.writebacks += 1;
+            // Write-back buffers hide the latency from the core, but the
+            // access still occupies memory bandwidth.
+            self.memory
+                .access(self.now, MemRequest::write(ev.block), &self.hierarchy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proram_core::SchemeConfig;
+    use proram_workloads::synthetic::LocalityMix;
+    use proram_workloads::Workload;
+
+    fn run(kind: MemoryKind, locality: f64, ops: u64) -> RunMetrics {
+        let cfg = SystemConfig::quick_test(kind);
+        let mut w = LocalityMix::new(4 << 20, locality, ops, 7);
+        let sys = System::build(&cfg, w.footprint_bytes());
+        sys.run(&mut w)
+    }
+
+    #[test]
+    fn dram_run_completes() {
+        let m = run(MemoryKind::Dram, 0.5, 2000);
+        assert_eq!(m.trace_ops, 2000);
+        assert!(m.cycles > 2000);
+        assert_eq!(m.label, "dram");
+        assert!(m.demand_fetches > 0);
+    }
+
+    #[test]
+    fn oram_is_much_slower_than_dram() {
+        let dram = run(MemoryKind::Dram, 0.0, 3000);
+        let oram = run(MemoryKind::Oram(SchemeConfig::baseline()), 0.0, 3000);
+        let slowdown = oram.cycles as f64 / dram.cycles as f64;
+        assert!(
+            slowdown > 2.0,
+            "ORAM should be much slower on a memory-bound trace: {slowdown:.2}x"
+        );
+    }
+
+    #[test]
+    fn hits_do_not_touch_memory() {
+        // A footprint smaller than the L1 never misses after warmup.
+        let cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        let mut w = LocalityMix::new(8 << 10, 1.0, 5000, 3);
+        let sys = System::build(&cfg, w.footprint_bytes());
+        let m = sys.run(&mut w);
+        assert!(
+            m.backend.demand_accesses < 100,
+            "tiny working set should stay cached: {} fetches",
+            m.backend.demand_accesses
+        );
+    }
+
+    #[test]
+    fn writebacks_reach_memory() {
+        // All-write sweep over a large footprint forces dirty evictions.
+        let cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        let mut w = LocalityMix::new(8 << 20, 0.0, 20_000, 3);
+        let sys = System::build(&cfg, w.footprint_bytes());
+        let m = sys.run(&mut w);
+        assert!(m.writebacks > 0, "no writebacks observed");
+    }
+
+    /// Sequential runs need at least two sweeps of the array: pairs
+    /// merge during the first lap (when the neighbor is still cached)
+    /// and pay off from the second lap on. 1 MB footprint = 8192 lines
+    /// = ~131k ops per lap at 16 touches per line.
+    fn run_two_laps(kind: MemoryKind) -> RunMetrics {
+        let cfg = SystemConfig::quick_test(kind);
+        let mut w = LocalityMix::new(1 << 20, 1.0, 280_000, 7);
+        let sys = System::build(&cfg, w.footprint_bytes());
+        sys.run(&mut w)
+    }
+
+    #[test]
+    fn dynamic_scheme_prefetches_on_sequential_trace() {
+        let m = run_two_laps(MemoryKind::Oram(SchemeConfig::dynamic(2)));
+        assert!(
+            m.backend.prefetch_hits > 100,
+            "sequential trace should train and use super blocks: {} hits",
+            m.backend.prefetch_hits
+        );
+        assert_eq!(m.label, "dyn");
+    }
+
+    #[test]
+    fn dynamic_beats_baseline_on_sequential_trace() {
+        let base = run_two_laps(MemoryKind::Oram(SchemeConfig::baseline()));
+        let dynamic = run_two_laps(MemoryKind::Oram(SchemeConfig::dynamic(2)));
+        let gain = dynamic.speedup_over(&base);
+        assert!(gain > 0.05, "dyn gain on pure-sequential: {gain:.3}");
+    }
+
+    #[test]
+    fn dynamic_tracks_baseline_on_random_trace() {
+        let base = run(MemoryKind::Oram(SchemeConfig::baseline()), 0.0, 15_000);
+        let dynamic = run(MemoryKind::Oram(SchemeConfig::dynamic(2)), 0.0, 15_000);
+        let gain = dynamic.speedup_over(&base);
+        assert!(
+            gain.abs() < 0.05,
+            "dyn must not hurt random traces: {gain:.3}"
+        );
+    }
+
+    #[test]
+    fn static_scheme_hurts_random_traces() {
+        let base = run(MemoryKind::Oram(SchemeConfig::baseline()), 0.0, 15_000);
+        let stat = run(
+            MemoryKind::Oram(SchemeConfig::static_scheme(2)),
+            0.0,
+            15_000,
+        );
+        let gain = stat.speedup_over(&base);
+        assert!(
+            gain < 0.0,
+            "static super blocks should lose without locality: {gain:.3}"
+        );
+    }
+
+    #[test]
+    fn periodic_oram_issues_dummies() {
+        let mut cfg = SystemConfig::quick_test(MemoryKind::Oram(SchemeConfig::baseline()));
+        cfg.periodic_interval = Some(100);
+        let mut w = LocalityMix::new(1 << 20, 0.5, 3000, 5);
+        let sys = System::build(&cfg, w.footprint_bytes());
+        let m = sys.run(&mut w);
+        assert_eq!(m.label, "oram_intvl");
+        assert!(m.backend.dummy_accesses > 0);
+    }
+
+    #[test]
+    fn prefetcher_on_dram_helps_sequential() {
+        let plain = run(MemoryKind::Dram, 1.0, 20_000);
+        let mut cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        cfg.prefetch = Some(Default::default());
+        let mut w = LocalityMix::new(4 << 20, 1.0, 20_000, 7);
+        let sys = System::build(&cfg, w.footprint_bytes());
+        let with_pf = sys.run(&mut w);
+        assert!(
+            with_pf.cycles < plain.cycles,
+            "stream prefetcher should help sequential DRAM: {} vs {}",
+            with_pf.cycles,
+            plain.cycles
+        );
+    }
+
+    #[test]
+    fn oram_sized_to_footprint() {
+        let cfg = SystemConfig::quick_test(MemoryKind::Oram(SchemeConfig::baseline()));
+        // A footprint larger than the configured minimum must not panic.
+        let mut w = LocalityMix::new(64 << 20, 0.0, 500, 2);
+        let sys = System::build(&cfg, w.footprint_bytes());
+        let m = sys.run(&mut w);
+        assert_eq!(m.trace_ops, 500);
+    }
+}

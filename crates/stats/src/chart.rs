@@ -1,0 +1,270 @@
+//! Dependency-free SVG bar charts for experiment tables.
+//!
+//! The experiment harness prints text tables; with `--svg` it also
+//! renders each as a grouped bar chart so the regenerated figures can be
+//! compared against the paper's plots visually.
+
+use crate::table::Table;
+use std::fmt::Write as _;
+
+/// Chart geometry.
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 30.0;
+const MARGIN_TOP: f64 = 50.0;
+const MARGIN_BOTTOM: f64 = 70.0;
+
+/// Series colors (color-blind-friendly).
+const COLORS: &[&str] = &[
+    "#0072b2", "#e69f00", "#009e73", "#cc79a7", "#d55e00", "#56b4e9",
+];
+
+/// Parses a numeric cell: plain floats, `+20.2%` percentages (as 0.202),
+/// and `-` (skipped).
+fn parse_cell(cell: &str) -> Option<f64> {
+    let cell = cell.trim();
+    if cell == "-" || cell.is_empty() {
+        return None;
+    }
+    if let Some(stripped) = cell.strip_suffix('%') {
+        return stripped.parse::<f64>().ok().map(|v| v / 100.0);
+    }
+    cell.parse::<f64>().ok()
+}
+
+/// A grouped bar chart extracted from a [`Table`]: first column =
+/// category labels, every numeric column = one series.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    categories: Vec<String>,
+    series: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl BarChart {
+    /// Extracts a chart from a table. Returns `None` when the table has
+    /// no numeric columns or no rows.
+    pub fn from_table(table: &Table) -> Option<BarChart> {
+        let headers = table.headers();
+        let rows = table.rows();
+        if rows.is_empty() || headers.len() < 2 {
+            return None;
+        }
+        let categories: Vec<String> = rows.iter().map(|r| r[0].clone()).collect();
+        let mut series = Vec::new();
+        for col in 1..headers.len() {
+            let values: Vec<Option<f64>> = rows.iter().map(|r| parse_cell(&r[col])).collect();
+            // A real data series is mostly numeric; columns of prose with
+            // an incidental number (configuration tables) are skipped.
+            let numeric = values.iter().flatten().count();
+            if numeric * 2 >= values.len() && numeric >= 1 {
+                series.push((headers[col].clone(), values));
+            }
+        }
+        if series.is_empty() {
+            return None;
+        }
+        Some(BarChart {
+            title: table.title().unwrap_or("chart").to_owned(),
+            categories,
+            series,
+        })
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let values: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().flatten().copied())
+            .collect();
+        let vmax = values.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+        let vmin = values.iter().copied().fold(0.0f64, f64::min);
+        let span = (vmax - vmin).max(1e-9);
+        let y_of = |v: f64| MARGIN_TOP + plot_h * (1.0 - (v - vmin) / span);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            xml_escape(&self.title)
+        );
+        // Axes and zero line.
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_LEFT}" y1="{MARGIN_TOP}" x2="{MARGIN_LEFT}" y2="{}" stroke="black"/>"#,
+            MARGIN_TOP + plot_h
+        );
+        let zero_y = y_of(0.0);
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_LEFT}" y1="{zero_y}" x2="{}" y2="{zero_y}" stroke="black"/>"#,
+            MARGIN_LEFT + plot_w
+        );
+        // Y-axis ticks.
+        for i in 0..=4 {
+            let v = vmin + span * f64::from(i) / 4.0;
+            let y = y_of(v);
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{y}" x2="{MARGIN_LEFT}" y2="{y}" stroke="black"/><text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{v:.2}</text>"#,
+                MARGIN_LEFT - 5.0,
+                MARGIN_LEFT - 8.0,
+                y + 4.0
+            );
+        }
+        // Bars.
+        let cat_w = plot_w / self.categories.len() as f64;
+        let bar_w = (cat_w * 0.8) / self.series.len() as f64;
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let x0 = MARGIN_LEFT + cat_w * ci as f64 + cat_w * 0.1;
+            for (si, (_, values)) in self.series.iter().enumerate() {
+                if let Some(v) = values[ci] {
+                    let y = y_of(v.max(0.0));
+                    let h = (y_of(v.min(0.0)) - y).abs().max(0.5);
+                    let _ = write!(
+                        svg,
+                        r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}"/>"#,
+                        x0 + bar_w * si as f64,
+                        y.min(zero_y),
+                        bar_w * 0.92,
+                        h,
+                        COLORS[si % COLORS.len()]
+                    );
+                }
+            }
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end" transform="rotate(-35 {:.1} {:.1})">{}</text>"#,
+                x0 + cat_w * 0.4,
+                MARGIN_TOP + plot_h + 16.0,
+                x0 + cat_w * 0.4,
+                MARGIN_TOP + plot_h + 16.0,
+                xml_escape(cat)
+            );
+        }
+        // Legend.
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let x = MARGIN_LEFT + 120.0 * si as f64;
+            let y = HEIGHT - 18.0;
+            let _ = write!(
+                svg,
+                r#"<rect x="{x}" y="{}" width="12" height="12" fill="{}"/><text x="{}" y="{}" font-family="sans-serif" font-size="12">{}</text>"#,
+                y - 11.0,
+                COLORS[si % COLORS.len()],
+                x + 16.0,
+                y,
+                xml_escape(name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(&["bench", "stat", "dyn"]).with_title("demo figure");
+        t.row(&["fft", "-7.1%", "+3.1%"]);
+        t.row(&["ocean_c", "+12.7%", "+9.7%"]);
+        t
+    }
+
+    #[test]
+    fn parses_percent_and_float_cells() {
+        assert!((parse_cell("+20.2%").unwrap() - 0.202).abs() < 1e-12);
+        assert!((parse_cell("-5.0%").unwrap() + 0.05).abs() < 1e-12);
+        assert_eq!(parse_cell("1.234"), Some(1.234));
+        assert_eq!(parse_cell("-"), None);
+        assert_eq!(parse_cell("ocean_c"), None);
+    }
+
+    #[test]
+    fn chart_extraction() {
+        let chart = BarChart::from_table(&sample_table()).expect("numeric table");
+        assert_eq!(chart.categories, vec!["fft", "ocean_c"]);
+        assert_eq!(chart.series.len(), 2);
+        assert_eq!(chart.series[0].0, "stat");
+    }
+
+    #[test]
+    fn non_numeric_table_yields_no_chart() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x", "y"]);
+        assert!(BarChart::from_table(&t).is_none());
+    }
+
+    #[test]
+    fn mostly_textual_columns_are_skipped() {
+        // A configuration table with one incidental number must not
+        // become a chart.
+        let mut t = Table::new(&["param", "value"]);
+        t.row(&["cores", "1 GHz, in order"]);
+        t.row(&["Z", "3"]);
+        t.row(&["stash", "100 blocks"]);
+        t.row(&["latency", "2364 cycles"]);
+        t.row(&["bandwidth", "16 GB/s"]);
+        assert!(BarChart::from_table(&t).is_none());
+    }
+
+    #[test]
+    fn empty_table_yields_no_chart() {
+        let t = Table::new(&["a", "b"]);
+        assert!(BarChart::from_table(&t).is_none());
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = BarChart::from_table(&sample_table()).unwrap().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("demo figure"));
+        assert!(svg.contains("ocean_c"));
+        // Two categories x two series = four bars plus axis rects.
+        assert!(svg.matches("<rect").count() >= 5);
+        // Balanced text elements.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn negative_values_render_below_zero_line() {
+        let mut t = Table::new(&["x", "v"]).with_title("neg");
+        t.row(&["a", "-50.0%"]);
+        t.row(&["b", "+50.0%"]);
+        let svg = BarChart::from_table(&t).unwrap().to_svg();
+        assert!(
+            svg.contains("<rect"),
+            "bars must render for negative values"
+        );
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut t = Table::new(&["x", "v"]).with_title("a<b>&c");
+        t.row(&["<cat>", "1.0"]);
+        let svg = BarChart::from_table(&t).unwrap().to_svg();
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+        assert!(!svg.contains("<cat>"));
+    }
+}

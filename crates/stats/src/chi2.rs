@@ -1,0 +1,179 @@
+//! Statistical tests used by the obliviousness test suite.
+//!
+//! Path ORAM's security argument says the observed leaf sequence is a
+//! sequence of independent uniform random values. The integration tests
+//! check the simulator's adversary-visible trace against that claim with a
+//! chi-square uniformity test and a lag-1 serial-correlation test.
+
+use crate::histogram::Histogram;
+
+/// Result of a chi-square uniformity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins - 1`).
+    pub dof: u64,
+    /// Number of samples that entered the test.
+    pub samples: u64,
+}
+
+impl Chi2Result {
+    /// `true` if the statistic is within `z` standard deviations of the
+    /// chi-square mean (`dof`), using the normal approximation
+    /// `chi2 ~ N(dof, 2*dof)` valid for large `dof`.
+    ///
+    /// The obliviousness tests use `z = 6`, a bound that a uniform source
+    /// fails with probability < 1e-8 yet any structured access pattern
+    /// exceeds by orders of magnitude.
+    pub fn is_plausibly_uniform(&self, z: f64) -> bool {
+        let mean = self.dof as f64;
+        let sd = (2.0 * self.dof as f64).sqrt();
+        (self.statistic - mean).abs() <= z * sd
+    }
+}
+
+/// Chi-square test that `samples` are uniform over `0..bins`.
+///
+/// # Panics
+///
+/// Panics if `bins < 2` or any sample is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use proram_stats::{chi2_uniform, Rng64, Xoshiro256};
+///
+/// let mut rng = Xoshiro256::seed_from(3);
+/// let samples: Vec<u64> = (0..10_000).map(|_| rng.next_below(16)).collect();
+/// let r = chi2_uniform(&samples, 16);
+/// assert!(r.is_plausibly_uniform(6.0));
+/// ```
+pub fn chi2_uniform(samples: &[u64], bins: u64) -> Chi2Result {
+    assert!(bins >= 2, "chi-square needs at least 2 bins");
+    let mut hist = Histogram::new();
+    for &s in samples {
+        assert!(s < bins, "sample {s} out of range 0..{bins}");
+        hist.record(s);
+    }
+    let n = samples.len() as f64;
+    let expected = n / bins as f64;
+    let mut statistic = 0.0;
+    for bin in 0..bins {
+        let observed = hist.count(bin) as f64;
+        let d = observed - expected;
+        statistic += d * d / expected;
+    }
+    Chi2Result {
+        statistic,
+        dof: bins - 1,
+        samples: samples.len() as u64,
+    }
+}
+
+/// Lag-1 serial correlation coefficient of a sequence.
+///
+/// For independent uniform draws the coefficient is ~0; linkable ORAM
+/// accesses (e.g. re-using the previous leaf) push it away from zero.
+/// Returns `0.0` for sequences shorter than 2 or with no variance.
+pub fn serial_correlation(samples: &[u64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+    let var: f64 = samples
+        .iter()
+        .map(|&s| (s as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = samples
+        .windows(2)
+        .map(|w| (w[0] as f64 - mean) * (w[1] as f64 - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng64, Xoshiro256};
+
+    #[test]
+    fn uniform_source_passes() {
+        let mut rng = Xoshiro256::seed_from(17);
+        let samples: Vec<u64> = (0..50_000).map(|_| rng.next_below(64)).collect();
+        let r = chi2_uniform(&samples, 64);
+        assert!(
+            r.is_plausibly_uniform(6.0),
+            "stat={} dof={}",
+            r.statistic,
+            r.dof
+        );
+        assert_eq!(r.dof, 63);
+        assert_eq!(r.samples, 50_000);
+    }
+
+    #[test]
+    fn skewed_source_fails() {
+        // Half the mass on bin 0.
+        let mut rng = Xoshiro256::seed_from(18);
+        let samples: Vec<u64> = (0..50_000)
+            .map(|_| {
+                if rng.next_bool(0.5) {
+                    0
+                } else {
+                    rng.next_below(64)
+                }
+            })
+            .collect();
+        let r = chi2_uniform(&samples, 64);
+        assert!(!r.is_plausibly_uniform(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_sample_panics() {
+        chi2_uniform(&[5], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bins")]
+    fn one_bin_panics() {
+        chi2_uniform(&[0], 1);
+    }
+
+    #[test]
+    fn independent_sequence_has_low_serial_correlation() {
+        let mut rng = Xoshiro256::seed_from(20);
+        let samples: Vec<u64> = (0..50_000).map(|_| rng.next_below(1 << 20)).collect();
+        let rho = serial_correlation(&samples);
+        assert!(rho.abs() < 0.05, "rho={rho}");
+    }
+
+    #[test]
+    fn linked_sequence_has_high_serial_correlation() {
+        // A random walk is strongly serially correlated.
+        let mut rng = Xoshiro256::seed_from(21);
+        let mut x = 1_000_000i64;
+        let samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x += rng.next_below(21) as i64 - 10;
+                x.max(0) as u64
+            })
+            .collect();
+        let rho = serial_correlation(&samples);
+        assert!(rho > 0.9, "rho={rho}");
+    }
+
+    #[test]
+    fn degenerate_sequences() {
+        assert_eq!(serial_correlation(&[]), 0.0);
+        assert_eq!(serial_correlation(&[5]), 0.0);
+        assert_eq!(serial_correlation(&[5, 5, 5, 5]), 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! A real B-tree with traced node accesses.
+//!
+//! Used by the TPCC-like workload as the order-line index: inserts are
+//! mostly ascending (order ids grow), so leaves are allocated — and later
+//! range-scanned — in nearly sequential address order, the locality that
+//! super blocks exploit on index scans.
+
+use crate::dbms::engine::{Arena, TraceSink};
+use crate::trace::TraceOp;
+
+/// Keys per node (fanout). Kept small so trees of test size have depth.
+const FANOUT: usize = 16;
+
+/// Node size in bytes: FANOUT keys + values/children + header, rounded to
+/// cache lines.
+const NODE_BYTES: u64 = 256;
+
+/// Compute cycles per node visit (binary search within the node).
+const NODE_COMP: u32 = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<u64>,
+        values: Vec<u64>,
+    },
+    Inner {
+        keys: Vec<u64>,
+        children: Vec<usize>,
+    },
+}
+
+/// A traced B-tree mapping `u64` keys to `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use proram_workloads::dbms::{Arena, BTree, TraceSink};
+///
+/// let mut arena = Arena::new();
+/// let mut tree = BTree::create(&mut arena, 1000);
+/// let mut trace = TraceSink::new();
+/// tree.insert(5, 50, &mut trace);
+/// assert_eq!(tree.lookup(5, &mut trace), Some(50));
+/// assert!(!trace.is_empty(), "operations emit node accesses");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTree {
+    base: u64,
+    nodes: Vec<Node>,
+    root: usize,
+    len: u64,
+    capacity_nodes: u64,
+}
+
+impl BTree {
+    /// Allocates a tree able to index about `expected` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` is zero.
+    pub fn create(arena: &mut Arena, expected: u64) -> Self {
+        assert!(expected > 0, "tree must expect at least one key");
+        // Leaves plus ~1/FANOUT inner nodes, with slack for splits.
+        let capacity_nodes = (expected / (FANOUT as u64 / 2) + 16) * 2;
+        let base = arena.alloc(capacity_nodes * NODE_BYTES);
+        BTree {
+            base,
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            }],
+            root: 0,
+            len: 0,
+            capacity_nodes,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node_addr(&self, id: usize) -> u64 {
+        self.base + (id as u64 % self.capacity_nodes) * NODE_BYTES
+    }
+
+    fn visit(&self, id: usize, write: bool, trace: &mut TraceSink) {
+        let addr = self.node_addr(id);
+        // A node spans two cache lines; touch both.
+        trace.push(TraceOp {
+            comp_cycles: NODE_COMP,
+            addr,
+            write,
+        });
+        trace.push(TraceOp {
+            comp_cycles: 2,
+            addr: addr + 128,
+            write,
+        });
+    }
+
+    /// Inserts `key -> value`, emitting the root-to-leaf node accesses.
+    /// Duplicate keys overwrite the previous value.
+    pub fn insert(&mut self, key: u64, value: u64, trace: &mut TraceSink) {
+        if let Some((new_child, split_key)) = self.insert_rec(self.root, key, value, trace) {
+            // Root split: grow the tree by one level.
+            let new_root = Node::Inner {
+                keys: vec![split_key],
+                children: vec![self.root, new_child],
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+            self.visit(self.root, true, trace);
+        }
+    }
+
+    fn insert_rec(
+        &mut self,
+        id: usize,
+        key: u64,
+        value: u64,
+        trace: &mut TraceSink,
+    ) -> Option<(usize, u64)> {
+        self.visit(id, true, trace);
+        match &mut self.nodes[id] {
+            Node::Leaf { keys, values } => {
+                match keys.binary_search(&key) {
+                    Ok(pos) => {
+                        values[pos] = value;
+                        return None;
+                    }
+                    Err(pos) => {
+                        keys.insert(pos, key);
+                        values.insert(pos, value);
+                        self.len += 1;
+                    }
+                }
+                if let Node::Leaf { keys, values } = &mut self.nodes[id] {
+                    if keys.len() > FANOUT {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = values.split_off(mid);
+                        let split_key = right_keys[0];
+                        self.nodes.push(Node::Leaf {
+                            keys: right_keys,
+                            values: right_vals,
+                        });
+                        let new_id = self.nodes.len() - 1;
+                        self.visit(new_id, true, trace);
+                        return Some((new_id, split_key));
+                    }
+                }
+                None
+            }
+            Node::Inner { keys, children } => {
+                let child_pos = keys.partition_point(|&k| k <= key);
+                let child = children[child_pos];
+                let split = self.insert_rec(child, key, value, trace);
+                if let Some((new_child, split_key)) = split {
+                    if let Node::Inner { keys, children } = &mut self.nodes[id] {
+                        let pos = keys.partition_point(|&k| k <= split_key);
+                        keys.insert(pos, split_key);
+                        children.insert(pos + 1, new_child);
+                        if keys.len() > FANOUT {
+                            let mid = keys.len() / 2;
+                            let up_key = keys[mid];
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // up_key moves up
+                            let right_children = children.split_off(mid + 1);
+                            self.nodes.push(Node::Inner {
+                                keys: right_keys,
+                                children: right_children,
+                            });
+                            let new_id = self.nodes.len() - 1;
+                            self.visit(new_id, true, trace);
+                            return Some((new_id, up_key));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Looks up `key`, emitting the root-to-leaf node accesses.
+    pub fn lookup(&self, key: u64, trace: &mut TraceSink) -> Option<u64> {
+        let mut id = self.root;
+        loop {
+            self.visit(id, false, trace);
+            match &self.nodes[id] {
+                Node::Leaf { keys, values } => {
+                    return keys.binary_search(&key).ok().map(|p| values[p]);
+                }
+                Node::Inner { keys, children } => {
+                    id = children[keys.partition_point(|&k| k <= key)];
+                }
+            }
+        }
+    }
+
+    /// Scans up to `limit` keys starting at `from` in ascending order,
+    /// emitting the accesses; returns the collected `(key, value)` pairs.
+    pub fn scan(&self, from: u64, limit: usize, trace: &mut TraceSink) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        self.scan_rec(self.root, from, limit, trace, &mut out);
+        out
+    }
+
+    fn scan_rec(
+        &self,
+        id: usize,
+        from: u64,
+        limit: usize,
+        trace: &mut TraceSink,
+        out: &mut Vec<(u64, u64)>,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        self.visit(id, false, trace);
+        match &self.nodes[id] {
+            Node::Leaf { keys, values } => {
+                let pos = keys.partition_point(|&k| k < from);
+                for (k, v) in keys[pos..].iter().zip(&values[pos..]) {
+                    if out.len() >= limit {
+                        return;
+                    }
+                    out.push((*k, *v));
+                }
+            }
+            Node::Inner { keys, children } => {
+                let start = keys.partition_point(|&k| k <= from);
+                for &child in &children[start..] {
+                    if out.len() >= limit {
+                        return;
+                    }
+                    self.scan_rec(child, from, limit, trace, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proram_stats::{Rng64, Xoshiro256};
+
+    fn tree(expected: u64) -> (BTree, TraceSink) {
+        let mut arena = Arena::new();
+        (BTree::create(&mut arena, expected), TraceSink::new())
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (mut t, mut tr) = tree(100);
+        for k in 0..100u64 {
+            t.insert(k, k * 2, &mut tr);
+        }
+        for k in 0..100u64 {
+            assert_eq!(t.lookup(k, &mut tr), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.lookup(1000, &mut tr), None);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn random_order_inserts() {
+        let (mut t, mut tr) = tree(500);
+        let mut keys: Vec<u64> = (0..500).map(|k| k * 3).collect();
+        Xoshiro256::seed_from(5).shuffle(&mut keys);
+        for &k in &keys {
+            t.insert(k, k + 1, &mut tr);
+        }
+        for &k in &keys {
+            assert_eq!(t.lookup(k, &mut tr), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn duplicate_key_overwrites() {
+        let (mut t, mut tr) = tree(10);
+        t.insert(5, 1, &mut tr);
+        t.insert(5, 2, &mut tr);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(5, &mut tr), Some(2));
+    }
+
+    #[test]
+    fn splits_grow_depth_and_stay_correct() {
+        let (mut t, mut tr) = tree(5000);
+        for k in 0..5000u64 {
+            t.insert(k, k, &mut tr);
+        }
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..200 {
+            let k = rng.next_below(5000);
+            assert_eq!(t.lookup(k, &mut tr), Some(k));
+        }
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let (mut t, mut tr) = tree(1000);
+        for k in 0..1000u64 {
+            t.insert(k, k * 10, &mut tr);
+        }
+        let got = t.scan(100, 14, &mut tr);
+        assert_eq!(got.len(), 14);
+        assert_eq!(got[0], (100, 1000));
+        assert_eq!(got[13], (113, 1130));
+    }
+
+    #[test]
+    fn operations_emit_traced_node_accesses() {
+        let (mut t, mut tr) = tree(100);
+        t.insert(1, 1, &mut tr);
+        let before = tr.len();
+        t.lookup(1, &mut tr);
+        assert!(tr.len() > before);
+        // Lookup accesses are reads.
+        assert!(tr[before..].iter().all(|op| !op.write));
+    }
+
+    #[test]
+    fn node_addresses_stay_in_region() {
+        let mut arena = Arena::new();
+        let end_before = arena.used();
+        let mut t = BTree::create(&mut arena, 2000);
+        let end = arena.used();
+        let mut tr = TraceSink::new();
+        for k in 0..2000u64 {
+            t.insert(k, k, &mut tr);
+        }
+        for op in &tr {
+            assert!(
+                (end_before..end).contains(&op.addr),
+                "node access escaped region"
+            );
+        }
+    }
+
+    #[test]
+    fn ascending_inserts_allocate_sequential_leaves() {
+        // The property TPCC order-line scans rely on: consecutive key
+        // ranges live in nodes allocated nearby.
+        let (mut t, mut tr) = tree(2000);
+        for k in 0..2000u64 {
+            t.insert(k, k, &mut tr);
+        }
+        tr.clear();
+        t.scan(500, 64, &mut tr);
+        let addrs: Vec<u64> = tr.iter().map(|o| o.addr).collect();
+        let span = addrs.iter().max().unwrap() - addrs.iter().min().unwrap();
+        // The touched nodes cluster instead of spanning the whole region.
+        assert!(
+            span < 2000 * NODE_BYTES / 4,
+            "scan touched nodes spanning {span} bytes"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! The TPCC-like workload \[33\]: NewOrder / Payment transactions over
+//! warehouse, district, customer, item, stock and order-line tables.
+//!
+//! Stock and item touches are effectively random (customer orders pick
+//! random items), which is why the paper measures only a 5% gain for
+//! TPCC: there is little spatial locality for super blocks to find. The
+//! order-line appends and their B-tree index are the sequential part.
+
+use crate::dbms::btree::BTree;
+use crate::dbms::engine::{Arena, HashIndex, Table, TraceSink};
+use crate::trace::{TraceOp, Workload};
+use proram_stats::{Rng64, Xoshiro256};
+use std::collections::VecDeque;
+
+/// TPCC-like driver.
+///
+/// # Examples
+///
+/// ```
+/// use proram_workloads::{dbms::Tpcc, Workload};
+///
+/// let mut w = Tpcc::new(2, 1000, 7);
+/// assert!(w.next_op().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tpcc {
+    #[allow(dead_code)]
+    warehouse: Table,
+    district: Table,
+    customer: Table,
+    customer_idx: HashIndex,
+    item: Table,
+    stock: Table,
+    order_line: Table,
+    order_idx: BTree,
+    next_order_id: u64,
+    footprint: u64,
+    remaining_ops: u64,
+    buffer: VecDeque<TraceOp>,
+    rng: Xoshiro256,
+    warehouses: u64,
+}
+
+/// Items per warehouse (scaled from TPCC's 100k).
+const ITEMS: u64 = 20_000;
+/// Customers per warehouse (scaled from TPCC's 30k).
+const CUSTOMERS_PER_WH: u64 = 3_000;
+/// Districts per warehouse (TPCC standard).
+const DISTRICTS_PER_WH: u64 = 10;
+
+impl Tpcc {
+    /// Creates a database with `warehouses` warehouses and a driver
+    /// emitting about `ops` memory operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warehouses` is zero.
+    pub fn new(warehouses: u64, ops: u64, seed: u64) -> Self {
+        assert!(warehouses > 0, "need at least one warehouse");
+        let mut arena = Arena::new();
+        let mut sink = TraceSink::new();
+        let warehouse = Table::create(&mut arena, "warehouse", 128, warehouses);
+        let mut district =
+            Table::create(&mut arena, "district", 128, warehouses * DISTRICTS_PER_WH);
+        let mut customer =
+            Table::create(&mut arena, "customer", 512, warehouses * CUSTOMERS_PER_WH);
+        let mut customer_idx = HashIndex::create(&mut arena, warehouses * CUSTOMERS_PER_WH);
+        let mut item = Table::create(&mut arena, "item", 128, ITEMS);
+        let mut stock = Table::create(&mut arena, "stock", 256, warehouses * ITEMS);
+        let max_orders = ops / 4 + 1024; // every txn appends <= 15 lines
+        let order_line = Table::create(&mut arena, "order_line", 64, max_orders * 15);
+        let order_idx = BTree::create(&mut arena, max_orders * 15);
+
+        // Load phase (untraced).
+        for _ in 0..warehouses * DISTRICTS_PER_WH {
+            district.append(&mut sink);
+        }
+        for c in 0..warehouses * CUSTOMERS_PER_WH {
+            let id = customer.append(&mut sink);
+            customer_idx.insert(c, id, &mut sink);
+        }
+        for _ in 0..ITEMS {
+            item.append(&mut sink);
+        }
+        for _ in 0..warehouses * ITEMS {
+            stock.append(&mut sink);
+        }
+
+        Tpcc {
+            warehouse,
+            district,
+            customer,
+            customer_idx,
+            item,
+            stock,
+            order_line,
+            order_idx,
+            next_order_id: 0,
+            footprint: arena.used(),
+            remaining_ops: ops,
+            buffer: VecDeque::new(),
+            rng: Xoshiro256::seed_from(seed),
+            warehouses,
+        }
+    }
+
+    fn new_order(&mut self, sink: &mut TraceSink) {
+        let wh = self.rng.next_below(self.warehouses);
+        let d = wh * DISTRICTS_PER_WH + self.rng.next_below(DISTRICTS_PER_WH);
+        // Read warehouse tax, read+update district next-order-id.
+        self.warehouse.touch(wh, false, sink);
+        self.district.touch(d, false, sink);
+        self.district.touch(d, true, sink);
+        // Customer lookup through the index.
+        let c_key = wh * CUSTOMERS_PER_WH + self.rng.next_below(CUSTOMERS_PER_WH);
+        if let Some(cid) = self.customer_idx.lookup(c_key, sink) {
+            self.customer.touch(cid, false, sink);
+        }
+        // 5..15 order lines: random item + stock, sequential line append.
+        let lines = 5 + self.rng.next_below(11);
+        for _ in 0..lines {
+            let it = self.rng.next_below(ITEMS);
+            self.item.touch(it, false, sink);
+            let st = wh * ITEMS + it;
+            self.stock.touch(st, false, sink);
+            self.stock.touch(st, true, sink);
+            let ol = self.order_line.append(sink);
+            self.order_idx.insert(self.next_order_id, ol, sink);
+            self.next_order_id += 1;
+        }
+    }
+
+    fn payment(&mut self, sink: &mut TraceSink) {
+        let wh = self.rng.next_below(self.warehouses);
+        let d = wh * DISTRICTS_PER_WH + self.rng.next_below(DISTRICTS_PER_WH);
+        self.warehouse.touch(wh, true, sink);
+        self.district.touch(d, true, sink);
+        let c_key = wh * CUSTOMERS_PER_WH + self.rng.next_below(CUSTOMERS_PER_WH);
+        if let Some(cid) = self.customer_idx.lookup(c_key, sink) {
+            self.customer.touch(cid, true, sink);
+        }
+    }
+
+    fn run_txn(&mut self) {
+        let mut sink = TraceSink::new();
+        if self.rng.next_bool(0.5) {
+            self.new_order(&mut sink);
+        } else {
+            self.payment(&mut sink);
+        }
+        self.buffer.extend(sink);
+    }
+}
+
+impl Workload for Tpcc {
+    fn name(&self) -> &str {
+        "TPCC"
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn next_op(&mut self) -> Option<TraceOp> {
+        if self.remaining_ops == 0 {
+            return None;
+        }
+        while self.buffer.is_empty() {
+            self.run_txn();
+        }
+        self.remaining_ops -= 1;
+        self.buffer.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_requested_op_count() {
+        let mut w = Tpcc::new(2, 1000, 1);
+        assert_eq!(std::iter::from_fn(|| w.next_op()).count(), 1000);
+    }
+
+    #[test]
+    fn addresses_within_footprint() {
+        let mut w = Tpcc::new(2, 5000, 2);
+        let fp = w.footprint_bytes();
+        while let Some(op) = w.next_op() {
+            assert!(
+                op.addr < fp,
+                "op at {:#x} beyond footprint {fp:#x}",
+                op.addr
+            );
+        }
+    }
+
+    #[test]
+    fn mix_includes_reads_and_writes() {
+        let mut w = Tpcc::new(1, 3000, 3);
+        let ops: Vec<TraceOp> = std::iter::from_fn(|| w.next_op()).collect();
+        let writes = ops.iter().filter(|o| o.write).count();
+        assert!(writes > 300, "TPCC writes: {writes}");
+        assert!(writes < 2700, "TPCC reads missing");
+    }
+
+    #[test]
+    fn stock_touches_are_scattered() {
+        // Random item selection means consecutive stock accesses are far
+        // apart — the reason TPCC gains little from super blocks.
+        let mut w = Tpcc::new(1, 5000, 4);
+        let ops: Vec<TraceOp> = std::iter::from_fn(|| w.next_op()).collect();
+        let adjacent = ops
+            .windows(2)
+            .filter(|p| p[0].addr.abs_diff(p[1].addr) <= 128)
+            .count();
+        assert!(
+            (adjacent as f64) < 0.8 * ops.len() as f64,
+            "trace unexpectedly sequential"
+        );
+    }
+
+    #[test]
+    fn footprint_scales_with_warehouses() {
+        assert!(Tpcc::new(4, 1, 1).footprint_bytes() > Tpcc::new(1, 1, 1).footprint_bytes());
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut w = Tpcc::new(1, 500, seed);
+            std::iter::from_fn(move || w.next_op())
+                .map(|o| o.addr)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(6), run(6));
+    }
+}

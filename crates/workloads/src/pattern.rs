@@ -1,0 +1,389 @@
+//! Reusable address-pattern components.
+//!
+//! Each Splash2/SPEC06-like kernel is assembled from these primitives so
+//! its memory character (the property PrORAM responds to) is explicit and
+//! individually tested.
+
+use proram_stats::{Rng64, Xoshiro256};
+
+/// A stateful address-pattern generator producing byte addresses within
+/// `[base, base + span)`.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// Sequential sweep with a byte stride, wrapping at the end of the
+    /// region. Stride equal to one element (< cache line) gives perfect
+    /// spatial locality; stride of a whole row gives `lu_nc`-style
+    /// behaviour.
+    Sequential {
+        /// Region base byte address.
+        base: u64,
+        /// Region span in bytes.
+        span: u64,
+        /// Byte stride between consecutive accesses.
+        stride: u64,
+        /// Current offset.
+        cursor: u64,
+    },
+    /// Uniformly random accesses in the region.
+    Random {
+        /// Region base byte address.
+        base: u64,
+        /// Region span in bytes.
+        span: u64,
+    },
+    /// Pointer chasing: the next address is a pseudo-random function of
+    /// the current one — the dependent-load pattern of `mcf`, `barnes`
+    /// tree walks and `raytrace`.
+    PointerChase {
+        /// Region base byte address.
+        base: u64,
+        /// Region span in bytes.
+        span: u64,
+        /// Node size in bytes (reads walk node-aligned).
+        node_bytes: u64,
+        /// Current node index.
+        cursor: u64,
+    },
+    /// Radix-sort-style scatter: reads sweep sequentially while writes go
+    /// to one of `buckets` append cursors, each advancing sequentially —
+    /// locality *within* each bucket, none across.
+    BucketScatter {
+        /// Region base byte address.
+        base: u64,
+        /// Region span in bytes.
+        span: u64,
+        /// Per-bucket append cursors (byte offsets).
+        cursors: Vec<u64>,
+        /// Element size appended per write.
+        elem_bytes: u64,
+    },
+    /// Five-point-stencil grid sweep (`ocean`): row-major traversal
+    /// touching the cell and its four neighbors.
+    Stencil {
+        /// Region base byte address.
+        base: u64,
+        /// Grid width in cells.
+        cols: u64,
+        /// Grid height in cells.
+        rows: u64,
+        /// Cell size in bytes.
+        cell_bytes: u64,
+        /// Linear cell cursor.
+        cursor: u64,
+        /// Which of the 5 points of the stencil is next.
+        phase: u8,
+        /// `true` for column-major traversal (`ocean_nc`).
+        column_major: bool,
+    },
+}
+
+impl Pattern {
+    /// A unit-stride sequential sweep of `span` bytes at `base` touching
+    /// every `elem_bytes`-sized element.
+    pub fn sequential(base: u64, span: u64, elem_bytes: u64) -> Self {
+        Pattern::Sequential {
+            base,
+            span,
+            stride: elem_bytes,
+            cursor: 0,
+        }
+    }
+
+    /// A strided sweep (see [`Pattern::Sequential`]).
+    pub fn strided(base: u64, span: u64, stride: u64) -> Self {
+        Pattern::Sequential {
+            base,
+            span,
+            stride,
+            cursor: 0,
+        }
+    }
+
+    /// Uniform random accesses.
+    pub fn random(base: u64, span: u64) -> Self {
+        Pattern::Random { base, span }
+    }
+
+    /// Pointer chasing over `span / node_bytes` nodes.
+    pub fn pointer_chase(base: u64, span: u64, node_bytes: u64) -> Self {
+        Pattern::PointerChase {
+            base,
+            span,
+            node_bytes,
+            cursor: 0,
+        }
+    }
+
+    /// Bucket scatter with `buckets` append streams of `elem_bytes`
+    /// elements.
+    pub fn bucket_scatter(base: u64, span: u64, buckets: usize, elem_bytes: u64) -> Self {
+        let per = span / buckets as u64;
+        let cursors = (0..buckets as u64).map(|b| b * per).collect();
+        Pattern::BucketScatter {
+            base,
+            span,
+            cursors,
+            elem_bytes,
+        }
+    }
+
+    /// Row-major 5-point stencil over a `rows x cols` grid.
+    pub fn stencil(base: u64, rows: u64, cols: u64, cell_bytes: u64) -> Self {
+        Pattern::Stencil {
+            base,
+            rows,
+            cols,
+            cell_bytes,
+            cursor: 0,
+            phase: 0,
+            column_major: false,
+        }
+    }
+
+    /// Column-major 5-point stencil (poor line locality).
+    pub fn stencil_column_major(base: u64, rows: u64, cols: u64, cell_bytes: u64) -> Self {
+        Pattern::Stencil {
+            base,
+            rows,
+            cols,
+            cell_bytes,
+            cursor: 0,
+            phase: 0,
+            column_major: true,
+        }
+    }
+
+    /// Produces the next byte address.
+    pub fn next_addr(&mut self, rng: &mut Xoshiro256) -> u64 {
+        match self {
+            Pattern::Sequential {
+                base,
+                span,
+                stride,
+                cursor,
+            } => {
+                let addr = *base + *cursor;
+                *cursor += *stride;
+                if *cursor >= *span {
+                    *cursor = 0; // wrap to a new lap
+                }
+                addr
+            }
+            Pattern::Random { base, span } => *base + rng.next_below((*span).max(1)),
+            Pattern::PointerChase {
+                base,
+                span,
+                node_bytes,
+                cursor,
+            } => {
+                let nodes = (*span / *node_bytes).max(1);
+                let addr = *base + *cursor * *node_bytes;
+                // The "pointer" is a deterministic hash of the node id:
+                // reproducible and uniformly scattered, like a randomly
+                // built linked structure.
+                let mixed = (*cursor ^ 0x9E37_79B9).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                *cursor = (mixed ^ rng.next_below(nodes)) % nodes;
+                addr
+            }
+            Pattern::BucketScatter {
+                base,
+                span,
+                cursors,
+                elem_bytes,
+            } => {
+                let b = rng.next_below(cursors.len() as u64) as usize;
+                let per = *span / cursors.len() as u64;
+                let lo = b as u64 * per;
+                let addr = *base + cursors[b];
+                cursors[b] += *elem_bytes;
+                if cursors[b] >= lo + per {
+                    cursors[b] = lo;
+                }
+                addr
+            }
+            Pattern::Stencil {
+                base,
+                rows,
+                cols,
+                cell_bytes,
+                cursor,
+                phase,
+                column_major,
+            } => {
+                let cells = *rows * *cols;
+                let (r, c) = if *column_major {
+                    (*cursor % *rows, *cursor / *rows)
+                } else {
+                    (*cursor / *cols, *cursor % *cols)
+                };
+                // Visit center, W, E, N, S (clamped to the grid).
+                let (rr, cc) = match *phase {
+                    0 => (r, c),
+                    1 => (r, c.saturating_sub(1)),
+                    2 => (r, (c + 1).min(*cols - 1)),
+                    3 => (r.saturating_sub(1), c),
+                    _ => ((r + 1).min(*rows - 1), c),
+                };
+                let addr = *base + (rr * *cols + cc) * *cell_bytes;
+                *phase += 1;
+                if *phase == 5 {
+                    *phase = 0;
+                    *cursor = (*cursor + 1) % cells;
+                }
+                addr
+            }
+        }
+    }
+
+    /// Bytes spanned by the pattern's region.
+    pub fn span(&self) -> u64 {
+        match self {
+            Pattern::Sequential { span, .. }
+            | Pattern::Random { span, .. }
+            | Pattern::PointerChase { span, .. }
+            | Pattern::BucketScatter { span, .. } => *span,
+            Pattern::Stencil {
+                rows,
+                cols,
+                cell_bytes,
+                ..
+            } => rows * cols * cell_bytes,
+        }
+    }
+
+    /// Base byte address of the pattern's region.
+    pub fn base(&self) -> u64 {
+        match self {
+            Pattern::Sequential { base, .. }
+            | Pattern::Random { base, .. }
+            | Pattern::PointerChase { base, .. }
+            | Pattern::BucketScatter { base, .. }
+            | Pattern::Stencil { base, .. } => *base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from(1)
+    }
+
+    #[test]
+    fn sequential_walks_and_wraps() {
+        let mut p = Pattern::sequential(1000, 32, 8);
+        let mut r = rng();
+        let addrs: Vec<u64> = (0..5).map(|_| p.next_addr(&mut r)).collect();
+        assert_eq!(addrs, vec![1000, 1008, 1016, 1024, 1000]);
+    }
+
+    #[test]
+    fn strided_has_constant_stride() {
+        let mut p = Pattern::strided(0, 4096, 512);
+        let mut r = rng();
+        let a = p.next_addr(&mut r);
+        let b = p.next_addr(&mut r);
+        assert_eq!(b - a, 512);
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let mut p = Pattern::random(5000, 1000);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let a = p.next_addr(&mut r);
+            assert!((5000..6000).contains(&a));
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_node_aligned_and_in_region() {
+        let mut p = Pattern::pointer_chase(4096, 64 * 64, 64);
+        let mut r = rng();
+        for _ in 0..500 {
+            let a = p.next_addr(&mut r);
+            assert!((4096..4096 + 64 * 64).contains(&a));
+            assert_eq!((a - 4096) % 64, 0);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_has_poor_spatial_locality() {
+        let mut p = Pattern::pointer_chase(0, 1 << 20, 64);
+        let mut r = rng();
+        let mut prev = p.next_addr(&mut r);
+        let mut near = 0;
+        for _ in 0..1000 {
+            let a = p.next_addr(&mut r);
+            if a.abs_diff(prev) <= 128 {
+                near += 1;
+            }
+            prev = a;
+        }
+        assert!(
+            near < 50,
+            "{near} near-neighbor transitions in a pointer chase"
+        );
+    }
+
+    #[test]
+    fn bucket_scatter_advances_per_bucket() {
+        let mut p = Pattern::bucket_scatter(0, 4096, 4, 8);
+        let mut r = rng();
+        let mut per_bucket: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for _ in 0..200 {
+            let a = p.next_addr(&mut r);
+            per_bucket[(a / 1024) as usize].push(a);
+        }
+        for (b, addrs) in per_bucket.iter().enumerate() {
+            assert!(addrs.len() > 20, "bucket {b} unused");
+            // Strictly increasing by 8 until a wrap.
+            for w in addrs.windows(2) {
+                assert!(
+                    w[1] == w[0] + 8 || w[1] < w[0],
+                    "bucket not sequential: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_touches_neighbors() {
+        let mut p = Pattern::stencil(0, 8, 8, 8);
+        let mut r = rng();
+        // First five accesses are the stencil of cell (0,0), clamped.
+        let addrs: Vec<u64> = (0..5).map(|_| p.next_addr(&mut r)).collect();
+        assert_eq!(addrs[0], 0);
+        assert!(addrs.contains(&8)); // east neighbor
+        assert!(addrs.contains(&64)); // south neighbor
+    }
+
+    #[test]
+    fn row_major_stencil_is_line_friendly() {
+        // Consecutive stencils in row-major order revisit nearby bytes.
+        let mut p = Pattern::stencil(0, 64, 64, 8);
+        let mut r = rng();
+        let addrs: Vec<u64> = (0..500).map(|_| p.next_addr(&mut r)).collect();
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
+        // 500 accesses over 100 cells land on few distinct lines.
+        assert!(lines.len() < 40, "{} lines", lines.len());
+    }
+
+    #[test]
+    fn column_major_stencil_spreads_lines() {
+        let mut p = Pattern::stencil_column_major(0, 64, 64, 8);
+        let mut r = rng();
+        let addrs: Vec<u64> = (0..500).map(|_| p.next_addr(&mut r)).collect();
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
+        assert!(lines.len() > 60, "{} lines", lines.len());
+    }
+
+    #[test]
+    fn span_and_base_accessors() {
+        assert_eq!(Pattern::random(10, 100).span(), 100);
+        assert_eq!(Pattern::random(10, 100).base(), 10);
+        assert_eq!(Pattern::stencil(0, 4, 4, 8).span(), 128);
+    }
+}

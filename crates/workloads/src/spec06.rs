@@ -1,0 +1,243 @@
+//! SPEC06-like profiles.
+//!
+//! Ten kernels matching the benchmarks in the paper's Figure 8b, modeled
+//! on their published memory characterization: `mcf` and `omnetpp` are
+//! pointer-chasing and memory bound, `h264ref`/`hmmer`/`sjeng` are
+//! compute bound with small working sets, and the rest sit in between.
+
+use crate::pattern::Pattern;
+use crate::splash2::CompositeKernel;
+
+/// Builds the named SPEC06-like profile.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build(name: &str, footprint_scale: f64, ops: u64, seed: u64) -> CompositeKernel {
+    // Regions are fractions of the scaled, floored total so they always
+    // stay inside the footprint (see `splash2::build`).
+    let fp = |bytes: u64| ((bytes as f64 * footprint_scale) as u64).max(64 * 1024);
+    match name {
+        "h264" => {
+            let t = fp(512 << 10);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (35, 70),
+                0.3,
+                vec![
+                    (0.7, Pattern::sequential(0, t, 8)),
+                    (0.3, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "hmmer" => {
+            let t = fp(256 << 10);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (45, 90),
+                0.3,
+                vec![
+                    (0.8, Pattern::sequential(0, t, 8)),
+                    (0.2, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "sjeng" => {
+            // Game-tree search: hash-table probes dominate.
+            let t = fp(8 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (25, 50),
+                0.2,
+                vec![
+                    (0.7, Pattern::random(0, t)),
+                    (0.3, Pattern::sequential(0, t / 8, 8)),
+                ],
+                seed,
+            )
+        }
+        "perl" => {
+            let t = fp(6 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (25, 45),
+                0.25,
+                vec![
+                    (0.4, Pattern::pointer_chase(0, t / 2, 64)),
+                    (0.3, Pattern::sequential(t / 2, t / 2, 32)),
+                    (0.3, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "astar" => {
+            let t = fp(8 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (15, 30),
+                0.25,
+                vec![
+                    (0.6, Pattern::pointer_chase(0, t, 64)),
+                    (0.2, Pattern::random(0, t)),
+                    (0.2, Pattern::sequential(0, t / 8, 8)),
+                ],
+                seed,
+            )
+        }
+        "gobmk" => {
+            let t = fp(6 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (20, 40),
+                0.25,
+                vec![
+                    (0.6, Pattern::random(0, t)),
+                    (0.4, Pattern::sequential(0, t / 2, 8)),
+                ],
+                seed,
+            )
+        }
+        "gcc" => {
+            let t = fp(12 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (12, 25),
+                0.3,
+                vec![
+                    (0.5, Pattern::sequential(0, t / 2, 32)),
+                    (0.25, Pattern::pointer_chase(t / 2, t / 4, 64)),
+                    (0.25, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "bzip2" => {
+            let t = fp(8 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (8, 16),
+                0.4,
+                vec![
+                    (0.7, Pattern::sequential(0, t, 32)),
+                    (0.3, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "omnet" => {
+            // Discrete-event simulation: heap-allocated event objects,
+            // very poor locality — static super blocks lose here.
+            let t = fp(12 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (6, 12),
+                0.3,
+                vec![
+                    (0.5, Pattern::pointer_chase(0, t, 64)),
+                    (0.4, Pattern::random(0, t)),
+                    (0.1, Pattern::sequential(0, t / 32, 8)),
+                ],
+                seed,
+            )
+        }
+        "mcf" => {
+            // Minimum-cost flow: the canonical pointer-chasing,
+            // memory-bound SPEC benchmark.
+            let t = fp(16 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (4, 8),
+                0.25,
+                vec![
+                    (0.75, Pattern::pointer_chase(0, t, 64)),
+                    (0.15, Pattern::random(0, t)),
+                    (0.1, Pattern::sequential(0, t / 16, 8)),
+                ],
+                seed,
+            )
+        }
+        other => panic!("unknown SPEC06 profile '{other}'"),
+    }
+}
+
+/// Benchmark names in the paper's Figure 8b order.
+pub const NAMES: &[&str] = &[
+    "h264", "hmmer", "sjeng", "perl", "astar", "gobmk", "gcc", "bzip2", "omnet", "mcf",
+];
+
+/// The memory-intensive subset (Figure 8b `mem_avg`).
+pub const MEMORY_INTENSIVE: &[&str] = &["bzip2", "omnet", "mcf"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Workload;
+
+    #[test]
+    fn all_profiles_build_and_run() {
+        for name in NAMES {
+            let mut k = build(name, 0.1, 300, 11);
+            let mut n = 0;
+            while let Some(op) = k.next_op() {
+                assert!(op.addr < k.footprint_bytes());
+                n += 1;
+            }
+            assert_eq!(n, 300, "{name}");
+        }
+    }
+
+    #[test]
+    fn mcf_is_memory_bound_relative_to_hmmer() {
+        let avg_comp = |name: &str| {
+            let mut k = build(name, 1.0, 1000, 2);
+            let mut sum = 0u64;
+            while let Some(op) = k.next_op() {
+                sum += u64::from(op.comp_cycles);
+            }
+            sum as f64 / 1000.0
+        };
+        assert!(avg_comp("hmmer") > 5.0 * avg_comp("mcf"));
+    }
+
+    #[test]
+    fn footprints_ordered_by_memory_intensity() {
+        let fp = |n: &str| build(n, 1.0, 1, 1).footprint_bytes();
+        assert!(fp("mcf") > fp("gcc"));
+        assert!(fp("gcc") > fp("hmmer"));
+    }
+
+    #[test]
+    fn memory_intensive_subset_is_valid() {
+        for m in MEMORY_INTENSIVE {
+            assert!(NAMES.contains(m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPEC06 profile")]
+    fn unknown_profile_panics() {
+        build("leela", 1.0, 1, 1);
+    }
+}

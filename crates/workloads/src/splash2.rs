@@ -1,0 +1,486 @@
+//! Splash2-like kernels.
+//!
+//! Each kernel reproduces the memory character of its namesake: working
+//! set relative to the 512 KB LLC, the sequential / strided / random /
+//! pointer-chasing mix, and compute density. The classification into
+//! *computation intensive* and *memory intensive* follows the paper's
+//! Figure 8a split (benchmarks with more than 2x ORAM-over-DRAM overhead
+//! are memory intensive: `lu_nc`, `raytrace`, `radix`, `fft`, `ocean_c`,
+//! `ocean_nc`).
+
+use crate::pattern::Pattern;
+use crate::trace::{TraceOp, Workload};
+use proram_stats::{Rng64, Xoshiro256};
+
+/// A workload assembled from weighted address-pattern components.
+#[derive(Debug, Clone)]
+pub struct CompositeKernel {
+    name: String,
+    footprint: u64,
+    remaining: u64,
+    comp_lo: u32,
+    comp_hi: u32,
+    write_frac: f64,
+    /// `(cumulative probability, pattern)`.
+    parts: Vec<(f64, Pattern)>,
+    rng: Xoshiro256,
+}
+
+impl CompositeKernel {
+    /// Builds a kernel from `(weight, pattern)` components; weights are
+    /// normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, weights are non-positive, or
+    /// `comp_lo > comp_hi`.
+    pub fn new(
+        name: impl Into<String>,
+        footprint: u64,
+        ops: u64,
+        comp: (u32, u32),
+        write_frac: f64,
+        parts: Vec<(f64, Pattern)>,
+        seed: u64,
+    ) -> Self {
+        assert!(!parts.is_empty(), "kernel needs at least one component");
+        assert!(comp.0 <= comp.1, "compute range inverted");
+        let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0.0, "weights must be positive");
+        let mut acc = 0.0;
+        let parts = parts
+            .into_iter()
+            .map(|(w, p)| {
+                acc += w / total;
+                (acc, p)
+            })
+            .collect();
+        CompositeKernel {
+            name: name.into(),
+            footprint,
+            remaining: ops,
+            comp_lo: comp.0,
+            comp_hi: comp.1,
+            write_frac,
+            parts,
+            rng: Xoshiro256::seed_from(seed),
+        }
+    }
+}
+
+impl Workload for CompositeKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn next_op(&mut self) -> Option<TraceOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let u = self.rng.next_f64();
+        let idx = self
+            .parts
+            .iter()
+            .position(|(cum, _)| u <= *cum)
+            .unwrap_or(self.parts.len() - 1);
+        let addr = self.parts[idx].1.next_addr(&mut self.rng);
+        let comp = if self.comp_hi == self.comp_lo {
+            self.comp_lo
+        } else {
+            self.comp_lo + self.rng.next_below(u64::from(self.comp_hi - self.comp_lo)) as u32
+        };
+        let write = self.rng.next_bool(self.write_frac);
+        Some(TraceOp {
+            comp_cycles: comp,
+            addr,
+            write,
+        })
+    }
+}
+
+/// Builds the named Splash2-like kernel.
+///
+/// `footprint_scale` scales the working set (1.0 = the defaults below);
+/// `ops` is the trace length.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build(name: &str, footprint_scale: f64, ops: u64, seed: u64) -> CompositeKernel {
+    // Scale the nominal working set, with a floor so tiny test scales
+    // still have room for the cache hierarchy to behave sensibly. All
+    // component regions are fractions of the scaled total, so they can
+    // never escape the footprint.
+    let fp = |bytes: u64| ((bytes as f64 * footprint_scale) as u64).max(64 * 1024);
+    match name {
+        // --- Computation intensive (ORAM overhead < 2x) ---
+        "water_ns" => {
+            let t = fp(128 << 10);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (40, 80),
+                0.3,
+                vec![
+                    (0.7, Pattern::sequential(0, t, 8)),
+                    (0.3, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "water_s" => {
+            let t = fp(128 << 10);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (40, 80),
+                0.3,
+                vec![
+                    (0.75, Pattern::sequential(0, t, 8)),
+                    (0.25, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "radiosity" => {
+            let t = fp(256 << 10);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (25, 50),
+                0.3,
+                vec![
+                    (0.5, Pattern::sequential(0, t / 2, 8)),
+                    (0.5, Pattern::random(t / 2, t / 2)),
+                ],
+                seed,
+            )
+        }
+        "lu_c" => {
+            let t = fp(6 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (15, 30),
+                0.35,
+                vec![
+                    (0.85, Pattern::sequential(0, t, 32)),
+                    (0.15, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "volrend" => {
+            // Ray casting: scattered volume reads, hardly any spatial
+            // locality — the benchmark where static super blocks lose.
+            let t = fp(12 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (25, 50),
+                0.1,
+                vec![
+                    (0.85, Pattern::random(0, t)),
+                    (0.15, Pattern::sequential(0, t / 16, 8)),
+                ],
+                seed,
+            )
+        }
+        "barnes" => {
+            let t = fp(8 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (15, 30),
+                0.25,
+                vec![
+                    (0.5, Pattern::pointer_chase(0, t / 2, 64)),
+                    (0.3, Pattern::sequential(t / 2, t / 2, 32)),
+                    (0.2, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "fmm" => {
+            let t = fp(8 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (15, 30),
+                0.25,
+                vec![
+                    (0.5, Pattern::sequential(0, t / 2, 32)),
+                    (0.3, Pattern::pointer_chase(t / 2, t / 4, 64)),
+                    (0.2, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "cholesky" => {
+            let t = fp(8 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (12, 25),
+                0.35,
+                vec![
+                    (0.6, Pattern::sequential(0, t / 2, 32)),
+                    (0.4, Pattern::random(t / 2, t / 2)),
+                ],
+                seed,
+            )
+        }
+        // --- Memory intensive (ORAM overhead > 2x) ---
+        "lu_nc" => {
+            // Non-contiguous blocks: short row bursts, then a jump.
+            // Mem-intensive kernels walk at 32-byte granularity so a
+            // fixed op budget sweeps the working set several times.
+            let t = fp(4 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (2, 6),
+                0.35,
+                vec![
+                    (0.6, Pattern::sequential(0, t / 2, 32)),
+                    (0.25, Pattern::strided(t / 2, t / 2, 2048)),
+                    (0.15, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "raytrace" => {
+            let t = fp(12 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (3, 8),
+                0.1,
+                vec![
+                    (0.65, Pattern::pointer_chase(0, t / 4 * 3, 64)),
+                    (0.2, Pattern::random(0, t)),
+                    (0.15, Pattern::sequential(t / 4 * 3, t / 4, 32)),
+                ],
+                seed,
+            )
+        }
+        "radix" => {
+            // Sequential key scan plus per-bucket append streams.
+            let t = fp(4 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (2, 5),
+                0.5,
+                vec![
+                    (0.5, Pattern::sequential(0, t / 2, 32)),
+                    (0.5, Pattern::bucket_scatter(t / 2, t / 2, 64, 64)),
+                ],
+                seed,
+            )
+        }
+        "fft" => {
+            // Butterfly sweeps plus transpose strides.
+            let t = fp(8 << 20);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (2, 6),
+                0.4,
+                vec![
+                    (0.55, Pattern::sequential(0, t / 2, 32)),
+                    (0.3, Pattern::strided(t / 2, t / 2, 1024)),
+                    (0.15, Pattern::random(0, t)),
+                ],
+                seed,
+            )
+        }
+        "ocean_c" => {
+            // Row-major stencil sweeps over several grids (ocean updates
+            // half a dozen state arrays per cell), interleaved so misses
+            // come every few operations — the best case for super blocks
+            // and the most memory-bound benchmark of the suite.
+            let t = fp(6 << 20);
+            let grid = t / 4;
+            let cols = (grid / (256 * 64)).max(16);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (1, 4),
+                0.4,
+                vec![
+                    (0.3, Pattern::stencil(0, 256, cols, 64)),
+                    (0.3, Pattern::stencil(grid, 256, cols, 64)),
+                    (0.3, Pattern::stencil(2 * grid, 256, cols, 64)),
+                    (0.1, Pattern::sequential(3 * grid, grid, 32)),
+                ],
+                seed,
+            )
+        }
+        "ocean_nc" => {
+            let t = fp(6 << 20);
+            let grid = t / 4;
+            let cols = (grid / (256 * 64)).max(16);
+            CompositeKernel::new(
+                name,
+                t,
+                ops,
+                (1, 4),
+                0.4,
+                vec![
+                    (0.3, Pattern::stencil_column_major(0, 256, cols, 64)),
+                    (0.3, Pattern::stencil_column_major(grid, 256, cols, 64)),
+                    (0.2, Pattern::stencil_column_major(2 * grid, 256, cols, 64)),
+                    (0.2, Pattern::sequential(3 * grid, grid, 32)),
+                ],
+                seed,
+            )
+        }
+        other => panic!("unknown Splash2 kernel '{other}'"),
+    }
+}
+
+/// Benchmark names in the paper's Figure 8a order.
+pub const NAMES: &[&str] = &[
+    "water_ns",
+    "water_s",
+    "radiosity",
+    "lu_c",
+    "volrend",
+    "barnes",
+    "fmm",
+    "cholesky",
+    "lu_nc",
+    "raytrace",
+    "radix",
+    "fft",
+    "ocean_c",
+    "ocean_nc",
+];
+
+/// The memory-intensive subset (ORAM overhead > 2x in Figure 8a).
+pub const MEMORY_INTENSIVE: &[&str] = &["lu_nc", "raytrace", "radix", "fft", "ocean_c", "ocean_nc"];
+
+/// The subset used for the traditional-prefetcher study (Figure 5).
+pub const FIG5_NAMES: &[&str] = &[
+    "barnes", "cholesky", "lu_nc", "raytrace", "ocean_c", "ocean_nc",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_build_and_run() {
+        for name in NAMES {
+            let mut k = build(name, 0.1, 500, 42);
+            let mut count = 0;
+            while let Some(op) = k.next_op() {
+                assert!(op.addr < k.footprint_bytes(), "{name} escaped footprint");
+                count += 1;
+            }
+            assert_eq!(count, 500, "{name} trace length");
+        }
+    }
+
+    #[test]
+    fn memory_intensive_kernels_have_large_footprints() {
+        for name in MEMORY_INTENSIVE {
+            let k = build(name, 1.0, 1, 1);
+            assert!(
+                k.footprint_bytes() >= 4 << 20,
+                "{name} should far exceed the 512 KB LLC"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_kernels_have_high_compute_density() {
+        let water = build("water_ns", 1.0, 1000, 1);
+        let ocean = build("ocean_c", 1.0, 1000, 1);
+        let avg = |mut k: CompositeKernel| {
+            let mut sum = 0u64;
+            let mut n = 0u64;
+            while let Some(op) = k.next_op() {
+                sum += u64::from(op.comp_cycles);
+                n += 1;
+            }
+            sum as f64 / n as f64
+        };
+        assert!(avg(water) > 3.0 * avg(ocean));
+    }
+
+    #[test]
+    fn ocean_c_has_line_locality_and_ocean_nc_less() {
+        let lines = |name: &str| {
+            let mut k = build(name, 1.0, 4000, 3);
+            let mut set = std::collections::HashSet::new();
+            while let Some(op) = k.next_op() {
+                set.insert(op.addr / 128);
+            }
+            set.len()
+        };
+        assert!(lines("ocean_c") < lines("ocean_nc"));
+    }
+
+    #[test]
+    fn volrend_is_scattered() {
+        let mut k = build("volrend", 1.0, 2000, 4);
+        let mut seq = 0;
+        let mut prev = 0u64;
+        while let Some(op) = k.next_op() {
+            if op.addr.abs_diff(prev) <= 8 {
+                seq += 1;
+            }
+            prev = op.addr;
+        }
+        assert!(seq < 200, "volrend too sequential: {seq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Splash2 kernel")]
+    fn unknown_kernel_panics() {
+        build("quake", 1.0, 1, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut k = build("fft", 0.2, 200, seed);
+            std::iter::from_fn(move || k.next_op())
+                .map(|o| o.addr)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn names_cover_figure_8a() {
+        assert_eq!(NAMES.len(), 14);
+        for m in MEMORY_INTENSIVE {
+            assert!(NAMES.contains(m));
+        }
+        for f in FIG5_NAMES {
+            assert!(NAMES.contains(f));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The trace-op model.
+
+/// One record of a memory trace: the core executes `comp_cycles` of
+/// non-memory work, then issues one memory access at byte address `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Non-memory cycles preceding the access (1 instruction = 1 cycle on
+    /// the paper's in-order core).
+    pub comp_cycles: u32,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// `true` for a store.
+    pub write: bool,
+}
+
+impl TraceOp {
+    /// A read at `addr` after `comp_cycles` of compute.
+    pub fn read(comp_cycles: u32, addr: u64) -> Self {
+        TraceOp {
+            comp_cycles,
+            addr,
+            write: false,
+        }
+    }
+
+    /// A write at `addr` after `comp_cycles` of compute.
+    pub fn write(comp_cycles: u32, addr: u64) -> Self {
+        TraceOp {
+            comp_cycles,
+            addr,
+            write: true,
+        }
+    }
+}
+
+/// A finite memory-trace generator.
+///
+/// Implementations are deterministic functions of their construction
+/// parameters (including a seed), so every experiment is reproducible.
+pub trait Workload {
+    /// Benchmark name as it appears in the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Size of the touched address range in bytes. The simulator sizes
+    /// its ORAM to cover this.
+    fn footprint_bytes(&self) -> u64;
+
+    /// Produces the next trace op, or `None` when the trace ends.
+    fn next_op(&mut self) -> Option<TraceOp>;
+}
+
+/// Extension: iterate a boxed workload.
+impl Iterator for Box<dyn Workload> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        self.as_mut().next_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Count(u32);
+
+    impl Workload for Count {
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn footprint_bytes(&self) -> u64 {
+            1024
+        }
+        fn next_op(&mut self) -> Option<TraceOp> {
+            if self.0 == 0 {
+                return None;
+            }
+            self.0 -= 1;
+            Some(TraceOp::read(1, u64::from(self.0)))
+        }
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(!TraceOp::read(3, 8).write);
+        assert!(TraceOp::write(3, 8).write);
+        assert_eq!(TraceOp::read(3, 8).comp_cycles, 3);
+    }
+
+    #[test]
+    fn boxed_iteration() {
+        let w: Box<dyn Workload> = Box::new(Count(3));
+        let ops: Vec<TraceOp> = w.collect();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].addr, 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: every workload, at any parameterization, produces the
+//! requested number of operations, stays inside its footprint, and is
+//! deterministic per seed.
+
+use proptest::prelude::*;
+use proram_workloads::dbms::{Tpcc, Ycsb};
+use proram_workloads::synthetic::{LocalityMix, PhaseChange, StridedScan};
+use proram_workloads::{spec06, splash2, suite, Scale, Suite, Workload};
+
+fn drain(w: &mut dyn Workload) -> Vec<(u64, bool, u32)> {
+    std::iter::from_fn(|| w.next_op())
+        .map(|o| (o.addr, o.write, o.comp_cycles))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn splash2_kernels_respect_contracts(
+        idx in 0usize..14,
+        scale in 0.02f64..0.3,
+        ops in 50u64..400,
+        seed in any::<u64>(),
+    ) {
+        let name = splash2::NAMES[idx];
+        let mut k = splash2::build(name, scale, ops, seed);
+        let fp = k.footprint_bytes();
+        let trace = drain(&mut k);
+        prop_assert_eq!(trace.len() as u64, ops);
+        for &(addr, _, _) in &trace {
+            prop_assert!(addr < fp, "{} escaped footprint", name);
+        }
+        // Determinism.
+        let mut k2 = splash2::build(name, scale, ops, seed);
+        prop_assert_eq!(trace, drain(&mut k2));
+    }
+
+    #[test]
+    fn spec06_profiles_respect_contracts(
+        idx in 0usize..10,
+        scale in 0.02f64..0.3,
+        ops in 50u64..400,
+        seed in any::<u64>(),
+    ) {
+        let name = spec06::NAMES[idx];
+        let mut k = spec06::build(name, scale, ops, seed);
+        let fp = k.footprint_bytes();
+        let trace = drain(&mut k);
+        prop_assert_eq!(trace.len() as u64, ops);
+        prop_assert!(trace.iter().all(|&(a, _, _)| a < fp));
+    }
+
+    #[test]
+    fn synthetic_workloads_respect_contracts(
+        footprint_kb in 64u64..4096,
+        locality in 0.0f64..=1.0,
+        ops in 10u64..300,
+        seed in any::<u64>(),
+        stride_pow in 3u32..8,
+    ) {
+        let footprint = footprint_kb * 1024;
+        let mut w = LocalityMix::with_stride(footprint, locality, ops, seed, 1 << stride_pow);
+        let trace = drain(&mut w);
+        prop_assert_eq!(trace.len() as u64, ops);
+        prop_assert!(trace.iter().all(|&(a, _, _)| a < footprint));
+
+        let mut p = PhaseChange::new(footprint, (ops / 3).max(1), ops, seed);
+        prop_assert_eq!(drain(&mut p).len() as u64, ops);
+
+        let mut s = StridedScan::new(footprint, 1 << stride_pow, ops, seed);
+        let trace = drain(&mut s);
+        prop_assert!(trace.iter().all(|&(a, _, _)| a < footprint));
+    }
+
+    #[test]
+    fn dbms_workloads_respect_contracts(
+        records in 100u64..3000,
+        read_frac in 0.0f64..=1.0,
+        ops in 50u64..400,
+        seed in any::<u64>(),
+    ) {
+        let mut y = Ycsb::new(records, read_frac, ops, seed);
+        let fp = y.footprint_bytes();
+        let trace = drain(&mut y);
+        prop_assert_eq!(trace.len() as u64, ops);
+        prop_assert!(trace.iter().all(|&(a, _, _)| a < fp));
+
+        let mut t = Tpcc::new(1 + records % 3, ops, seed);
+        let fp = t.footprint_bytes();
+        let trace = drain(&mut t);
+        prop_assert_eq!(trace.len() as u64, ops);
+        prop_assert!(trace.iter().all(|&(a, _, _)| a < fp));
+    }
+
+    #[test]
+    fn suite_builder_covers_every_spec(
+        ops in 20u64..120,
+        seed in any::<u64>(),
+    ) {
+        let scale = Scale { ops, warmup_ops: 0, footprint_scale: 0.02, seed };
+        for suite_kind in [Suite::Splash2, Suite::Spec06, Suite::Dbms] {
+            for spec in suite::specs(suite_kind) {
+                let w = suite::build(spec, scale);
+                prop_assert_eq!(w.count() as u64, ops, "{} length", spec.name);
+            }
+        }
+    }
+}

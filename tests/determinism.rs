@@ -1,0 +1,76 @@
+//! Reproducibility guarantees: every run is a pure function of its seed
+//! and configuration — the property the evaluation methodology depends
+//! on.
+
+use proram::core_scheme::SchemeConfig;
+use proram::sim::{runner, MemoryKind, RunMetrics, SystemConfig};
+use proram::workloads::{suite, Scale, Suite};
+
+fn run(seed: u64) -> RunMetrics {
+    let spec = suite::specs(Suite::Splash2)
+        .into_iter()
+        .find(|s| s.name == "fft")
+        .expect("registered");
+    let scale = Scale {
+        ops: 4_000,
+        warmup_ops: 1_000,
+        footprint_scale: 0.05,
+        seed,
+    };
+    let mut cfg = SystemConfig::paper_default(MemoryKind::Oram(SchemeConfig::dynamic(2)));
+    cfg.oram.num_data_blocks = 1 << 13;
+    cfg.seed = seed;
+    runner::run_spec(spec, scale, &cfg)
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_identical_metrics() {
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.backend, b.backend);
+    assert_eq!(a.caches, b.caches);
+    assert_eq!(a.demand_fetches, b.demand_fetches);
+    assert_eq!(a.writebacks, b.writebacks);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(7);
+    let b = run(8);
+    assert_ne!(
+        (a.cycles, a.backend.physical_accesses),
+        (b.cycles, b.backend.physical_accesses),
+        "seeds must matter"
+    );
+}
+
+#[test]
+fn dumped_traces_replay_to_identical_runs() {
+    use proram::workloads::tracefile::{dump, TraceFile};
+
+    let spec = suite::specs(Suite::Spec06)
+        .into_iter()
+        .find(|s| s.name == "gcc")
+        .expect("registered");
+    let scale = Scale {
+        ops: 3_000,
+        warmup_ops: 0,
+        footprint_scale: 0.05,
+        seed: 3,
+    };
+    let cfg = SystemConfig::paper_default(MemoryKind::Oram(SchemeConfig::dynamic(2)));
+
+    // Run live.
+    let live = runner::run_spec(spec, scale, &cfg);
+
+    // Dump the same workload, replay the file, run again.
+    let mut workload = suite::build(spec, scale);
+    let mut bytes = Vec::new();
+    dump(workload.as_mut(), &mut bytes).expect("dump");
+    let mut replay = TraceFile::parse(&bytes[..]).expect("parse");
+    let replayed = runner::run_workload(&mut replay, &cfg);
+
+    assert_eq!(live.cycles, replayed.cycles, "replay must be cycle-identical");
+    assert_eq!(live.backend, replayed.backend);
+}

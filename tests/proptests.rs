@@ -1,0 +1,186 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use proptest::prelude::*;
+use proram::core_scheme::{SchemeConfig, SuperBlock, SuperBlockOram};
+use proram::oram::{eviction, Block, Leaf, OramConfig, OramTree, PathOram, Stash, StreamCipher};
+use proram_mem::{AccessKind, BlockAddr, MemRequest, MemoryBackend, NoProbe};
+use proram_stats::{Rng64, Xoshiro256};
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Super-block algebra
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn superblock_members_partition_the_space(addr in 0u64..1_000_000, k in 0u32..5) {
+        let size = 1u64 << k;
+        let sb = SuperBlock::containing(BlockAddr(addr), size);
+        prop_assert!(sb.contains(BlockAddr(addr)));
+        prop_assert_eq!(sb.members().count() as u64, size);
+        prop_assert_eq!(sb.base().0 % size, 0);
+        // Every member maps back to the same group.
+        for m in sb.members() {
+            prop_assert_eq!(SuperBlock::containing(m, size), sb);
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric_and_disjoint(addr in 0u64..1_000_000, k in 0u32..5) {
+        let sb = SuperBlock::containing(BlockAddr(addr), 1 << k);
+        let nb = sb.neighbor();
+        prop_assert_eq!(nb.neighbor(), sb);
+        prop_assert_eq!(sb.parent(), nb.parent());
+        let a: HashSet<u64> = sb.members().map(|b| b.0).collect();
+        let b: HashSet<u64> = nb.members().map(|b| b.0).collect();
+        prop_assert!(a.is_disjoint(&b));
+        let p: HashSet<u64> = sb.parent().members().map(|b| b.0).collect();
+        prop_assert_eq!(a.union(&b).count(), p.len());
+    }
+
+    #[test]
+    fn halves_reassemble(addr in 0u64..1_000_000, k in 1u32..5) {
+        let sb = SuperBlock::containing(BlockAddr(addr), 1 << k);
+        let (lo, hi) = sb.halves();
+        let all: Vec<BlockAddr> = lo.members().chain(hi.members()).collect();
+        let direct: Vec<BlockAddr> = sb.members().collect();
+        prop_assert_eq!(all, direct);
+        prop_assert_eq!(sb.half_containing(BlockAddr(addr)).contains(BlockAddr(addr)), true);
+    }
+
+    // ------------------------------------------------------------------
+    // Tree / eviction
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn path_read_write_conserves_blocks(seed in 0u64..5000, levels in 3u32..8, z in 1usize..4) {
+        let mut tree = OramTree::new(levels, z);
+        let mut stash = Stash::new(10_000);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let leaves = u64::from(tree.num_leaves());
+        // Scatter some blocks.
+        let n = 20u64.min(tree.capacity() as u64 / 2);
+        for i in 0..n {
+            stash.insert(Block::opaque(BlockAddr(i), Leaf(rng.next_below(leaves) as u32)));
+        }
+        for _ in 0..8 {
+            let leaf = Leaf(rng.next_below(leaves) as u32);
+            eviction::write_path(&mut tree, &mut stash, leaf);
+        }
+        for _ in 0..8 {
+            let leaf = Leaf(rng.next_below(leaves) as u32);
+            eviction::read_path(&mut tree, &mut stash, leaf);
+            eviction::write_path(&mut tree, &mut stash, leaf);
+        }
+        prop_assert_eq!(tree.occupancy() + stash.len(), n as usize, "blocks lost or duplicated");
+    }
+
+    #[test]
+    fn eviction_never_misplaces_blocks(seed in 0u64..5000) {
+        let mut tree = OramTree::new(6, 2);
+        let mut stash = Stash::new(10_000);
+        let mut rng = Xoshiro256::seed_from(seed);
+        for i in 0..30u64 {
+            stash.insert(Block::opaque(BlockAddr(i), Leaf(rng.next_below(32) as u32)));
+        }
+        let target = Leaf(rng.next_below(32) as u32);
+        eviction::write_path(&mut tree, &mut stash, target);
+        // Every placed block must sit on the intersection of its own path
+        // and the written path.
+        for level in 0..tree.levels() {
+            let idx = tree.bucket_index(target, level);
+            for b in tree.bucket(idx).iter() {
+                prop_assert!(
+                    tree.common_level(b.leaf, target) >= level,
+                    "block mapped to {:?} stored too deep on path {:?}", b.leaf, target
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crypto
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn stream_cipher_round_trips(key in any::<u64>(), nonce in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let cipher = StreamCipher::new(key);
+        let mut buf = data.clone();
+        cipher.encrypt(nonce, &mut buf);
+        if data.len() >= 16 {
+            prop_assert_ne!(&buf, &data, "ciphertext equals plaintext");
+        }
+        cipher.decrypt(nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-ORAM invariants under random operation sequences
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn path_oram_invariants_hold_under_random_accesses(seed in 0u64..500) {
+        let mut oram = PathOram::new(OramConfig::small_for_tests(128), seed);
+        let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
+        for _ in 0..60 {
+            let addr = BlockAddr(rng.next_below(128));
+            let kind = if rng.next_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+            oram.access_block(addr, kind);
+        }
+        oram.check_invariants();
+    }
+
+    #[test]
+    fn super_block_oram_invariants_hold_under_mixed_traffic(seed in 0u64..300) {
+        let cfg = OramConfig {
+            store_payloads: false,
+            ..OramConfig::small_for_tests(256)
+        };
+        let mut oram = SuperBlockOram::new(cfg, SchemeConfig::dynamic(4), seed);
+        let mut rng = Xoshiro256::seed_from(seed.wrapping_mul(31));
+        let mut llc_model: HashSet<u64> = HashSet::new();
+        for i in 0..80u64 {
+            let addr = if rng.next_bool(0.5) {
+                BlockAddr(i % 64) // sequential region: drives merging
+            } else {
+                BlockAddr(rng.next_below(256))
+            };
+            let req = if rng.next_bool(0.25) {
+                MemRequest::write(addr)
+            } else {
+                MemRequest::read(addr)
+            };
+            let out = oram.access(i, req, &NoProbe);
+            for f in out.fills {
+                llc_model.insert(f.block.0);
+            }
+            if llc_model.len() > 40 {
+                let v = *llc_model.iter().next().unwrap();
+                llc_model.remove(&v);
+                oram.note_llc_eviction(BlockAddr(v));
+            }
+        }
+        oram.oram().check_invariants();
+    }
+
+    #[test]
+    fn payloads_survive_arbitrary_interleavings(seed in 0u64..200) {
+        let mut oram = PathOram::new(OramConfig::small_for_tests(64), seed);
+        let mut rng = Xoshiro256::seed_from(seed ^ 0x5151);
+        let mut shadow: Vec<Option<u8>> = vec![None; 64];
+        for _ in 0..40 {
+            let addr = rng.next_below(64);
+            if rng.next_bool(0.5) {
+                let fill = rng.next_below(256) as u8;
+                oram.write_block(BlockAddr(addr), &[fill; 128]);
+                shadow[addr as usize] = Some(fill);
+            } else if let Some(expected) = shadow[addr as usize] {
+                let got = oram.read_block(BlockAddr(addr)).expect("payloads on");
+                prop_assert!(got.iter().all(|&b| b == expected), "payload corrupted");
+            }
+        }
+    }
+}
