@@ -1,9 +1,9 @@
-//! Criterion wrappers around the figure experiments at smoke scale —
+//! Microbench wrappers around the figure experiments at smoke scale —
 //! `cargo bench` exercises every table/figure generator end to end and
 //! tracks regressions in full-system simulation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use proram_bench::exp;
+use proram_bench::microbench::Harness;
 use proram_core::SchemeConfig;
 use proram_sim::{runner, MemoryKind, SystemConfig};
 use proram_workloads::{suite, Scale, Suite};
@@ -18,7 +18,7 @@ fn smoke_scale() -> Scale {
     }
 }
 
-fn bench_full_system_run(c: &mut Criterion) {
+fn bench_full_system_run(c: &mut Harness) {
     let mut group = c.benchmark_group("system_run");
     group.sample_size(10);
     let spec = suite::specs(Suite::Splash2)
@@ -38,7 +38,7 @@ fn bench_full_system_run(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_figure_generators(c: &mut Criterion) {
+fn bench_figure_generators(c: &mut Harness) {
     let mut group = c.benchmark_group("figures_smoke");
     group.sample_size(10);
     // The fast figure generators run end to end; the heavyweight suites
@@ -53,5 +53,8 @@ fn bench_figure_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_system_run, bench_figure_generators);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_full_system_run(&mut c);
+    bench_figure_generators(&mut c);
+}

@@ -1,8 +1,8 @@
-//! Criterion microbenchmarks of the ORAM controller itself: access cost
-//! of the baseline versus super-block configurations, Z sensitivity and
+//! Microbenchmarks of the ORAM controller itself: access cost of the
+//! baseline versus super-block configurations, Z sensitivity and
 //! background eviction.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use proram_bench::microbench::{BatchSize, Harness};
 use proram_core::{SchemeConfig, SuperBlockOram};
 use proram_mem::{BlockAddr, MemRequest, MemoryBackend, NoProbe};
 use proram_oram::{OramConfig, PathOram};
@@ -19,7 +19,7 @@ fn oram_cfg(num_blocks: u64, z: usize) -> OramConfig {
     }
 }
 
-fn bench_baseline_access(c: &mut Criterion) {
+fn bench_baseline_access(c: &mut Harness) {
     let mut group = c.benchmark_group("path_oram_access");
     for z in [3usize, 4] {
         group.bench_function(format!("random_access_z{z}"), |b| {
@@ -34,14 +34,14 @@ fn bench_baseline_access(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_background_eviction(c: &mut Criterion) {
+fn bench_background_eviction(c: &mut Harness) {
     c.bench_function("background_eviction", |b| {
         let mut oram = PathOram::new(oram_cfg(1 << 14, 3), 3);
         b.iter(|| oram.background_evict());
     });
 }
 
-fn bench_superblock_access(c: &mut Criterion) {
+fn bench_superblock_access(c: &mut Harness) {
     let mut group = c.benchmark_group("superblock_access");
     for (name, scheme) in [
         ("baseline", SchemeConfig::baseline()),
@@ -67,7 +67,7 @@ fn bench_superblock_access(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_shi_oram_access(c: &mut Criterion) {
+fn bench_shi_oram_access(c: &mut Harness) {
     use proram_oram::{OramBackend, ShiOram, ShiOramConfig};
     c.bench_function("shi_oram_access", |b| {
         let mut oram = ShiOram::new(
@@ -86,7 +86,7 @@ fn bench_shi_oram_access(c: &mut Criterion) {
     });
 }
 
-fn bench_strided_scheme_access(c: &mut Criterion) {
+fn bench_strided_scheme_access(c: &mut Harness) {
     c.bench_function("strided_dynamic_access", |b| {
         let mut oram = SuperBlockOram::new(
             oram_cfg(1 << 14, 3),
@@ -101,7 +101,7 @@ fn bench_strided_scheme_access(c: &mut Criterion) {
     });
 }
 
-fn bench_oram_construction(c: &mut Criterion) {
+fn bench_oram_construction(c: &mut Harness) {
     c.bench_function("oram_init_16k_blocks", |b| {
         b.iter_batched(
             || oram_cfg(1 << 14, 3),
@@ -111,13 +111,12 @@ fn bench_oram_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_baseline_access,
-    bench_background_eviction,
-    bench_superblock_access,
-    bench_shi_oram_access,
-    bench_strided_scheme_access,
-    bench_oram_construction
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_baseline_access(&mut c);
+    bench_background_eviction(&mut c);
+    bench_superblock_access(&mut c);
+    bench_shi_oram_access(&mut c);
+    bench_strided_scheme_access(&mut c);
+    bench_oram_construction(&mut c);
+}

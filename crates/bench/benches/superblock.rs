@@ -1,14 +1,14 @@
-//! Criterion microbenchmarks of the super-block machinery: group
-//! algebra, counter/threshold math, stash and tree primitives.
+//! Microbenchmarks of the super-block machinery: group algebra,
+//! counter/threshold math, stash and tree primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use proram_bench::microbench::Harness;
 use proram_core::{SchemeConfig, SuperBlock, Thresholds, WindowStats};
 use proram_mem::BlockAddr;
 use proram_oram::{eviction, Block, Leaf, OramTree, Stash};
 use proram_stats::{Rng64, Xoshiro256};
 use std::hint::black_box;
 
-fn bench_superblock_algebra(c: &mut Criterion) {
+fn bench_superblock_algebra(c: &mut Harness) {
     c.bench_function("superblock_algebra", |b| {
         let mut rng = Xoshiro256::seed_from(1);
         b.iter(|| {
@@ -19,7 +19,7 @@ fn bench_superblock_algebra(c: &mut Criterion) {
     });
 }
 
-fn bench_threshold_math(c: &mut Criterion) {
+fn bench_threshold_math(c: &mut Harness) {
     c.bench_function("adaptive_threshold", |b| {
         let cfg = SchemeConfig::dynamic(8);
         let mut w = WindowStats::new(1000);
@@ -34,7 +34,7 @@ fn bench_threshold_math(c: &mut Criterion) {
     });
 }
 
-fn bench_path_read_write(c: &mut Criterion) {
+fn bench_path_read_write(c: &mut Harness) {
     c.bench_function("path_read_write_20_levels", |b| {
         let mut tree = OramTree::new(20, 3);
         let mut stash = Stash::new(1000);
@@ -55,7 +55,7 @@ fn bench_path_read_write(c: &mut Criterion) {
     });
 }
 
-fn bench_stash_ops(c: &mut Criterion) {
+fn bench_stash_ops(c: &mut Harness) {
     c.bench_function("stash_insert_take", |b| {
         let mut stash = Stash::new(10_000);
         let mut rng = Xoshiro256::seed_from(4);
@@ -69,11 +69,10 @@ fn bench_stash_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_superblock_algebra,
-    bench_threshold_math,
-    bench_path_read_write,
-    bench_stash_ops
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_superblock_algebra(&mut c);
+    bench_threshold_math(&mut c);
+    bench_path_read_write(&mut c);
+    bench_stash_ops(&mut c);
+}

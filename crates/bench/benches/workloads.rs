@@ -1,13 +1,13 @@
-//! Criterion microbenchmarks of trace generation: the simulator's
-//! frontend must never be the bottleneck.
+//! Microbenchmarks of trace generation: the simulator's frontend must
+//! never be the bottleneck.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use proram_bench::microbench::Harness;
 use proram_workloads::dbms::{Tpcc, Ycsb};
 use proram_workloads::synthetic::LocalityMix;
 use proram_workloads::{spec06, splash2, Workload};
 use std::hint::black_box;
 
-fn bench_kernel_generation(c: &mut Criterion) {
+fn bench_kernel_generation(c: &mut Harness) {
     let mut group = c.benchmark_group("trace_generation");
     group.bench_function("splash2_ocean_c", |b| {
         let mut k = splash2::build("ocean_c", 0.25, u64::MAX / 2, 1);
@@ -24,7 +24,7 @@ fn bench_kernel_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_dbms_engines(c: &mut Criterion) {
+fn bench_dbms_engines(c: &mut Harness) {
     let mut group = c.benchmark_group("dbms_trace");
     group.bench_function("ycsb_op", |b| {
         let mut w = Ycsb::new(50_000, 0.5, u64::MAX / 2, 2);
@@ -37,5 +37,8 @@ fn bench_dbms_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel_generation, bench_dbms_engines);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_kernel_generation(&mut c);
+    bench_dbms_engines(&mut c);
+}

@@ -306,15 +306,23 @@ pub fn stash_occupancy(scale: Scale) -> Table {
 /// serve multiple ORAM requests in parallel". Throughput is trace ops
 /// per kilocycle, summed over cores.
 pub fn multicore_scaling(scale: Scale) -> Table {
-    use proram_sim::{MemoryKind, MultiCoreSystem, SystemConfig};
+    use proram_sim::{runner, MemoryKind, SystemConfig};
     use proram_workloads::synthetic::LocalityMix;
 
-    let mut t = Table::new(&["cores", "dram_ops_per_kcycle", "oram_ops_per_kcycle"])
-        .with_title("Ablation: multi-core throughput scaling (Section 2.6)");
+    let mut t = Table::new(&[
+        "cores",
+        "dram_ops_per_kcycle",
+        "dram_core_cpi",
+        "oram_ops_per_kcycle",
+        "oram_core_cpi",
+    ])
+    .with_title("Ablation: multi-core throughput scaling (Section 2.6)");
     let ops = (scale.ops / 4).max(2_000);
+    // Returns (aggregate throughput, per-core CPI range) — the range
+    // shows how evenly the shared memory controller serves the tiles.
     let run = |kind: MemoryKind, cores: usize| {
         let cfg = SystemConfig::paper_default(kind);
-        let sys = MultiCoreSystem::build(&cfg, cores, |id| {
+        let m = runner::run_multicore(&cfg, cores, 0, |id| {
             Box::new(LocalityMix::with_stride(
                 1 << 20,
                 0.8,
@@ -323,14 +331,21 @@ pub fn multicore_scaling(scale: Scale) -> Table {
                 128,
             ))
         });
-        let m = sys.run();
-        m.trace_ops as f64 * 1000.0 / m.cycles as f64
+        let cpis: Vec<f64> = m.per_core.iter().map(|c| c.cpi()).collect();
+        let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cpis.iter().cloned().fold(0.0, f64::max);
+        let throughput = m.trace_ops as f64 * 1000.0 / m.cycles as f64;
+        (throughput, format!("{lo:.1}..{hi:.1}"))
     };
     for cores in [1usize, 2, 4] {
+        let (dram_tp, dram_cpi) = run(MemoryKind::Dram, cores);
+        let (oram_tp, oram_cpi) = run(MemoryKind::Oram(SchemeConfig::baseline()), cores);
         t.row(&[
             cores.to_string(),
-            table::f3(run(MemoryKind::Dram, cores)),
-            table::f3(run(MemoryKind::Oram(SchemeConfig::baseline()), cores)),
+            table::f3(dram_tp),
+            dram_cpi,
+            table::f3(oram_tp),
+            oram_cpi,
         ]);
     }
     t

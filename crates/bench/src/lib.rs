@@ -21,3 +21,4 @@
 
 pub mod common;
 pub mod exp;
+pub mod microbench;

@@ -1,0 +1,212 @@
+//! A tiny self-contained microbenchmark harness.
+//!
+//! The `cargo bench` targets used to sit on an external harness crate;
+//! this module provides the small subset the benches need — named
+//! benchmarks, groups, `iter`/`iter_batched` — with no dependencies, so
+//! the workspace builds offline. Each benchmark is calibrated to a fixed
+//! wall-clock budget and reported as nanoseconds per iteration on stdout.
+//!
+//! Set `PRORAM_BENCH_MS` to change the per-benchmark measurement budget
+//! (default 200 ms; CI can use `PRORAM_BENCH_MS=10` for a smoke run).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; kept for API familiarity — the
+/// harness always re-runs setup per batch and times only the routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold; batches of one.
+    SmallInput,
+    /// Setup output is large; batches of one as well.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure; runs and times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Measured cost of one iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            ns_per_iter: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over as many iterations as fit the budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Brief warmup so one-time lazy initialization stays out of the
+        // measurement.
+        let warm_until = Instant::now() + self.budget / 10;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Check the clock in batches to keep timer overhead out of
+            // short routines.
+            if iters.is_multiple_of(16) && start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine(setup())`, excluding `setup` from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut in_routine = Duration::ZERO;
+        while start.elapsed() < self.budget || iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            in_routine += t.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.ns_per_iter = in_routine.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn default_budget() -> Duration {
+    let ms = std::env::var("PRORAM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.ns_per_iter;
+    let pretty = if ns < 1_000.0 {
+        format!("{ns:10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:10.2} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:10.2} ms/iter", ns / 1_000_000.0)
+    };
+    println!("bench {name:<44} {pretty}   ({} iters)", b.iters);
+}
+
+/// The harness: owns the measurement budget and prints results.
+#[derive(Debug)]
+pub struct Harness {
+    budget: Duration,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Creates a harness with the budget from `PRORAM_BENCH_MS`.
+    pub fn new() -> Self {
+        Harness {
+            budget: default_budget(),
+        }
+    }
+
+    /// Creates a harness with an explicit per-benchmark budget.
+    pub fn with_budget(budget: Duration) -> Self {
+        Harness { budget }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Accepted for API familiarity; the time-budget calibration makes an
+    /// explicit sample count unnecessary.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        self.harness.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for call-site symmetry).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut h = Harness::with_budget(Duration::from_millis(5));
+        h.bench_function("spin", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            });
+        });
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![0u8; 1024], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+        assert!(b.ns_per_iter.is_finite());
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut h = Harness::with_budget(Duration::from_millis(1));
+        let mut g = h.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -61,6 +61,20 @@ impl std::ops::Sub for CacheStats {
     }
 }
 
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    /// Field-wise sum; used to aggregate per-tile counters.
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+            dirty_evictions: self.dirty_evictions + rhs.dirty_evictions,
+        }
+    }
+}
+
 impl CacheStats {
     /// Miss ratio over demand lookups; `0.0` before any lookup.
     pub fn miss_rate(&self) -> f64 {

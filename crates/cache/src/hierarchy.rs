@@ -2,6 +2,7 @@
 
 use crate::cache::{Cache, CacheStats, Evicted};
 use crate::config::CacheConfig;
+use crate::tiled::TiledHierarchy;
 use proram_mem::{BlockAddr, CacheProbe};
 
 /// Geometry of the two levels.
@@ -92,12 +93,26 @@ impl std::ops::Sub for HierarchyStats {
     }
 }
 
+impl std::ops::Add for HierarchyStats {
+    type Output = HierarchyStats;
+
+    fn add(self, rhs: HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1 + rhs.l1,
+            l2: self.l2 + rhs.l2,
+        }
+    }
+}
+
 /// An inclusive L1 + L2 hierarchy with write-back, write-allocate policy.
 ///
 /// Demand fills land in both levels; prefetch fills (super-block members,
 /// stream-prefetcher lines) land in the L2 only, matching the paper: "The
 /// block of interest is returned to the processor and the other blocks are
 /// prefetched and put into the LLC."
+///
+/// This is the single-tile view of [`TiledHierarchy`], which owns the one
+/// shared implementation of the lookup/fill/evict path.
 ///
 /// # Examples
 ///
@@ -112,24 +127,20 @@ impl std::ops::Sub for HierarchyStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
-    config: HierarchyConfig,
-    l1: Cache,
-    l2: Cache,
+    tiled: TiledHierarchy,
 }
 
 impl CacheHierarchy {
     /// Creates an empty hierarchy.
     pub fn new(config: HierarchyConfig) -> Self {
         CacheHierarchy {
-            config,
-            l1: Cache::new(config.l1),
-            l2: Cache::new(config.l2),
+            tiled: TiledHierarchy::new(config, 1),
         }
     }
 
     /// The geometry this hierarchy was built with.
     pub fn config(&self) -> &HierarchyConfig {
-        &self.config
+        self.tiled.config()
     }
 
     /// Performs a demand access (load if `write` is false, store
@@ -138,21 +149,7 @@ impl CacheHierarchy {
     /// On an L2 hit the line is promoted to the L1; any dirty L1 victim
     /// folds its dirty bit into the (inclusive) L2 copy.
     pub fn access(&mut self, block: BlockAddr, write: bool) -> CacheAccess {
-        let l1_lat = u64::from(self.config.l1.hit_latency);
-        if self.l1.lookup(block, write).is_some() {
-            return CacheAccess::L1Hit { latency: l1_lat };
-        }
-        let l2_lat = l1_lat + u64::from(self.config.l2.hit_latency);
-        match self.l2.lookup(block, false) {
-            Some(hit) => {
-                self.promote_to_l1(block, write);
-                CacheAccess::L2Hit {
-                    latency: l2_lat,
-                    prefetch_first_use: hit.prefetch_first_use,
-                }
-            }
-            None => CacheAccess::Miss { latency: l2_lat },
-        }
+        self.tiled.access(0, block, write)
     }
 
     /// Installs a block arriving from memory.
@@ -162,37 +159,7 @@ impl CacheHierarchy {
     /// that must leave the hierarchy entirely: dirty ones need a memory
     /// writeback, clean ones only a notification.
     pub fn fill(&mut self, block: BlockAddr, prefetched: bool, write: bool) -> Vec<Evicted> {
-        let mut out = Vec::new();
-        if let Some(mut victim) = self.l2.insert(block, prefetched) {
-            // Inclusive hierarchy: the L1 copy (if any) must go too, and
-            // its dirtiness folds into the departing line.
-            if let Some(l1_victim) = self.l1.invalidate(victim.block) {
-                victim.dirty |= l1_victim.dirty;
-            }
-            out.push(victim);
-        }
-        if prefetched {
-            debug_assert!(!write, "prefetch fills cannot be stores");
-        } else {
-            self.promote_to_l1(block, write);
-        }
-        out
-    }
-
-    fn promote_to_l1(&mut self, block: BlockAddr, write: bool) {
-        if let Some(victim) = self.l1.insert(block, false) {
-            if victim.dirty && !self.l2.mark_dirty(victim.block) {
-                // Inclusion guarantees the L2 still holds the line; this
-                // branch would mean the invariant broke.
-                unreachable!(
-                    "inclusion violated: L1 victim {} absent from L2",
-                    victim.block
-                );
-            }
-        }
-        if write {
-            self.l1.mark_dirty(block);
-        }
+        self.tiled.fill(0, block, prefetched, write)
     }
 
     /// `true` if the block is resident anywhere in the hierarchy.
@@ -200,25 +167,22 @@ impl CacheHierarchy {
     /// Because the hierarchy is inclusive this is just the LLC tag probe
     /// that the PrORAM merge scheme performs.
     pub fn contains_block(&self, block: BlockAddr) -> bool {
-        self.l2.peek(block)
+        self.tiled.contains_block(block)
     }
 
     /// Counters for both levels.
     pub fn stats(&self) -> HierarchyStats {
-        HierarchyStats {
-            l1: self.l1.stats(),
-            l2: self.l2.stats(),
-        }
+        self.tiled.stats()
     }
 
     /// Read-only view of the last-level cache.
     pub fn llc(&self) -> &Cache {
-        &self.l2
+        self.tiled.llc()
     }
 
     /// Read-only view of the first-level cache.
     pub fn l1(&self) -> &Cache {
-        &self.l1
+        self.tiled.l1(0)
     }
 }
 

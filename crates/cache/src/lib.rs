@@ -31,7 +31,9 @@
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod tiled;
 
 pub use crate::cache::{Cache, CacheStats, Evicted, HitInfo};
 pub use config::CacheConfig;
 pub use hierarchy::{CacheAccess, CacheHierarchy, HierarchyConfig, HierarchyStats};
+pub use tiled::TiledHierarchy;

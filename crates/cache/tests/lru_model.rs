@@ -1,9 +1,13 @@
-//! Property test: the cache must behave exactly like a reference
+//! Randomized model test: the cache must behave exactly like a reference
 //! true-LRU model over arbitrary operation sequences.
+//!
+//! Uses the workspace's deterministic RNG (`proram_stats`) instead of an
+//! external property-testing crate so the suite builds with no network
+//! access; every case is reproducible from the fixed seeds below.
 
-use proptest::prelude::*;
 use proram_cache::{Cache, CacheConfig};
 use proram_mem::BlockAddr;
+use proram_stats::{Rng64, Xoshiro256};
 use std::collections::VecDeque;
 
 /// Reference model: one recency list per set, most recent first.
@@ -39,11 +43,7 @@ impl RefLru {
 
     fn insert(&mut self, block: u64) -> Option<(u64, bool)> {
         let set = self.set_of(block);
-        if self.sets[set].iter().any(|&(b, _)| b == block) {
-            let pos = self.sets[set]
-                .iter()
-                .position(|&(b, _)| b == block)
-                .expect("present");
+        if let Some(pos) = self.sets[set].iter().position(|&(b, _)| b == block) {
             let entry = self.sets[set].remove(pos).expect("pos valid");
             self.sets[set].push_front(entry);
             return None;
@@ -64,31 +64,30 @@ enum Op {
     Insert(u64),
 }
 
-fn op_strategy(addr_range: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..addr_range, any::<bool>()).prop_map(|(a, w)| Op::Lookup(a, w)),
-        (0..addr_range).prop_map(Op::Insert),
-    ]
+fn random_op(rng: &mut Xoshiro256, addr_range: u64) -> Op {
+    if rng.next_bool(0.5) {
+        Op::Lookup(rng.next_below(addr_range), rng.next_bool(0.5))
+    } else {
+        Op::Insert(rng.next_below(addr_range))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_matches_reference_lru(
-        ops in proptest::collection::vec(op_strategy(64), 1..300),
-        ways in 1usize..5,
-    ) {
+#[test]
+fn cache_matches_reference_lru() {
+    for case in 0..128u64 {
+        let mut rng = Xoshiro256::seed_from(0xCAFE + case);
+        let ways = 1 + rng.next_below(4) as usize;
+        let num_ops = 1 + rng.next_below(300) as usize;
         // 4 sets x `ways`.
         let config = CacheConfig::new(4 * ways as u64 * 128, ways as u32, 128, 1);
         let mut cache = Cache::new(config);
         let mut model = RefLru::new(4, ways);
-        for op in ops {
-            match op {
+        for _ in 0..num_ops {
+            match random_op(&mut rng, 64) {
                 Op::Lookup(a, w) => {
                     let hit = cache.lookup(BlockAddr(a), w).is_some();
                     let model_hit = model.lookup(a, w);
-                    prop_assert_eq!(hit, model_hit, "hit mismatch on {}", a);
+                    assert_eq!(hit, model_hit, "hit mismatch on {a} (case {case})");
                 }
                 Op::Insert(a) => {
                     let victim = cache.insert(BlockAddr(a), false);
@@ -96,38 +95,40 @@ proptest! {
                     match (victim, model_victim) {
                         (None, None) => {}
                         (Some(v), Some((mb, md))) => {
-                            prop_assert_eq!(v.block.0, mb, "victim mismatch");
-                            prop_assert_eq!(v.dirty, md, "victim dirtiness mismatch");
+                            assert_eq!(v.block.0, mb, "victim mismatch (case {case})");
+                            assert_eq!(v.dirty, md, "victim dirtiness mismatch (case {case})");
                         }
-                        (a, b) => prop_assert!(false, "eviction mismatch: {a:?} vs {b:?}"),
+                        (a, b) => panic!("eviction mismatch: {a:?} vs {b:?} (case {case})"),
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn peek_never_changes_behaviour(
-        ops in proptest::collection::vec(op_strategy(32), 1..200),
-    ) {
-        // Interleaving peeks between every operation must not change any
-        // outcome relative to the same run without peeks.
+#[test]
+fn peek_never_changes_behaviour() {
+    // Interleaving peeks between every operation must not change any
+    // outcome relative to the same run without peeks.
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from(0xBEEF + case);
+        let num_ops = 1 + rng.next_below(200) as usize;
         let config = CacheConfig::new(2 * 128 * 2, 2, 128, 1);
         let mut plain = Cache::new(config);
         let mut peeky = Cache::new(config);
-        for op in ops {
+        for _ in 0..num_ops {
             for probe in 0..8u64 {
                 peeky.peek(BlockAddr(probe));
             }
-            match op {
+            match random_op(&mut rng, 32) {
                 Op::Lookup(a, w) => {
-                    prop_assert_eq!(
+                    assert_eq!(
                         plain.lookup(BlockAddr(a), w).is_some(),
                         peeky.lookup(BlockAddr(a), w).is_some()
                     );
                 }
                 Op::Insert(a) => {
-                    prop_assert_eq!(
+                    assert_eq!(
                         plain.insert(BlockAddr(a), false),
                         peeky.insert(BlockAddr(a), false)
                     );

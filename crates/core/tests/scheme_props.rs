@@ -1,9 +1,11 @@
-//! Property tests over thresholds, windows and scheme configuration.
+//! Randomized tests over thresholds, windows and scheme configuration,
+//! generated with the workspace's deterministic RNG so every case
+//! reproduces from its seed.
 
-use proptest::prelude::*;
 use proram_core::threshold::CounterWidth;
 use proram_core::window::WindowRates;
 use proram_core::{SchemeConfig, Thresholds, WindowStats};
+use proram_stats::{Rng64, Xoshiro256};
 
 fn rates(evr: f64, ar: f64, phr: f64) -> WindowRates {
     WindowRates {
@@ -13,92 +15,114 @@ fn rates(evr: f64, ar: f64, phr: f64) -> WindowRates {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn adaptive_thresholds_are_monotonic_in_pressure(
-        evr in 0.0f64..4.0,
-        ar in 0.0f64..=1.0,
-        phr in 0.01f64..=1.0,
-        bump in 0.01f64..2.0,
-        k in 0u32..4,
-    ) {
-        let n = 1u64 << k;
+#[test]
+fn adaptive_thresholds_are_monotonic_in_pressure() {
+    let mut rng = Xoshiro256::seed_from(0x7817);
+    for case in 0..128 {
+        let evr = 4.0 * rng.next_f64();
+        let ar = rng.next_f64();
+        let phr = 0.01 + 0.99 * rng.next_f64();
+        let bump = 0.01 + 1.99 * rng.next_f64();
+        let n = 1u64 << rng.next_below(4);
         let cfg = SchemeConfig::dynamic(16);
         let base = Thresholds::new(&cfg, rates(evr, ar, phr));
         let more_evictions = Thresholds::new(&cfg, rates(evr + bump, ar, phr));
-        prop_assert!(
+        assert!(
             more_evictions.merge_threshold(n).unwrap() >= base.merge_threshold(n).unwrap(),
-            "higher eviction rate must not lower the merge threshold"
+            "higher eviction rate must not lower the merge threshold (case {case})"
         );
-        prop_assert!(
-            more_evictions.break_threshold(n).unwrap() >= base.break_threshold(n).unwrap()
+        assert!(
+            more_evictions.break_threshold(n).unwrap() >= base.break_threshold(n).unwrap(),
+            "case {case}"
         );
         // Better prefetching never raises thresholds.
         let better_phr = Thresholds::new(&cfg, rates(evr, ar, (phr + bump).min(1.0)));
-        prop_assert!(better_phr.merge_threshold(n).unwrap() <= base.merge_threshold(n).unwrap());
+        assert!(
+            better_phr.merge_threshold(n).unwrap() <= base.merge_threshold(n).unwrap(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn merge_threshold_always_reachable_under_calm_rates(k in 0u32..4) {
+#[test]
+fn merge_threshold_always_reachable_under_calm_rates() {
+    for k in 0u32..4 {
         // With no eviction pressure the threshold must be attainable
         // within the counter's width, or merging could never start.
         let n = 1u64 << k;
         let cfg = SchemeConfig::dynamic(16);
         let th = Thresholds::new(&cfg, rates(0.0, 0.0, 1.0));
         let t = th.merge_threshold(n).unwrap();
-        prop_assert!(t <= CounterWidth::merge_cap(n), "threshold {t} beyond counter cap");
-        prop_assert!(t >= 1, "zero threshold would merge without evidence");
+        assert!(
+            t <= CounterWidth::merge_cap(n),
+            "threshold {t} beyond counter cap"
+        );
+        assert!(t >= 1, "zero threshold would merge without evidence");
     }
+}
 
-    #[test]
-    fn break_init_is_within_cap(k in 1u32..5) {
+#[test]
+fn break_init_is_within_cap() {
+    for k in 1u32..5 {
         let m = 1u64 << k;
-        prop_assert!(CounterWidth::break_init(m) <= CounterWidth::break_cap(m));
-        prop_assert!(CounterWidth::break_init(m) > 0);
+        assert!(CounterWidth::break_init(m) <= CounterWidth::break_cap(m));
+        assert!(CounterWidth::break_init(m) > 0);
     }
+}
 
-    #[test]
-    fn window_rates_are_well_formed(
-        requests in proptest::collection::vec((0u64..4, 1u64..5000, 0u64..5000), 1..300),
-        hits in proptest::collection::vec(any::<bool>(), 0..100),
-        window in 1u64..64,
-    ) {
+#[test]
+fn window_rates_are_well_formed() {
+    let mut rng = Xoshiro256::seed_from(0x817D);
+    for case in 0..128 {
+        let window = rng.next_range(1, 64);
+        let num_hits = rng.next_below(100);
+        let num_requests = rng.next_range(1, 300);
         let mut w = WindowStats::new(window);
-        for &h in &hits {
-            w.record_prefetch(h);
+        for _ in 0..num_hits {
+            w.record_prefetch(rng.next_bool(0.5));
         }
-        for &(bg, elapsed, busy) in &requests {
+        for _ in 0..num_requests {
+            let bg = rng.next_below(4);
+            let elapsed = rng.next_range(1, 5000);
+            let busy = rng.next_below(5000);
             w.record_request(bg, elapsed, busy);
             let r = w.rates();
-            prop_assert!(r.eviction_rate >= 0.0);
-            prop_assert!((0.0..=1.0).contains(&r.access_rate), "ar={}", r.access_rate);
-            prop_assert!((0.0..=1.0).contains(&r.prefetch_hit_rate));
+            assert!(r.eviction_rate >= 0.0, "case {case}");
+            assert!(
+                (0.0..=1.0).contains(&r.access_rate),
+                "ar={} (case {case})",
+                r.access_rate
+            );
+            assert!((0.0..=1.0).contains(&r.prefetch_hit_rate), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn static_thresholds_match_paper_for_all_sizes(k in 0u32..4) {
+#[test]
+fn static_thresholds_match_paper_for_all_sizes() {
+    for k in 0u32..4 {
         // "For block size of 1, 2 and 4 before merging, this corresponds
         // to the threshold value of 2, 4 and 8."
         let n = 1u64 << k;
         let cfg = SchemeConfig::static_merge_no_break(16);
         let th = Thresholds::new(&cfg, rates(1.0, 1.0, 0.5));
-        prop_assert_eq!(th.merge_threshold(n).unwrap(), (2 * n) as i32);
+        assert_eq!(th.merge_threshold(n).unwrap(), (2 * n) as i32);
     }
+}
 
-    #[test]
-    fn scheme_presets_always_validate(
-        k in 0u32..5,
-        cm in 0.1f64..10.0,
-        cb in 0.1f64..10.0,
-        stride_pow in 0u32..4,
-    ) {
-        let max = 1u64 << k;
+#[test]
+fn scheme_presets_always_validate() {
+    let mut rng = Xoshiro256::seed_from(0x5C4E);
+    for _case in 0..128 {
+        let max = 1u64 << rng.next_below(5);
+        let cm = 0.1 + 9.9 * rng.next_f64();
+        let cb = 0.1 + 9.9 * rng.next_f64();
+        let stride_pow = rng.next_below(4) as u32;
         SchemeConfig::baseline().validate();
         SchemeConfig::static_scheme(max).validate();
-        SchemeConfig::dynamic(max).with_coefficients(cm, cb).validate();
+        SchemeConfig::dynamic(max)
+            .with_coefficients(cm, cb)
+            .validate();
         SchemeConfig::dynamic(max)
             .with_super_block_stride(1 << stride_pow)
             .validate();

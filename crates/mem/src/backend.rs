@@ -115,7 +115,36 @@ impl std::ops::Sub for BackendStats {
     }
 }
 
+impl std::ops::Add for BackendStats {
+    type Output = BackendStats;
+
+    /// Field-wise sum; used to aggregate statistics across shards or
+    /// measurement windows.
+    fn add(self, rhs: BackendStats) -> BackendStats {
+        BackendStats {
+            demand_accesses: self.demand_accesses + rhs.demand_accesses,
+            prefetch_requests: self.prefetch_requests + rhs.prefetch_requests,
+            physical_accesses: self.physical_accesses + rhs.physical_accesses,
+            dummy_accesses: self.dummy_accesses + rhs.dummy_accesses,
+            posmap_accesses: self.posmap_accesses + rhs.posmap_accesses,
+            bytes_moved: self.bytes_moved + rhs.bytes_moved,
+            prefetch_hits: self.prefetch_hits + rhs.prefetch_hits,
+            prefetch_misses: self.prefetch_misses + rhs.prefetch_misses,
+            busy_cycles: self.busy_cycles + rhs.busy_cycles,
+        }
+    }
+}
+
 impl BackendStats {
+    /// Counters accumulated since `baseline` was captured.
+    ///
+    /// This is the snapshot-diff the tile engine uses to exclude a
+    /// measurement-warmup prefix: capture `stats()` at the warmup
+    /// boundary, then diff the final counters against it.
+    pub fn since(self, baseline: BackendStats) -> BackendStats {
+        self - baseline
+    }
+
     /// Fraction of prefetched blocks that were used; `None` if nothing was
     /// prefetched yet.
     pub fn prefetch_hit_rate(&self) -> Option<f64> {
@@ -203,6 +232,27 @@ mod tests {
         s.prefetch_hits = 3;
         s.prefetch_misses = 1;
         assert_eq!(s.prefetch_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn stats_add_and_since_round_trip() {
+        let a = BackendStats {
+            demand_accesses: 3,
+            physical_accesses: 10,
+            bytes_moved: 1024,
+            ..Default::default()
+        };
+        let b = BackendStats {
+            demand_accesses: 2,
+            physical_accesses: 5,
+            prefetch_hits: 1,
+            ..Default::default()
+        };
+        let sum = a + b;
+        assert_eq!(sum.demand_accesses, 5);
+        assert_eq!(sum.physical_accesses, 15);
+        assert_eq!(sum.since(b), a);
+        assert_eq!(sum.since(a), b);
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Property tests over the memory timing wrappers.
+//! Randomized tests over the memory timing wrappers, generated with the
+//! workspace's deterministic RNG so every case reproduces from its seed.
 
-use proptest::prelude::*;
 use proram_mem::{
     AdaptivePeriodic, AdaptivePeriodicConfig, BlockAddr, Dram, DramConfig, MemRequest,
     MemoryBackend, NoProbe, Periodic,
 };
+use proram_stats::{Rng64, Xoshiro256};
 
 /// DRAM with a flat, deterministic access time (one bank keeps every
 /// access serial, so completion = start + 108).
@@ -15,35 +16,39 @@ fn flat_dram() -> Dram {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn periodic_accesses_start_on_slot_boundaries(
-        interval in 1u64..2000,
-        gaps in proptest::collection::vec(0u64..5000, 1..40),
-    ) {
+#[test]
+fn periodic_accesses_start_on_slot_boundaries() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from(0x9E12 + case);
+        let interval = rng.next_range(1, 2000);
+        let num_gaps = rng.next_range(1, 40);
         let mut p = Periodic::new(flat_dram(), interval);
         let mut now = 0;
-        for (i, gap) in gaps.iter().enumerate() {
-            now += gap;
-            let o = p.access(now, MemRequest::read(BlockAddr(i as u64)), &NoProbe);
+        for i in 0..num_gaps {
+            now += rng.next_below(5000);
+            let o = p.access(now, MemRequest::read(BlockAddr(i)), &NoProbe);
             // With a single serial bank, completion - 108 is the start
             // cycle, which must be a multiple of the interval.
             let start = o.complete_at - 108;
-            prop_assert_eq!(start % interval, 0, "start {} not on an O_int boundary", start);
-            prop_assert!(start >= now, "access started before it was issued");
+            assert_eq!(
+                start % interval,
+                0,
+                "start {start} not on an O_int boundary (case {case})"
+            );
+            assert!(start >= now, "access started before it was issued");
             now = o.complete_at;
         }
     }
+}
 
-    #[test]
-    fn periodic_timing_is_independent_of_addresses(
-        interval in 50u64..500,
-        addrs_a in proptest::collection::vec(0u64..1000, 20),
-        addrs_b in proptest::collection::vec(0u64..1000, 20),
-        gaps in proptest::collection::vec(0u64..3000, 20),
-    ) {
+#[test]
+fn periodic_timing_is_independent_of_addresses() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from(0xAD00 + case);
+        let interval = rng.next_range(50, 500);
+        let addrs_a: Vec<u64> = (0..20).map(|_| rng.next_below(1000)).collect();
+        let addrs_b: Vec<u64> = (0..20).map(|_| rng.next_below(1000)).collect();
+        let gaps: Vec<u64> = (0..20).map(|_| rng.next_below(3000)).collect();
         // Two different address sequences with identical request timing
         // must produce identical completion timing — the timing channel
         // carries no address information.
@@ -61,14 +66,16 @@ proptest! {
         };
         let (ca, da) = run(&addrs_a);
         let (cb, db) = run(&addrs_b);
-        prop_assert_eq!(ca, cb, "completion times depend on addresses");
-        prop_assert_eq!(da, db, "dummy counts depend on addresses");
+        assert_eq!(ca, cb, "completion times depend on addresses (case {case})");
+        assert_eq!(da, db, "dummy counts depend on addresses (case {case})");
     }
+}
 
-    #[test]
-    fn adaptive_interval_always_on_the_ladder(
-        gaps in proptest::collection::vec(0u64..60_000, 1..400),
-    ) {
+#[test]
+fn adaptive_interval_always_on_the_ladder() {
+    for case in 0..32u64 {
+        let mut rng = Xoshiro256::seed_from(0x1ADD + case);
+        let num_gaps = rng.next_range(1, 400);
         let cfg = AdaptivePeriodicConfig {
             intervals: vec![100, 400, 1600],
             epoch_requests: 32,
@@ -76,28 +83,38 @@ proptest! {
         };
         let mut p = AdaptivePeriodic::new(flat_dram(), cfg.clone());
         let mut now = 0;
-        for (i, gap) in gaps.iter().enumerate() {
-            now += gap;
-            now = p.access(now, MemRequest::read(BlockAddr(i as u64)), &NoProbe).complete_at;
-            prop_assert!(cfg.intervals.contains(&p.current_interval()));
+        for i in 0..num_gaps {
+            now += rng.next_below(60_000);
+            now = p
+                .access(now, MemRequest::read(BlockAddr(i)), &NoProbe)
+                .complete_at;
+            assert!(
+                cfg.intervals.contains(&p.current_interval()),
+                "interval off the ladder (case {case})"
+            );
         }
         // Leakage accounting is exactly one decision per completed epoch.
-        let expected_epochs = gaps.len() as u64 / cfg.epoch_requests;
-        prop_assert_eq!(p.epochs(), expected_epochs);
+        let expected_epochs = num_gaps / cfg.epoch_requests;
+        assert_eq!(p.epochs(), expected_epochs, "epoch count (case {case})");
     }
+}
 
-    #[test]
-    fn dram_completions_are_monotonic(
-        reqs in proptest::collection::vec((0u64..10_000, 0u64..500), 1..100),
-    ) {
+#[test]
+fn dram_completions_are_monotonic() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from(0xD3A0 + case);
+        let num_reqs = rng.next_range(1, 100);
         let mut d = Dram::new(DramConfig::default());
         let mut now = 0;
         let mut last_complete = 0;
-        for (addr, gap) in reqs {
-            now += gap;
+        for _ in 0..num_reqs {
+            let addr = rng.next_below(10_000);
+            now += rng.next_below(500);
             let o = d.access(now, MemRequest::read(BlockAddr(addr)), &NoProbe);
-            prop_assert!(o.complete_at >= last_complete || o.complete_at > now,
-                "completion went backwards");
+            assert!(
+                o.complete_at >= last_complete || o.complete_at > now,
+                "completion went backwards (case {case})"
+            );
             last_complete = last_complete.max(o.complete_at);
             now = now.max(o.complete_at.saturating_sub(108));
         }

@@ -1,20 +1,19 @@
-//! Property tests over the unified address space and the encrypted
-//! store.
+//! Randomized tests over the unified address space and the encrypted
+//! store, generated with the workspace's deterministic RNG so every case
+//! reproduces from its seed.
 
-use proptest::prelude::*;
 use proram_mem::BlockAddr;
 use proram_oram::{AddressSpace, Block, Bucket, EncryptedStore, Leaf, Payload, PosEntry};
+use proram_stats::{Rng64, Xoshiro256};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn posmap_chain_is_consistent(
-        num_blocks in 1u64..5000,
-        fanout in 2u64..64,
-        hierarchies in 0u8..4,
-        probe in 0u64..5000,
-    ) {
+#[test]
+fn posmap_chain_is_consistent() {
+    let mut rng = Xoshiro256::seed_from(0xA0);
+    for case in 0..128 {
+        let num_blocks = rng.next_range(1, 5000);
+        let fanout = rng.next_range(2, 64);
+        let hierarchies = rng.next_below(4) as u8;
+        let probe = rng.next_below(5000);
         let space = AddressSpace::new(num_blocks, fanout, hierarchies);
         let addr = BlockAddr(probe % num_blocks);
         // Walking up the hierarchy always terminates at the top, and every
@@ -22,45 +21,58 @@ proptest! {
         let mut current = addr;
         for h in 1..=space.top_hierarchy() {
             let pm = space.posmap_block_for(current, h);
-            prop_assert_eq!(space.hierarchy_of(current) + 1, h);
+            assert_eq!(space.hierarchy_of(current) + 1, h, "case {case}");
             let first = space.first_child(pm);
             let count = space.child_count(pm) as u64;
-            prop_assert!(current.0 >= first.0 && current.0 < first.0 + count,
-                "{current:?} not covered by its posmap block {pm:?}");
+            assert!(
+                current.0 >= first.0 && current.0 < first.0 + count,
+                "{current:?} not covered by its posmap block {pm:?} (case {case})"
+            );
             let idx = space.entry_index(current) as u64;
-            prop_assert_eq!(first.0 + idx, current.0, "entry index round trip");
+            assert_eq!(
+                first.0 + idx,
+                current.0,
+                "entry index round trip (case {case})"
+            );
             current = pm;
         }
     }
+}
 
-    #[test]
-    fn regions_partition_the_space(
-        num_blocks in 1u64..5000,
-        fanout in 2u64..64,
-        hierarchies in 0u8..4,
-    ) {
+#[test]
+fn regions_partition_the_space() {
+    let mut rng = Xoshiro256::seed_from(0x9A97);
+    for case in 0..128 {
+        let num_blocks = rng.next_range(1, 5000);
+        let fanout = rng.next_range(2, 64);
+        let hierarchies = rng.next_below(4) as u8;
         let space = AddressSpace::new(num_blocks, fanout, hierarchies);
         let mut expected_base = 0;
         for h in 0..=space.top_hierarchy() {
-            prop_assert_eq!(space.region_base(h), expected_base);
+            assert_eq!(space.region_base(h), expected_base, "case {case}");
             expected_base += space.region_len(h);
         }
         // Every tree block classifies into exactly the region it sits in.
         for probe in [0, num_blocks / 2, num_blocks - 1] {
-            prop_assert_eq!(space.hierarchy_of(BlockAddr(probe)), 0);
+            assert_eq!(space.hierarchy_of(BlockAddr(probe)), 0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn encrypted_store_round_trips_arbitrary_buckets(
-        seed in any::<u64>(),
-        blocks in proptest::collection::vec((0u64..1000, 0u32..64, any::<bool>()), 0..3),
-        fill in any::<u8>(),
-    ) {
+#[test]
+fn encrypted_store_round_trips_arbitrary_buckets() {
+    let mut rng = Xoshiro256::seed_from(0xE5C);
+    for case in 0..128 {
+        let seed = rng.next_u64();
+        let num_blocks = rng.next_below(3) as usize;
+        let fill = rng.next_below(256) as u8;
         let mut store = EncryptedStore::new(4, 3, 128, seed);
         let mut bucket = Bucket::new(3);
         let mut used = std::collections::HashSet::new();
-        for &(addr, leaf, hit) in &blocks {
+        for _ in 0..num_blocks {
+            let addr = rng.next_below(1000);
+            let leaf = rng.next_below(64) as u32;
+            let hit = rng.next_bool(0.5);
             if !used.insert(addr) {
                 continue; // bucket addresses must be unique
             }
@@ -70,24 +82,37 @@ proptest! {
         }
         store.write_bucket(2, &bucket);
         let got = store.try_read_bucket(2).expect("authentic");
-        prop_assert_eq!(got.len(), bucket.len());
+        assert_eq!(got.len(), bucket.len(), "case {case}");
         for b in &got {
-            prop_assert!(bucket.iter().any(|o| o.addr == b.addr && o.leaf == b.leaf && o.hit == b.hit));
+            assert!(
+                bucket
+                    .iter()
+                    .any(|o| o.addr == b.addr && o.leaf == b.leaf && o.hit == b.hit),
+                "block metadata mismatch (case {case})"
+            );
             match &b.payload {
-                Payload::Data(bytes) => prop_assert!(bytes.iter().all(|&x| x == fill)),
-                other => prop_assert!(false, "wrong payload {other:?}"),
+                Payload::Data(bytes) => {
+                    assert!(bytes.iter().all(|&x| x == fill), "case {case}")
+                }
+                other => panic!("wrong payload {other:?} (case {case})"),
             }
         }
     }
+}
 
-    #[test]
-    fn any_single_byte_corruption_of_a_written_bucket_is_detected(
-        offset in 8usize..100, // past the plaintext nonce
-        mask in 1u8..=255,
-    ) {
+#[test]
+fn any_single_byte_corruption_of_a_written_bucket_is_detected() {
+    let mut rng = Xoshiro256::seed_from(0xC0);
+    for case in 0..128 {
+        let offset = rng.next_range(8, 100) as usize; // past the plaintext nonce
+        let mask = rng.next_range(1, 256) as u8;
         let mut store = EncryptedStore::new(2, 2, 64, 77);
         let mut bucket = Bucket::new(2);
-        bucket.push(Block::with_data(BlockAddr(5), Leaf(1), vec![0xAA; 64].into()));
+        bucket.push(Block::with_data(
+            BlockAddr(5),
+            Leaf(1),
+            vec![0xAA; 64].into(),
+        ));
         bucket.push(Block::posmap(
             BlockAddr(9),
             Leaf(2),
@@ -96,6 +121,9 @@ proptest! {
         store.write_bucket(1, &bucket);
         let bb = store.bucket_bytes();
         store.corrupt_byte(1, offset % bb, mask);
-        prop_assert!(store.try_read_bucket(1).is_err(), "corruption escaped detection");
+        assert!(
+            store.try_read_bucket(1).is_err(),
+            "corruption escaped detection (case {case})"
+        );
     }
 }

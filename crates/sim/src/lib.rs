@@ -8,10 +8,13 @@
 //! periodic-access timing-channel protection.
 //!
 //! * [`config`] — system configuration (Table 1 defaults),
-//! * [`system`] — the core + cache + memory assembly and its step
-//!   function,
-//! * [`metrics`] — per-run measurements and the derived quantities the
-//!   figures plot (speedup, normalized memory accesses, miss rates),
+//! * [`engine`] — the shared tile engine: the one implementation of the
+//!   step path, backend construction and per-core metrics accounting,
+//! * [`system`] — the single-tile instantiation of the engine,
+//! * [`multicore`] — the N-tile instantiation of the engine,
+//! * [`metrics`] — per-run measurements (with per-core breakdowns) and
+//!   the derived quantities the figures plot (speedup, normalized memory
+//!   accesses, miss rates),
 //! * [`runner`] — one-call experiment execution.
 //!
 //! # Examples
@@ -31,12 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod metrics;
 pub mod multicore;
 pub mod runner;
 pub mod system;
 
 pub use config::{MemoryKind, SystemConfig};
-pub use metrics::RunMetrics;
+pub use engine::TileEngine;
+pub use metrics::{CoreMetrics, RunMetrics};
 pub use multicore::MultiCoreSystem;
 pub use system::System;

@@ -1,8 +1,61 @@
 //! Per-run measurements and the derived quantities the paper's figures
 //! plot.
 
-use proram_cache::HierarchyStats;
+use proram_cache::{CacheStats, HierarchyStats};
 use proram_mem::{BackendStats, Cycle};
+
+/// Per-core (per-tile) measurements from one simulation run.
+///
+/// Produced by the shared tile engine for every tile; a single-core run
+/// carries exactly one entry. Aggregating the entries reproduces the
+/// run-level totals in [`RunMetrics`] (cycles aggregate as the maximum,
+/// counters as sums; the shared-LLC view in `llc` attributes each demand
+/// lookup and each fill-triggered eviction to the tile that issued it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreMetrics {
+    /// This core's completion time in cycles (its final clock).
+    pub cycles: Cycle,
+    /// Trace operations this core executed.
+    pub trace_ops: u64,
+    /// This core's private-L1 counters.
+    pub l1: CacheStats,
+    /// This core's share of shared-LLC events: demand hits/misses it
+    /// issued and evictions its fills triggered. Dirty-eviction counts
+    /// include dirtiness folded in from private L1 copies.
+    pub llc: CacheStats,
+    /// LLC demand misses this core turned into memory fetches.
+    pub demand_fetches: u64,
+    /// Dirty write-backs this core's fills pushed to memory.
+    pub writebacks: u64,
+    /// Prefetched lines evicted unused by this core's fills.
+    pub unused_prefetch_evictions: u64,
+    /// Prefetcher candidates dropped because the line was resident.
+    pub prefetch_candidates_filtered: u64,
+}
+
+impl CoreMetrics {
+    /// Subtracts a warmup-boundary snapshot so the metrics cover only the
+    /// measured phase.
+    pub fn subtract_baseline(&mut self, baseline: &CoreMetrics) {
+        self.cycles -= baseline.cycles;
+        self.trace_ops -= baseline.trace_ops;
+        self.l1 = self.l1 - baseline.l1;
+        self.llc = self.llc - baseline.llc;
+        self.demand_fetches -= baseline.demand_fetches;
+        self.writebacks -= baseline.writebacks;
+        self.unused_prefetch_evictions -= baseline.unused_prefetch_evictions;
+        self.prefetch_candidates_filtered -= baseline.prefetch_candidates_filtered;
+    }
+
+    /// Average cycles per trace op on this core.
+    pub fn cpi(&self) -> f64 {
+        if self.trace_ops == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.trace_ops as f64
+        }
+    }
+}
 
 /// Everything measured during one simulation run.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +80,9 @@ pub struct RunMetrics {
     pub unused_prefetch_evictions: u64,
     /// Prefetcher candidates dropped because the line was resident.
     pub prefetch_candidates_filtered: u64,
+    /// Per-core breakdown (one entry per tile; aggregates to the totals
+    /// above).
+    pub per_core: Vec<CoreMetrics>,
 }
 
 impl RunMetrics {
@@ -131,5 +187,45 @@ mod tests {
     fn cpi_computation() {
         let m = metrics(1000, 1);
         assert!((m.cpi() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_metrics_baseline_subtraction() {
+        let mut c = CoreMetrics {
+            cycles: 1000,
+            trace_ops: 200,
+            demand_fetches: 30,
+            writebacks: 8,
+            ..CoreMetrics::default()
+        };
+        c.l1.hits = 150;
+        c.l1.misses = 50;
+        let mut base = CoreMetrics {
+            cycles: 400,
+            trace_ops: 80,
+            demand_fetches: 12,
+            writebacks: 3,
+            ..CoreMetrics::default()
+        };
+        base.l1.hits = 60;
+        base.l1.misses = 20;
+        c.subtract_baseline(&base);
+        assert_eq!(c.cycles, 600);
+        assert_eq!(c.trace_ops, 120);
+        assert_eq!(c.demand_fetches, 18);
+        assert_eq!(c.writebacks, 5);
+        assert_eq!(c.l1.hits, 90);
+        assert_eq!(c.l1.misses, 30);
+    }
+
+    #[test]
+    fn core_cpi() {
+        let c = CoreMetrics {
+            cycles: 500,
+            trace_ops: 100,
+            ..CoreMetrics::default()
+        };
+        assert!((c.cpi() - 5.0).abs() < 1e-12);
+        assert_eq!(CoreMetrics::default().cpi(), 0.0);
     }
 }

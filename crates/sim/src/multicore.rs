@@ -9,18 +9,21 @@
 //! cores (bank overlap), ORAM throughput does not (one serialized
 //! controller).
 //!
+//! This is the N-tile instantiation of the shared [`TileEngine`]: step
+//! path, warmup, stream prefetching and the full cache/backend accounting
+//! are the same code the single-core [`crate::System`] runs, so
+//! multi-core figures are measured with the same instrument — including
+//! the per-core breakdown in [`RunMetrics::per_core`].
+//!
 //! Simplifications (documented in DESIGN.md): each core runs its own
 //! trace over a private address range (SPMD-style data partitioning), so
-//! no cache-coherence traffic exists; private L1 victims are not kept
-//! inclusive in the shared LLC across cores — their dirtiness is folded
-//! into a write-back directly.
+//! no cache-coherence traffic exists; the shared LLC is inclusive of
+//! every private L1, and an LLC eviction back-invalidates all of them.
 
-use crate::config::{MemoryKind, SystemConfig};
+use crate::config::SystemConfig;
+use crate::engine::TileEngine;
 use crate::metrics::RunMetrics;
-use proram_cache::{Cache, CacheConfig};
-use proram_core::SuperBlockOram;
-use proram_mem::{BlockAddr, Cycle, Dram, MemRequest, MemoryBackend, Periodic};
-use proram_oram::OramConfig;
+use proram_mem::MemoryBackend;
 use proram_workloads::{TraceOp, Workload};
 
 /// A workload wrapper giving each core a disjoint address range.
@@ -29,7 +32,15 @@ struct ShardedWorkload {
     offset: u64,
 }
 
-impl ShardedWorkload {
+impl Workload for ShardedWorkload {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.offset + self.inner.footprint_bytes()
+    }
+
     fn next_op(&mut self) -> Option<TraceOp> {
         self.inner.next_op().map(|mut op| {
             op.addr += self.offset;
@@ -38,30 +49,17 @@ impl ShardedWorkload {
     }
 }
 
-struct CoreState {
-    l1: Cache,
-    workload: ShardedWorkload,
-    now: Cycle,
-    done: bool,
-    ops: u64,
-}
-
 /// A multi-core system: one tile per workload shard.
 pub struct MultiCoreSystem {
-    cores: Vec<CoreState>,
-    llc: Cache,
-    memory: Box<dyn MemoryBackend>,
-    line_bytes: u64,
-    l1_latency: u64,
-    llc_latency: u64,
-    label: String,
+    engine: TileEngine,
+    workloads: Vec<ShardedWorkload>,
 }
 
 impl std::fmt::Debug for MultiCoreSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiCoreSystem")
-            .field("cores", &self.cores.len())
-            .field("memory", &self.memory.label())
+            .field("cores", &self.workloads.len())
+            .field("engine", &self.engine)
             .finish_non_exhaustive()
     }
 }
@@ -79,151 +77,51 @@ impl MultiCoreSystem {
         mut build_workload: impl FnMut(usize) -> Box<dyn Workload>,
     ) -> Self {
         assert!(num_cores > 0, "need at least one core");
-        config.validate();
         let line_bytes = config.line_bytes();
-        let mut cores = Vec::with_capacity(num_cores);
+        let mut workloads = Vec::with_capacity(num_cores);
         let mut total_footprint = 0u64;
         for id in 0..num_cores {
             let inner = build_workload(id);
             // Line-align each shard's base.
             let offset = total_footprint.div_ceil(line_bytes) * line_bytes;
             total_footprint = offset + inner.footprint_bytes();
-            cores.push(CoreState {
-                l1: Cache::new(config.hierarchy.l1),
-                workload: ShardedWorkload { inner, offset },
-                now: 0,
-                done: false,
-                ops: 0,
-            });
+            workloads.push(ShardedWorkload { inner, offset });
         }
-        let memory: Box<dyn MemoryBackend> = match &config.memory {
-            MemoryKind::Dram => Box::new(Dram::new(config.dram)),
-            MemoryKind::Oram(scheme) => {
-                let needed = total_footprint.div_ceil(line_bytes).next_power_of_two();
-                let oram_cfg = OramConfig {
-                    num_data_blocks: needed.max(config.oram.num_data_blocks),
-                    ..config.oram.clone()
-                };
-                let backend = SuperBlockOram::new(oram_cfg, scheme.clone(), config.seed);
-                match config.periodic_interval {
-                    Some(interval) => Box::new(Periodic::new(backend, interval)),
-                    None => Box::new(backend),
-                }
-            }
-        };
-        // The shared LLC keeps the single-tile capacity (512 KB per tile
-        // in Table 1 refers to the tile's slice; a constant-capacity LLC
-        // makes the scaling comparison conservative for DRAM).
-        let llc_cfg: CacheConfig = config.hierarchy.l2;
         MultiCoreSystem {
-            cores,
-            llc: Cache::new(llc_cfg),
-            memory,
-            line_bytes,
-            l1_latency: u64::from(config.hierarchy.l1.hit_latency),
-            llc_latency: u64::from(config.hierarchy.l1.hit_latency)
-                + u64::from(config.hierarchy.l2.hit_latency),
-            label: config.memory.label().to_owned(),
+            engine: TileEngine::build(config, num_cores, total_footprint),
+            workloads,
         }
+    }
+
+    /// The memory backend (for ORAM-specific inspection in tests).
+    pub fn memory(&self) -> &dyn MemoryBackend {
+        self.engine.memory()
     }
 
     /// Runs every core to completion; returns the aggregate metrics
-    /// (cycles = the slowest core's completion time).
-    pub fn run(mut self) -> RunMetrics {
-        // Advance the globally-earliest unfinished core by one op, until
-        // every core's trace ends.
-        while let Some(idx) = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.done)
-            .min_by_key(|(_, c)| c.now)
-            .map(|(i, _)| i)
-        {
-            let Some(op) = self.cores[idx].workload.next_op() else {
-                self.cores[idx].done = true;
-                continue;
-            };
-            self.step(idx, op);
-        }
-        let cycles = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
-        let trace_ops = self.cores.iter().map(|c| c.ops).sum();
-        RunMetrics {
-            label: self.label,
-            benchmark: format!("{}-core", self.cores.len()),
-            cycles,
-            trace_ops,
-            backend: self.memory.stats(),
-            ..RunMetrics::default()
-        }
+    /// (cycles = the slowest core's completion time) with the per-core
+    /// breakdown in [`RunMetrics::per_core`].
+    pub fn run(self) -> RunMetrics {
+        self.run_with_warmup(0)
     }
 
-    fn step(&mut self, idx: usize, op: TraceOp) {
-        let MultiCoreSystem {
-            cores,
-            llc,
-            memory,
-            line_bytes,
-            l1_latency,
-            llc_latency,
-            ..
-        } = self;
-        let core = &mut cores[idx];
-        core.now += u64::from(op.comp_cycles);
-        core.ops += 1;
-        let block = BlockAddr::from_byte_addr(op.addr, *line_bytes);
-        if core.l1.lookup(block, op.write).is_some() {
-            core.now += *l1_latency;
-            return;
-        }
-        if let Some(hit) = llc.lookup(block, false) {
-            core.now += *llc_latency;
-            if hit.prefetch_first_use {
-                memory.note_llc_hit(block);
-            }
-            let now = core.now;
-            Self::fill_l1(core, llc, &mut **memory, block, op.write, now);
-            return;
-        }
-        core.now += *llc_latency;
-        let outcome = memory.access(core.now, MemRequest::read(block), &*llc);
-        core.now = outcome.complete_at;
-        let now = core.now;
-        for fill in &outcome.fills {
-            if let Some(victim) = llc.insert(fill.block, fill.prefetched) {
-                memory.note_llc_eviction(victim.block);
-                if victim.dirty {
-                    memory.access(now, MemRequest::write(victim.block), &*llc);
-                }
-            }
-        }
-        Self::fill_l1(core, llc, &mut **memory, block, op.write, now);
-    }
-
-    fn fill_l1(
-        core: &mut CoreState,
-        llc: &mut Cache,
-        memory: &mut dyn MemoryBackend,
-        block: BlockAddr,
-        write: bool,
-        now: Cycle,
-    ) {
-        if let Some(victim) = core.l1.insert(block, false) {
-            if victim.dirty && !llc.mark_dirty(victim.block) {
-                // Shards are private, but the victim may have left the
-                // shared LLC already; write it back directly.
-                memory.access(now, MemRequest::write(victim.block), &*llc);
-            }
-        }
-        if write {
-            core.l1.mark_dirty(block);
-        }
+    /// Runs every core to completion, excluding each core's first
+    /// `warmup_ops` operations from the reported metrics.
+    pub fn run_with_warmup(mut self, warmup_ops: u64) -> RunMetrics {
+        let mut refs: Vec<&mut dyn Workload> = self
+            .workloads
+            .iter_mut()
+            .map(|w| w as &mut dyn Workload)
+            .collect();
+        self.engine.run(&mut refs, warmup_ops)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MemoryKind;
+    use crate::system::System;
     use proram_core::SchemeConfig;
     use proram_workloads::synthetic::LocalityMix;
 
@@ -252,6 +150,93 @@ mod tests {
     fn all_cores_complete_their_traces() {
         let m = run_cores(MemoryKind::Dram, 4, 1500);
         assert_eq!(m.trace_ops, 4 * 1500);
+        assert_eq!(m.per_core.len(), 4);
+        for c in &m.per_core {
+            assert_eq!(c.trace_ops, 1500);
+        }
+    }
+
+    /// Regression test: multi-core runs used to return `RunMetrics` with
+    /// `caches`, `demand_fetches`, `writebacks` and
+    /// `unused_prefetch_evictions` zeroed out. After unifying on the tile
+    /// engine they must be populated, per core and in aggregate.
+    #[test]
+    fn multicore_metrics_are_fully_populated() {
+        // Miss-heavy: random accesses over footprints well beyond the
+        // caches, with writes.
+        let cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        let sys = MultiCoreSystem::build(&cfg, 4, |id| {
+            Box::new(LocalityMix::new(4 << 20, 0.0, 6000, 3 + id as u64))
+        });
+        let m = sys.run();
+        assert!(m.caches.l1.misses > 0, "L1 stats zeroed");
+        assert!(m.caches.l2.misses > 0, "LLC stats zeroed");
+        assert!(m.demand_fetches > 0, "demand fetches zeroed");
+        assert!(m.writebacks > 0, "writebacks zeroed");
+        assert!(m.backend.demand_accesses > 0);
+        assert_eq!(m.per_core.len(), 4);
+        for (i, c) in m.per_core.iter().enumerate() {
+            assert!(c.demand_fetches > 0, "core {i} demand fetches zeroed");
+            assert!(c.l1.misses > 0, "core {i} L1 stats zeroed");
+            assert!(c.llc.misses > 0, "core {i} LLC attribution zeroed");
+            assert!(c.cycles > 0, "core {i} cycles zeroed");
+        }
+        // Aggregates match the per-core breakdown.
+        assert_eq!(
+            m.demand_fetches,
+            m.per_core.iter().map(|c| c.demand_fetches).sum()
+        );
+        assert_eq!(m.writebacks, m.per_core.iter().map(|c| c.writebacks).sum());
+    }
+
+    /// The refactor's key invariant: a 1-core multi-core system IS the
+    /// single-core system — identical timing and accounting for the same
+    /// seed, workload and configuration.
+    fn assert_one_core_equivalence(kind: MemoryKind) {
+        let cfg = SystemConfig::quick_test(kind);
+        let build = || LocalityMix::with_stride(1 << 20, 0.8, 4000, 7, 128);
+
+        let mut w = build();
+        let single = System::build(&cfg, w.footprint_bytes()).run(&mut w);
+
+        let multi = MultiCoreSystem::build(&cfg, 1, |_| Box::new(build())).run();
+
+        assert_eq!(single.cycles, multi.cycles, "cycles diverged");
+        assert_eq!(
+            single.demand_fetches, multi.demand_fetches,
+            "demand fetches diverged"
+        );
+        assert_eq!(
+            single.backend.physical_accesses, multi.backend.physical_accesses,
+            "physical accesses diverged"
+        );
+        assert_eq!(single.writebacks, multi.writebacks);
+        assert_eq!(single.caches.l1, multi.caches.l1);
+        assert_eq!(single.caches.l2, multi.caches.l2);
+    }
+
+    #[test]
+    fn one_core_equals_single_system_on_dram() {
+        assert_one_core_equivalence(MemoryKind::Dram);
+    }
+
+    #[test]
+    fn one_core_equals_single_system_on_dynamic_oram() {
+        assert_one_core_equivalence(MemoryKind::Oram(SchemeConfig::dynamic(2)));
+    }
+
+    #[test]
+    fn multicore_inherits_warmup() {
+        let cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        let build_sys = || {
+            MultiCoreSystem::build(&cfg, 2, |id| {
+                Box::new(LocalityMix::new(1 << 20, 0.5, 5000, 9 + id as u64))
+            })
+        };
+        let cold = build_sys().run();
+        let warm = build_sys().run_with_warmup(2000);
+        assert_eq!(warm.trace_ops, 2 * 3000);
+        assert!(warm.cycles < cold.cycles);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::SystemConfig;
 use crate::metrics::RunMetrics;
+use crate::multicore::MultiCoreSystem;
 use crate::system::System;
 use proram_workloads::{suite, BenchSpec, Scale, Workload};
 
@@ -27,6 +28,21 @@ pub fn compare(spec: BenchSpec, scale: Scale, configs: &[SystemConfig]) -> Vec<R
         .iter()
         .map(|cfg| run_spec(spec, scale, cfg))
         .collect()
+}
+
+/// Builds an `num_cores`-tile system running `build_workload(core_id)` on
+/// each core and runs it to completion, excluding the scale's warmup
+/// prefix on every core. The result carries one [`CoreMetrics`] entry per
+/// core in [`RunMetrics::per_core`].
+///
+/// [`CoreMetrics`]: crate::metrics::CoreMetrics
+pub fn run_multicore(
+    config: &SystemConfig,
+    num_cores: usize,
+    warmup_ops: u64,
+    build_workload: impl FnMut(usize) -> Box<dyn Workload>,
+) -> RunMetrics {
+    MultiCoreSystem::build(config, num_cores, build_workload).run_with_warmup(warmup_ops)
 }
 
 #[cfg(test)]
@@ -79,6 +95,20 @@ mod tests {
         for spec in suite::specs(Suite::Dbms) {
             let m = run_spec(spec, quick_scale(), &cfg);
             assert_eq!(m.trace_ops, 1500, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn run_multicore_reports_per_core_breakdown() {
+        use proram_workloads::synthetic::LocalityMix;
+        let cfg = SystemConfig::quick_test(MemoryKind::Dram);
+        let m = run_multicore(&cfg, 2, 200, |id| {
+            Box::new(LocalityMix::new(1 << 20, 0.5, 1200, 5 + id as u64))
+        });
+        assert_eq!(m.per_core.len(), 2);
+        assert_eq!(m.trace_ops, 2 * 1000);
+        for c in &m.per_core {
+            assert_eq!(c.trace_ops, 1000);
         }
     }
 }

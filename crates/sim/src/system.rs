@@ -1,12 +1,15 @@
-//! The assembled system: in-order core + caches + prefetcher + memory.
+//! The assembled single-tile system: in-order core + caches + prefetcher
+//! + memory.
+//!
+//! This is the 1-tile instantiation of the shared [`TileEngine`] — the
+//! step path, backend construction and metrics accounting all live in
+//! [`crate::engine`], so single-core and multi-core runs are measured
+//! with the same instrument.
 
-use crate::config::{MemoryKind, SystemConfig};
+use crate::config::SystemConfig;
+use crate::engine::TileEngine;
 use crate::metrics::RunMetrics;
-use proram_cache::{CacheAccess, CacheHierarchy, Evicted};
-use proram_core::SuperBlockOram;
-use proram_mem::{BlockAddr, Cycle, Dram, MemRequest, MemoryBackend, Periodic};
-use proram_oram::OramConfig;
-use proram_prefetch::StreamPrefetcher;
+use proram_mem::{Cycle, MemoryBackend};
 use proram_workloads::TraceOp;
 
 /// A runnable single-tile system.
@@ -16,23 +19,9 @@ use proram_workloads::TraceOp;
 /// stalling on LLC misses until the demand data returns. Write-backs and
 /// prefetches are issued without stalling but occupy the memory resource,
 /// which is how ORAM bandwidth contention (Section 3.1) arises.
+#[derive(Debug)]
 pub struct System {
-    hierarchy: CacheHierarchy,
-    memory: Box<dyn MemoryBackend>,
-    prefetcher: Option<StreamPrefetcher>,
-    now: Cycle,
-    line_bytes: u64,
-    metrics: RunMetrics,
-}
-
-impl std::fmt::Debug for System {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("System")
-            .field("memory", &self.memory.label())
-            .field("now", &self.now)
-            .field("line_bytes", &self.line_bytes)
-            .finish_non_exhaustive()
-    }
+    engine: TileEngine,
 }
 
 impl System {
@@ -46,73 +35,24 @@ impl System {
     ///
     /// Panics if the configuration is inconsistent.
     pub fn build(config: &SystemConfig, footprint_bytes: u64) -> Self {
-        config.validate();
-        let line_bytes = config.line_bytes();
-        let memory: Box<dyn MemoryBackend> = match &config.memory {
-            MemoryKind::Dram => Box::new(Dram::new(config.dram)),
-            MemoryKind::Oram(scheme) => {
-                let needed = footprint_bytes.div_ceil(line_bytes).next_power_of_two();
-                let oram_cfg = OramConfig {
-                    num_data_blocks: needed.max(config.oram.num_data_blocks),
-                    ..config.oram.clone()
-                };
-                let backend = SuperBlockOram::new(oram_cfg, scheme.clone(), config.seed);
-                match config.periodic_interval {
-                    Some(interval) => Box::new(Periodic::new(backend, interval)),
-                    None => Box::new(backend),
-                }
-            }
-        };
-        let label = match config.periodic_interval {
-            Some(_) => format!("{}_intvl", config.memory.label()),
-            None => config.memory.label().to_owned(),
-        };
         System {
-            hierarchy: CacheHierarchy::new(config.hierarchy),
-            memory,
-            prefetcher: config.prefetch.map(StreamPrefetcher::new),
-            now: 0,
-            line_bytes,
-            metrics: RunMetrics {
-                label,
-                ..RunMetrics::default()
-            },
+            engine: TileEngine::build(config, 1, footprint_bytes),
         }
     }
 
     /// Current cycle.
     pub fn now(&self) -> Cycle {
-        self.now
+        self.engine.now(0)
     }
 
     /// The memory backend (for ORAM-specific inspection in tests).
     pub fn memory(&self) -> &dyn MemoryBackend {
-        self.memory.as_ref()
+        self.engine.memory()
     }
 
     /// Executes one trace op.
     pub fn step(&mut self, op: TraceOp) {
-        self.now += u64::from(op.comp_cycles);
-        self.metrics.trace_ops += 1;
-        let block = BlockAddr::from_byte_addr(op.addr, self.line_bytes);
-        match self.hierarchy.access(block, op.write) {
-            CacheAccess::L1Hit { latency } => {
-                self.now += latency;
-            }
-            CacheAccess::L2Hit {
-                latency,
-                prefetch_first_use,
-            } => {
-                self.now += latency;
-                if prefetch_first_use {
-                    self.memory.note_llc_hit(block);
-                }
-            }
-            CacheAccess::Miss { latency } => {
-                self.now += latency;
-                self.demand_fetch(block, op.write);
-            }
-        }
+        self.engine.step(0, op);
     }
 
     /// Runs an entire workload to completion, returning the metrics.
@@ -124,107 +64,23 @@ impl System {
     /// the reported metrics so results reflect steady state (caches and
     /// super-block state warm) rather than cold-start behaviour.
     pub fn run_with_warmup(
-        mut self,
+        self,
         workload: &mut dyn proram_workloads::Workload,
         warmup_ops: u64,
     ) -> RunMetrics {
-        self.metrics.benchmark = workload.name().to_owned();
-        let mut executed = 0u64;
-        while executed < warmup_ops {
-            let Some(op) = workload.next_op() else { break };
-            self.step(op);
-            executed += 1;
-        }
-        let cycles0 = self.now;
-        let caches0 = self.hierarchy.stats();
-        let backend0 = self.memory.stats();
-        let ops0 = self.metrics.trace_ops;
-        let fetches0 = self.metrics.demand_fetches;
-        let writebacks0 = self.metrics.writebacks;
-        let unused0 = self.metrics.unused_prefetch_evictions;
-        while let Some(op) = workload.next_op() {
-            self.step(op);
-        }
-        let mut m = self.finish();
-        m.cycles -= cycles0;
-        m.caches = m.caches - caches0;
-        m.backend = m.backend - backend0;
-        m.trace_ops -= ops0;
-        m.demand_fetches -= fetches0;
-        m.writebacks -= writebacks0;
-        m.unused_prefetch_evictions -= unused0;
-        m
+        self.engine.run(&mut [workload], warmup_ops)
     }
 
     /// Finalizes and returns the metrics.
-    pub fn finish(mut self) -> RunMetrics {
-        self.metrics.cycles = self.now;
-        self.metrics.caches = self.hierarchy.stats();
-        self.metrics.backend = self.memory.stats();
-        self.metrics
-    }
-
-    fn demand_fetch(&mut self, block: BlockAddr, write: bool) {
-        self.metrics.demand_fetches += 1;
-        // Write misses are write-allocate: fetch the line, then dirty it.
-        let outcome = self
-            .memory
-            .access(self.now, MemRequest::read(block), &self.hierarchy);
-        self.now = outcome.complete_at;
-        let mut evictions: Vec<Evicted> = Vec::new();
-        for fill in &outcome.fills {
-            let is_demand = fill.block == block && !fill.prefetched;
-            evictions.extend(
-                self.hierarchy
-                    .fill(fill.block, fill.prefetched, is_demand && write),
-            );
-        }
-        for ev in evictions {
-            self.handle_eviction(ev);
-        }
-        // Traditional prefetcher (Figure 5): candidates issue behind the
-        // demand access without stalling the core, but they occupy the
-        // memory resource.
-        if let Some(pf) = self.prefetcher.as_mut() {
-            let candidates = pf.on_miss(block);
-            for cand in candidates {
-                if self.hierarchy.contains_block(cand) {
-                    self.metrics.prefetch_candidates_filtered += 1;
-                    continue;
-                }
-                let o = self
-                    .memory
-                    .access(self.now, MemRequest::prefetch(cand), &self.hierarchy);
-                let mut evs: Vec<Evicted> = Vec::new();
-                for fill in &o.fills {
-                    evs.extend(self.hierarchy.fill(fill.block, true, false));
-                }
-                for ev in evs {
-                    self.handle_eviction(ev);
-                }
-            }
-        }
-    }
-
-    fn handle_eviction(&mut self, ev: Evicted) {
-        if ev.prefetched_unused {
-            self.metrics.unused_prefetch_evictions += 1;
-        }
-        // The hit/prefetch-bit bookkeeping sees every departure.
-        self.memory.note_llc_eviction(ev.block);
-        if ev.dirty {
-            self.metrics.writebacks += 1;
-            // Write-back buffers hide the latency from the core, but the
-            // access still occupies memory bandwidth.
-            self.memory
-                .access(self.now, MemRequest::write(ev.block), &self.hierarchy);
-        }
+    pub fn finish(self) -> RunMetrics {
+        self.engine.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MemoryKind;
     use proram_core::SchemeConfig;
     use proram_workloads::synthetic::LocalityMix;
     use proram_workloads::Workload;
@@ -243,6 +99,20 @@ mod tests {
         assert!(m.cycles > 2000);
         assert_eq!(m.label, "dram");
         assert!(m.demand_fetches > 0);
+    }
+
+    #[test]
+    fn single_tile_run_reports_one_core_entry() {
+        let m = run(MemoryKind::Dram, 0.5, 2000);
+        assert_eq!(m.per_core.len(), 1);
+        let c = &m.per_core[0];
+        assert_eq!(c.cycles, m.cycles);
+        assert_eq!(c.trace_ops, m.trace_ops);
+        assert_eq!(c.demand_fetches, m.demand_fetches);
+        assert_eq!(c.writebacks, m.writebacks);
+        assert_eq!(c.l1, m.caches.l1);
+        assert_eq!(c.llc.hits, m.caches.l2.hits);
+        assert_eq!(c.llc.misses, m.caches.l2.misses);
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Property tests: every workload, at any parameterization, produces the
-//! requested number of operations, stays inside its footprint, and is
-//! deterministic per seed.
+//! Randomized contract tests: every workload, at any parameterization,
+//! produces the requested number of operations, stays inside its
+//! footprint, and is deterministic per seed.
+//!
+//! Cases are generated with the workspace's deterministic RNG so each
+//! failure reproduces from the printed case number.
 
-use proptest::prelude::*;
+use proram_stats::{Rng64, Xoshiro256};
 use proram_workloads::dbms::{Tpcc, Ycsb};
 use proram_workloads::synthetic::{LocalityMix, PhaseChange, StridedScan};
 use proram_workloads::{spec06, splash2, suite, Scale, Suite, Workload};
@@ -13,96 +16,129 @@ fn drain(w: &mut dyn Workload) -> Vec<(u64, bool, u32)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn splash2_kernels_respect_contracts(
-        idx in 0usize..14,
-        scale in 0.02f64..0.3,
-        ops in 50u64..400,
-        seed in any::<u64>(),
-    ) {
-        let name = splash2::NAMES[idx];
+#[test]
+fn splash2_kernels_respect_contracts() {
+    let mut rng = Xoshiro256::seed_from(0x51AA);
+    for case in 0..32 {
+        let name = splash2::NAMES[rng.next_below(splash2::NAMES.len() as u64) as usize];
+        let scale = 0.02 + 0.28 * rng.next_f64();
+        let ops = rng.next_range(50, 400);
+        let seed = rng.next_u64();
         let mut k = splash2::build(name, scale, ops, seed);
         let fp = k.footprint_bytes();
         let trace = drain(&mut k);
-        prop_assert_eq!(trace.len() as u64, ops);
+        assert_eq!(trace.len() as u64, ops, "{name} length (case {case})");
         for &(addr, _, _) in &trace {
-            prop_assert!(addr < fp, "{} escaped footprint", name);
+            assert!(addr < fp, "{name} escaped footprint (case {case})");
         }
         // Determinism.
         let mut k2 = splash2::build(name, scale, ops, seed);
-        prop_assert_eq!(trace, drain(&mut k2));
+        assert_eq!(
+            trace,
+            drain(&mut k2),
+            "{name} not deterministic (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn spec06_profiles_respect_contracts(
-        idx in 0usize..10,
-        scale in 0.02f64..0.3,
-        ops in 50u64..400,
-        seed in any::<u64>(),
-    ) {
-        let name = spec06::NAMES[idx];
+#[test]
+fn spec06_profiles_respect_contracts() {
+    let mut rng = Xoshiro256::seed_from(0x06EC);
+    for case in 0..32 {
+        let name = spec06::NAMES[rng.next_below(spec06::NAMES.len() as u64) as usize];
+        let scale = 0.02 + 0.28 * rng.next_f64();
+        let ops = rng.next_range(50, 400);
+        let seed = rng.next_u64();
         let mut k = spec06::build(name, scale, ops, seed);
         let fp = k.footprint_bytes();
         let trace = drain(&mut k);
-        prop_assert_eq!(trace.len() as u64, ops);
-        prop_assert!(trace.iter().all(|&(a, _, _)| a < fp));
+        assert_eq!(trace.len() as u64, ops, "{name} length (case {case})");
+        assert!(
+            trace.iter().all(|&(a, _, _)| a < fp),
+            "{name} escaped footprint (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn synthetic_workloads_respect_contracts(
-        footprint_kb in 64u64..4096,
-        locality in 0.0f64..=1.0,
-        ops in 10u64..300,
-        seed in any::<u64>(),
-        stride_pow in 3u32..8,
-    ) {
-        let footprint = footprint_kb * 1024;
-        let mut w = LocalityMix::with_stride(footprint, locality, ops, seed, 1 << stride_pow);
+#[test]
+fn synthetic_workloads_respect_contracts() {
+    let mut rng = Xoshiro256::seed_from(0x5717);
+    for case in 0..32 {
+        let footprint = rng.next_range(64, 4096) * 1024;
+        let locality = rng.next_f64();
+        let ops = rng.next_range(10, 300);
+        let seed = rng.next_u64();
+        let stride = 1u64 << rng.next_range(3, 8);
+
+        let mut w = LocalityMix::with_stride(footprint, locality, ops, seed, stride);
         let trace = drain(&mut w);
-        prop_assert_eq!(trace.len() as u64, ops);
-        prop_assert!(trace.iter().all(|&(a, _, _)| a < footprint));
+        assert_eq!(trace.len() as u64, ops, "LocalityMix length (case {case})");
+        assert!(
+            trace.iter().all(|&(a, _, _)| a < footprint),
+            "LocalityMix escaped footprint (case {case})"
+        );
 
         let mut p = PhaseChange::new(footprint, (ops / 3).max(1), ops, seed);
-        prop_assert_eq!(drain(&mut p).len() as u64, ops);
+        assert_eq!(
+            drain(&mut p).len() as u64,
+            ops,
+            "PhaseChange length (case {case})"
+        );
 
-        let mut s = StridedScan::new(footprint, 1 << stride_pow, ops, seed);
+        let mut s = StridedScan::new(footprint, stride, ops, seed);
         let trace = drain(&mut s);
-        prop_assert!(trace.iter().all(|&(a, _, _)| a < footprint));
+        assert!(
+            trace.iter().all(|&(a, _, _)| a < footprint),
+            "StridedScan escaped footprint (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn dbms_workloads_respect_contracts(
-        records in 100u64..3000,
-        read_frac in 0.0f64..=1.0,
-        ops in 50u64..400,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dbms_workloads_respect_contracts() {
+    let mut rng = Xoshiro256::seed_from(0xDB);
+    for case in 0..32 {
+        let records = rng.next_range(100, 3000);
+        let read_frac = rng.next_f64();
+        let ops = rng.next_range(50, 400);
+        let seed = rng.next_u64();
+
         let mut y = Ycsb::new(records, read_frac, ops, seed);
         let fp = y.footprint_bytes();
         let trace = drain(&mut y);
-        prop_assert_eq!(trace.len() as u64, ops);
-        prop_assert!(trace.iter().all(|&(a, _, _)| a < fp));
+        assert_eq!(trace.len() as u64, ops, "YCSB length (case {case})");
+        assert!(
+            trace.iter().all(|&(a, _, _)| a < fp),
+            "YCSB escaped footprint (case {case})"
+        );
 
         let mut t = Tpcc::new(1 + records % 3, ops, seed);
         let fp = t.footprint_bytes();
         let trace = drain(&mut t);
-        prop_assert_eq!(trace.len() as u64, ops);
-        prop_assert!(trace.iter().all(|&(a, _, _)| a < fp));
+        assert_eq!(trace.len() as u64, ops, "TPCC length (case {case})");
+        assert!(
+            trace.iter().all(|&(a, _, _)| a < fp),
+            "TPCC escaped footprint (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn suite_builder_covers_every_spec(
-        ops in 20u64..120,
-        seed in any::<u64>(),
-    ) {
-        let scale = Scale { ops, warmup_ops: 0, footprint_scale: 0.02, seed };
+#[test]
+fn suite_builder_covers_every_spec() {
+    let mut rng = Xoshiro256::seed_from(0x5517E);
+    for _case in 0..8 {
+        let ops = rng.next_range(20, 120);
+        let seed = rng.next_u64();
+        let scale = Scale {
+            ops,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed,
+        };
         for suite_kind in [Suite::Splash2, Suite::Spec06, Suite::Dbms] {
             for spec in suite::specs(suite_kind) {
                 let w = suite::build(spec, scale);
-                prop_assert_eq!(w.count() as u64, ops, "{} length", spec.name);
+                assert_eq!(w.count() as u64, ops, "{} length", spec.name);
             }
         }
     }

@@ -71,6 +71,9 @@ fn dumped_traces_replay_to_identical_runs() {
     let mut replay = TraceFile::parse(&bytes[..]).expect("parse");
     let replayed = runner::run_workload(&mut replay, &cfg);
 
-    assert_eq!(live.cycles, replayed.cycles, "replay must be cycle-identical");
+    assert_eq!(
+        live.cycles, replayed.cycles,
+        "replay must be cycle-identical"
+    );
     assert_eq!(live.backend, replayed.backend);
 }

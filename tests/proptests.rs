@@ -1,62 +1,83 @@
-//! Property-based tests over the core data structures and invariants,
+//! Randomized tests over the core data structures and invariants,
 //! spanning crates.
+//!
+//! Cases are generated with the workspace's deterministic RNG
+//! ([`Xoshiro256`]) so every failure reproduces from the printed case
+//! number.
 
-use proptest::prelude::*;
 use proram::core_scheme::{SchemeConfig, SuperBlock, SuperBlockOram};
 use proram::oram::{eviction, Block, Leaf, OramConfig, OramTree, PathOram, Stash, StreamCipher};
 use proram_mem::{AccessKind, BlockAddr, MemRequest, MemoryBackend, NoProbe};
 use proram_stats::{Rng64, Xoshiro256};
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ----------------------------------------------------------------------
+// Super-block algebra
+// ----------------------------------------------------------------------
 
-    // ------------------------------------------------------------------
-    // Super-block algebra
-    // ------------------------------------------------------------------
-
-    #[test]
-    fn superblock_members_partition_the_space(addr in 0u64..1_000_000, k in 0u32..5) {
-        let size = 1u64 << k;
+#[test]
+fn superblock_members_partition_the_space() {
+    let mut rng = Xoshiro256::seed_from(0x5B01);
+    for case in 0..64 {
+        let addr = rng.next_below(1_000_000);
+        let size = 1u64 << rng.next_below(5);
         let sb = SuperBlock::containing(BlockAddr(addr), size);
-        prop_assert!(sb.contains(BlockAddr(addr)));
-        prop_assert_eq!(sb.members().count() as u64, size);
-        prop_assert_eq!(sb.base().0 % size, 0);
+        assert!(sb.contains(BlockAddr(addr)), "case {case}");
+        assert_eq!(sb.members().count() as u64, size, "case {case}");
+        assert_eq!(sb.base().0 % size, 0, "case {case}");
         // Every member maps back to the same group.
         for m in sb.members() {
-            prop_assert_eq!(SuperBlock::containing(m, size), sb);
+            assert_eq!(SuperBlock::containing(m, size), sb, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn neighbor_relation_is_symmetric_and_disjoint(addr in 0u64..1_000_000, k in 0u32..5) {
-        let sb = SuperBlock::containing(BlockAddr(addr), 1 << k);
+#[test]
+fn neighbor_relation_is_symmetric_and_disjoint() {
+    let mut rng = Xoshiro256::seed_from(0x5B02);
+    for case in 0..64 {
+        let addr = rng.next_below(1_000_000);
+        let sb = SuperBlock::containing(BlockAddr(addr), 1 << rng.next_below(5));
         let nb = sb.neighbor();
-        prop_assert_eq!(nb.neighbor(), sb);
-        prop_assert_eq!(sb.parent(), nb.parent());
+        assert_eq!(nb.neighbor(), sb, "case {case}");
+        assert_eq!(sb.parent(), nb.parent(), "case {case}");
         let a: HashSet<u64> = sb.members().map(|b| b.0).collect();
         let b: HashSet<u64> = nb.members().map(|b| b.0).collect();
-        prop_assert!(a.is_disjoint(&b));
+        assert!(a.is_disjoint(&b), "case {case}");
         let p: HashSet<u64> = sb.parent().members().map(|b| b.0).collect();
-        prop_assert_eq!(a.union(&b).count(), p.len());
+        assert_eq!(a.union(&b).count(), p.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn halves_reassemble(addr in 0u64..1_000_000, k in 1u32..5) {
-        let sb = SuperBlock::containing(BlockAddr(addr), 1 << k);
+#[test]
+fn halves_reassemble() {
+    let mut rng = Xoshiro256::seed_from(0x5B03);
+    for case in 0..64 {
+        let addr = rng.next_below(1_000_000);
+        let sb = SuperBlock::containing(BlockAddr(addr), 1 << rng.next_range(1, 5));
         let (lo, hi) = sb.halves();
         let all: Vec<BlockAddr> = lo.members().chain(hi.members()).collect();
         let direct: Vec<BlockAddr> = sb.members().collect();
-        prop_assert_eq!(all, direct);
-        prop_assert_eq!(sb.half_containing(BlockAddr(addr)).contains(BlockAddr(addr)), true);
+        assert_eq!(all, direct, "case {case}");
+        assert!(
+            sb.half_containing(BlockAddr(addr))
+                .contains(BlockAddr(addr)),
+            "case {case}"
+        );
     }
+}
 
-    // ------------------------------------------------------------------
-    // Tree / eviction
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Tree / eviction
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn path_read_write_conserves_blocks(seed in 0u64..5000, levels in 3u32..8, z in 1usize..4) {
+#[test]
+fn path_read_write_conserves_blocks() {
+    let mut case_rng = Xoshiro256::seed_from(0x7EE1);
+    for case in 0..64 {
+        let seed = case_rng.next_below(5000);
+        let levels = case_rng.next_range(3, 8) as u32;
+        let z = case_rng.next_range(1, 4) as usize;
         let mut tree = OramTree::new(levels, z);
         let mut stash = Stash::new(10_000);
         let mut rng = Xoshiro256::seed_from(seed);
@@ -64,7 +85,10 @@ proptest! {
         // Scatter some blocks.
         let n = 20u64.min(tree.capacity() as u64 / 2);
         for i in 0..n {
-            stash.insert(Block::opaque(BlockAddr(i), Leaf(rng.next_below(leaves) as u32)));
+            stash.insert(Block::opaque(
+                BlockAddr(i),
+                Leaf(rng.next_below(leaves) as u32),
+            ));
         }
         for _ in 0..8 {
             let leaf = Leaf(rng.next_below(leaves) as u32);
@@ -75,11 +99,17 @@ proptest! {
             eviction::read_path(&mut tree, &mut stash, leaf);
             eviction::write_path(&mut tree, &mut stash, leaf);
         }
-        prop_assert_eq!(tree.occupancy() + stash.len(), n as usize, "blocks lost or duplicated");
+        assert_eq!(
+            tree.occupancy() + stash.len(),
+            n as usize,
+            "blocks lost or duplicated (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn eviction_never_misplaces_blocks(seed in 0u64..5000) {
+#[test]
+fn eviction_never_misplaces_blocks() {
+    for seed in 0..64u64 {
         let mut tree = OramTree::new(6, 2);
         let mut stash = Stash::new(10_000);
         let mut rng = Xoshiro256::seed_from(seed);
@@ -93,48 +123,65 @@ proptest! {
         for level in 0..tree.levels() {
             let idx = tree.bucket_index(target, level);
             for b in tree.bucket(idx).iter() {
-                prop_assert!(
+                assert!(
                     tree.common_level(b.leaf, target) >= level,
-                    "block mapped to {:?} stored too deep on path {:?}", b.leaf, target
+                    "block mapped to {:?} stored too deep on path {:?} (seed {seed})",
+                    b.leaf,
+                    target
                 );
             }
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Crypto
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Crypto
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn stream_cipher_round_trips(key in any::<u64>(), nonce in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn stream_cipher_round_trips() {
+    let mut rng = Xoshiro256::seed_from(0xC1F);
+    for case in 0..64 {
+        let key = rng.next_u64();
+        let nonce = rng.next_u64();
+        let len = rng.next_below(256) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
         let cipher = StreamCipher::new(key);
         let mut buf = data.clone();
         cipher.encrypt(nonce, &mut buf);
         if data.len() >= 16 {
-            prop_assert_ne!(&buf, &data, "ciphertext equals plaintext");
+            assert_ne!(&buf, &data, "ciphertext equals plaintext (case {case})");
         }
         cipher.decrypt(nonce, &mut buf);
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data, "case {case}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Whole-ORAM invariants under random operation sequences
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Whole-ORAM invariants under random operation sequences
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn path_oram_invariants_hold_under_random_accesses(seed in 0u64..500) {
+#[test]
+fn path_oram_invariants_hold_under_random_accesses() {
+    for seed in 0..64u64 {
         let mut oram = PathOram::new(OramConfig::small_for_tests(128), seed);
         let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
         for _ in 0..60 {
             let addr = BlockAddr(rng.next_below(128));
-            let kind = if rng.next_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+            let kind = if rng.next_bool(0.3) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             oram.access_block(addr, kind);
         }
         oram.check_invariants();
     }
+}
 
-    #[test]
-    fn super_block_oram_invariants_hold_under_mixed_traffic(seed in 0u64..300) {
+#[test]
+fn super_block_oram_invariants_hold_under_mixed_traffic() {
+    for seed in 0..48u64 {
         let cfg = OramConfig {
             store_payloads: false,
             ..OramConfig::small_for_tests(256)
@@ -165,9 +212,11 @@ proptest! {
         }
         oram.oram().check_invariants();
     }
+}
 
-    #[test]
-    fn payloads_survive_arbitrary_interleavings(seed in 0u64..200) {
+#[test]
+fn payloads_survive_arbitrary_interleavings() {
+    for seed in 0..48u64 {
         let mut oram = PathOram::new(OramConfig::small_for_tests(64), seed);
         let mut rng = Xoshiro256::seed_from(seed ^ 0x5151);
         let mut shadow: Vec<Option<u8>> = vec![None; 64];
@@ -179,7 +228,10 @@ proptest! {
                 shadow[addr as usize] = Some(fill);
             } else if let Some(expected) = shadow[addr as usize] {
                 let got = oram.read_block(BlockAddr(addr)).expect("payloads on");
-                prop_assert!(got.iter().all(|&b| b == expected), "payload corrupted");
+                assert!(
+                    got.iter().all(|&b| b == expected),
+                    "payload corrupted (seed {seed})"
+                );
             }
         }
     }
