@@ -47,7 +47,7 @@ fn bench_figure_generators(c: &mut Harness) {
     for name in ["table1", "fig6a", "fig6b", "fig7"] {
         let f = exp::by_name(name).expect("registered");
         group.bench_function(name, |b| {
-            b.iter(|| black_box(f(smoke_scale())));
+            b.iter(|| black_box(f(exp::RunCtx::serial(smoke_scale()))));
         });
     }
     group.finish();

@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! proram-bench <experiment|all> [--scale quick|standard] [--ops N]
-//!              [--fp-scale F] [--seed N] [--svg DIR]
+//!              [--fp-scale F] [--seed N] [--jobs N] [--svg DIR]
 //! ```
+//!
+//! `--jobs N` runs independent simulations on N worker threads. Output
+//! is byte-identical to a serial run: every simulation is seeded from
+//! its own config (never from run order) and rows are assembled in the
+//! order the experiment defines, so parallelism changes wall-clock time
+//! only.
 //!
 //! With `--svg DIR`, every regenerated table is also rendered as a
 //! grouped bar chart into `DIR/<experiment>_<n>.svg`.
@@ -14,8 +20,13 @@
 //!
 //! `proram-bench trace <benchmark>` dumps a benchmark's memory trace to
 //! stdout in the portable text format of `proram_workloads::tracefile`.
+//!
+//! `proram-bench hotpath [--ms N] [--out PATH]` measures the raw
+//! ORAM-access kernels against the recorded pre-optimization baseline
+//! and emits the `BENCH_hotpath.json` report (stdout unless `--out`).
 
-use proram_bench::exp;
+use proram_bench::exp::{self, RunCtx};
+use proram_bench::{hotpath, jobs};
 use proram_stats::{BarChart, Table};
 use proram_workloads::{suite, tracefile, Scale, Suite};
 use std::path::PathBuf;
@@ -42,9 +53,10 @@ fn emit(name: &str, tables: &[Table], svg_dir: Option<&PathBuf>) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: proram-bench <experiment|all|list> [--scale quick|standard] [--ops N] [--fp-scale F] [--seed N] [--svg DIR]"
+        "usage: proram-bench <experiment|all|list> [--scale quick|standard] [--ops N] [--fp-scale F] [--seed N] [--jobs N] [--svg DIR]"
     );
     eprintln!("       proram-bench trace <benchmark> [--ops N] [--fp-scale F] [--seed N]");
+    eprintln!("       proram-bench hotpath [--ms N] [--out PATH]");
     eprintln!("experiments:");
     for (name, _) in exp::EXPERIMENTS {
         eprintln!("  {name}");
@@ -77,6 +89,38 @@ fn dump_trace(bench: &str, mut scale: Scale) -> ExitCode {
     }
 }
 
+fn run_hotpath(ms: u64, out: Option<&PathBuf>) -> ExitCode {
+    eprintln!("[measuring hot-path kernels, {ms} ms each...]");
+    let reports = hotpath::measure(ms);
+    for r in &reports {
+        eprintln!(
+            "[{}: {:.1} acc/s ({:.2}x over baseline {:.1}), {} allocations avoided]",
+            r.name,
+            r.after.units_per_sec(),
+            r.speedup(),
+            r.before_accesses_per_sec,
+            r.after.allocations_avoided
+        );
+    }
+    let json = hotpath::to_json(&reports, ms);
+    match out {
+        Some(path) => match std::fs::write(path, &json) {
+            Ok(()) => {
+                eprintln!("[wrote {}]", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{json}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first().cloned() else {
@@ -86,6 +130,9 @@ fn main() -> ExitCode {
     let mut scale = Scale::standard();
     let mut svg_dir: Option<PathBuf> = None;
     let mut trace_bench: Option<String> = None;
+    let mut njobs: usize = 1;
+    let mut hotpath_ms: u64 = 3_000;
+    let mut hotpath_out: Option<PathBuf> = None;
     let mut i = 1;
     if which == "trace" {
         match args.get(i) {
@@ -128,6 +175,27 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => njobs = n,
+                    _ => return usage(),
+                }
+            }
+            "--ms" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => hotpath_ms = n,
+                    _ => return usage(),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => hotpath_out = Some(PathBuf::from(path)),
+                    None => return usage(),
+                }
+            }
             "--svg" => {
                 i += 1;
                 match args.get(i) {
@@ -153,16 +221,29 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "hotpath" => run_hotpath(hotpath_ms, hotpath_out.as_ref()),
         "all" => {
-            for (name, runner) in exp::EXPERIMENTS {
+            // Fan out across experiments rather than within them: the
+            // registry's work items are coarse and independent, and each
+            // experiment's tables come back in registry order, so stdout
+            // matches a serial run byte for byte.
+            let runs: Vec<_> = exp::EXPERIMENTS.to_vec();
+            let results = jobs::parallel_map(njobs, runs, |(name, runner)| {
                 eprintln!("[running {name}...]");
-                emit(name, &runner(scale), svg_dir.as_ref());
+                (name, runner(RunCtx::serial(scale)))
+            });
+            for (name, tables) in results {
+                emit(name, &tables, svg_dir.as_ref());
             }
             ExitCode::SUCCESS
         }
         name => match exp::by_name(name) {
             Some(runner) => {
-                emit(name, &runner(scale), svg_dir.as_ref());
+                emit(
+                    name,
+                    &runner(RunCtx::with_jobs(scale, njobs)),
+                    svg_dir.as_ref(),
+                );
                 ExitCode::SUCCESS
             }
             None => {

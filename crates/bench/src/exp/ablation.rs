@@ -4,6 +4,7 @@
 //! map).
 
 use crate::common;
+use crate::exp::RunCtx;
 use proram_core::SchemeConfig;
 use proram_sim::runner;
 use proram_stats::{table, Table};
@@ -351,17 +352,19 @@ pub fn multicore_scaling(scale: Scale) -> Table {
     t
 }
 
-/// Runs all ablations.
-pub fn run(scale: Scale) -> Vec<Table> {
-    vec![
-        strided_super_blocks(scale),
-        treetop_caching(scale),
-        plb_sizing(scale),
-        adaptive_interval(scale),
-        shi_generality(scale),
-        stash_occupancy(scale),
-        multicore_scaling(scale),
-    ]
+/// Runs all ablations. The seven studies are independent, so they fan
+/// over the worker pool; tables come back in presentation order.
+pub fn run(ctx: RunCtx) -> Vec<Table> {
+    let studies: Vec<fn(Scale) -> Table> = vec![
+        strided_super_blocks,
+        treetop_caching,
+        plb_sizing,
+        adaptive_interval,
+        shi_generality,
+        stash_occupancy,
+        multicore_scaling,
+    ];
+    crate::jobs::parallel_map(ctx.jobs, studies, |study| study(ctx.scale))
 }
 
 #[cfg(test)]

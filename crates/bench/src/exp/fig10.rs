@@ -5,10 +5,12 @@
 //! coefficients do not matter for benchmarks without locality.
 
 use crate::common;
+use crate::exp::RunCtx;
+use crate::jobs::parallel_map;
 use proram_core::SchemeConfig;
 use proram_sim::runner;
 use proram_stats::{table, Table};
-use proram_workloads::{Scale, Suite};
+use proram_workloads::Suite;
 
 /// The coefficient pairs of the paper's sweep.
 pub const COEFFICIENTS: &[(&str, f64, f64)] = &[
@@ -24,16 +26,18 @@ pub const BENCHMARKS: &[&str] = &["ocean_c", "ocean_nc", "fft", "volrend"];
 
 /// Runs the sweep: dynamic-scheme speedup over baseline ORAM for every
 /// coefficient pair.
-pub fn run(scale: Scale) -> Table {
+pub fn run(ctx: RunCtx) -> Table {
     let headers: Vec<String> = std::iter::once("bench".to_owned())
         .chain(COEFFICIENTS.iter().map(|(n, _, _)| (*n).to_owned()))
         .collect();
     let mut t = Table::new(&headers)
         .with_title("Figure 10: merge/break coefficient sweep, dyn speedup vs baseline ORAM");
-    for spec in common::specs(Suite::Splash2)
+    let specs: Vec<_> = common::specs(Suite::Splash2)
         .into_iter()
         .filter(|s| BENCHMARKS.contains(&s.name))
-    {
+        .collect();
+    let rows = parallel_map(ctx.jobs, specs, |spec| {
+        let scale = ctx.scale;
         let oram = runner::run_spec(spec, scale, &common::oram_config(SchemeConfig::baseline()));
         let mut row = vec![spec.name.to_owned()];
         for &(_, cm, cb) in COEFFICIENTS {
@@ -41,6 +45,9 @@ pub fn run(scale: Scale) -> Table {
             let m = runner::run_spec(spec, scale, &common::oram_config(scheme));
             row.push(table::pct(m.speedup_over(&oram)));
         }
+        row
+    });
+    for row in rows {
         t.row(&row);
     }
     t
@@ -52,12 +59,12 @@ mod tests {
 
     #[test]
     fn one_row_per_benchmark() {
-        let t = run(Scale {
+        let t = run(RunCtx::serial(proram_workloads::Scale {
             ops: 800,
             warmup_ops: 0,
             footprint_scale: 0.02,
             seed: 2,
-        });
+        }));
         assert_eq!(t.len(), BENCHMARKS.len());
     }
 }

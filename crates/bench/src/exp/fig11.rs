@@ -5,15 +5,15 @@
 //! gain is orthogonal to the DRAM bandwidth."
 
 use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use crate::exp::RunCtx;
 use proram_stats::Table;
-use proram_workloads::Scale;
 
 /// Benchmarks of the paper's Figure 11.
 pub const BENCHMARKS: &[&str] = &["ocean_c", "volrend"];
 
 /// Runs the sweep: normalized completion time (vs DRAM at the same
 /// bandwidth) for oram/stat/dyn.
-pub fn run(scale: Scale) -> Table {
+pub fn run(ctx: RunCtx) -> Table {
     let sweeps: Vec<SweptConfig> = [4u32, 8, 16]
         .into_iter()
         .map(|gbps| SweptConfig {
@@ -25,7 +25,7 @@ pub fn run(scale: Scale) -> Table {
         "Figure 11: DRAM bandwidth sweep, completion time normalized to DRAM",
         BENCHMARKS,
         sweeps,
-        scale,
+        ctx,
     )
 }
 
@@ -35,12 +35,12 @@ mod tests {
 
     #[test]
     fn rows_cover_benchmarks_times_sweep_points() {
-        let t = run(Scale {
+        let t = run(RunCtx::serial(proram_workloads::Scale {
             ops: 600,
             warmup_ops: 0,
             footprint_scale: 0.02,
             seed: 2,
-        });
+        }));
         assert_eq!(t.len(), BENCHMARKS.len() * 3);
     }
 }

@@ -4,8 +4,8 @@
 //! becomes larger. The baseline ORAM does not change much."
 
 use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use crate::exp::RunCtx;
 use proram_stats::Table;
-use proram_workloads::Scale;
 
 /// Benchmarks of the paper's Figure 12.
 pub const BENCHMARKS: &[&str] = &["ocean_c", "volrend"];
@@ -14,7 +14,7 @@ pub const BENCHMARKS: &[&str] = &["ocean_c", "volrend"];
 pub const STASH_SIZES: &[usize] = &[25, 50, 100, 200, 400];
 
 /// Runs the sweep.
-pub fn run(scale: Scale) -> Table {
+pub fn run(ctx: RunCtx) -> Table {
     let sweeps: Vec<SweptConfig> = STASH_SIZES
         .iter()
         .map(|&size| SweptConfig {
@@ -29,7 +29,7 @@ pub fn run(scale: Scale) -> Table {
         "Figure 12: stash size sweep, completion time normalized to DRAM",
         BENCHMARKS,
         sweeps,
-        scale,
+        ctx,
     )
 }
 
@@ -39,12 +39,12 @@ mod tests {
 
     #[test]
     fn grid_size() {
-        let t = run(Scale {
+        let t = run(RunCtx::serial(proram_workloads::Scale {
             ops: 400,
             warmup_ops: 0,
             footprint_scale: 0.02,
             seed: 2,
-        });
+        }));
         assert_eq!(t.len(), BENCHMARKS.len() * STASH_SIZES.len());
     }
 }

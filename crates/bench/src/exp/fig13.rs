@@ -5,14 +5,14 @@
 //! has consistent performance gain for both Z values."
 
 use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use crate::exp::RunCtx;
 use proram_stats::Table;
-use proram_workloads::Scale;
 
 /// Benchmarks of the paper's Figure 13.
 pub const BENCHMARKS: &[&str] = &["fft", "ocean_c", "ocean_nc", "volrend"];
 
 /// Runs the Z sweep.
-pub fn run(scale: Scale) -> Table {
+pub fn run(ctx: RunCtx) -> Table {
     let sweeps: Vec<SweptConfig> = [3usize, 4]
         .into_iter()
         .map(|z| SweptConfig {
@@ -27,7 +27,7 @@ pub fn run(scale: Scale) -> Table {
         "Figure 13: Z sweep, completion time normalized to DRAM",
         BENCHMARKS,
         sweeps,
-        scale,
+        ctx,
     )
 }
 
@@ -37,12 +37,12 @@ mod tests {
 
     #[test]
     fn grid_size() {
-        let t = run(Scale {
+        let t = run(RunCtx::serial(proram_workloads::Scale {
             ops: 400,
             warmup_ops: 0,
             footprint_scale: 0.02,
             seed: 2,
-        });
+        }));
         assert_eq!(t.len(), BENCHMARKS.len() * 2);
     }
 }

@@ -4,14 +4,14 @@
 //! do not change."
 
 use crate::exp::sweep::{norm_completion_rows, SweptConfig};
+use crate::exp::RunCtx;
 use proram_stats::Table;
-use proram_workloads::Scale;
 
 /// Benchmarks of the paper's Figure 14.
 pub const BENCHMARKS: &[&str] = &["ocean_c", "volrend"];
 
 /// Runs the line-size sweep.
-pub fn run(scale: Scale) -> Table {
+pub fn run(ctx: RunCtx) -> Table {
     let sweeps: Vec<SweptConfig> = [64u32, 128, 256]
         .into_iter()
         .map(|lb| SweptConfig {
@@ -23,7 +23,7 @@ pub fn run(scale: Scale) -> Table {
         "Figure 14: cacheline size sweep, completion time normalized to DRAM",
         BENCHMARKS,
         sweeps,
-        scale,
+        ctx,
     )
 }
 
@@ -33,12 +33,12 @@ mod tests {
 
     #[test]
     fn grid_size() {
-        let t = run(Scale {
+        let t = run(RunCtx::serial(proram_workloads::Scale {
             ops: 400,
             warmup_ops: 0,
             footprint_scale: 0.02,
             seed: 2,
-        });
+        }));
         assert_eq!(t.len(), BENCHMARKS.len() * 3);
     }
 }

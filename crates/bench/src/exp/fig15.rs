@@ -5,16 +5,18 @@
 //! *periodic* baseline ORAM, with `O_int = 100`.
 
 use crate::common;
+use crate::exp::RunCtx;
+use crate::jobs::parallel_map;
 use proram_core::SchemeConfig;
 use proram_sim::runner;
 use proram_stats::{summary, table, Table};
-use proram_workloads::{Scale, Suite};
+use proram_workloads::Suite;
 
 /// The paper's public access interval.
 pub const O_INT: u64 = 100;
 
 /// Runs one suite.
-pub fn run_suite(suite: Suite, scale: Scale) -> Table {
+pub fn run_suite(suite: Suite, ctx: RunCtx) -> Table {
     let mut t = Table::new(&["bench", "oram", "stat_intvl", "dyn_intvl"]).with_title(format!(
         "Figure 15 ({}): speedup vs periodic baseline ORAM, O_int = {O_INT}",
         suite.name()
@@ -25,21 +27,27 @@ pub fn run_suite(suite: Suite, scale: Scale) -> Table {
         cfg
     };
     let mut gains: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for spec in common::specs(suite) {
+    let per_spec = parallel_map(ctx.jobs, common::specs(suite), |spec| {
+        let scale = ctx.scale;
         let base = runner::run_spec(spec, scale, &periodic(SchemeConfig::baseline()));
         let oram_np = runner::run_spec(spec, scale, &common::oram_config(SchemeConfig::baseline()));
         let stat = runner::run_spec(spec, scale, &periodic(SchemeConfig::static_scheme(2)));
         let dynamic = runner::run_spec(spec, scale, &periodic(SchemeConfig::dynamic(2)));
-        let cells = [
-            oram_np.speedup_over(&base),
-            stat.speedup_over(&base),
-            dynamic.speedup_over(&base),
-        ];
+        (
+            spec.name,
+            [
+                oram_np.speedup_over(&base),
+                stat.speedup_over(&base),
+                dynamic.speedup_over(&base),
+            ],
+        )
+    });
+    for (name, cells) in per_spec {
         for (v, g) in cells.iter().zip(gains.iter_mut()) {
             g.push(1.0 + v);
         }
         t.row(&[
-            spec.name,
+            name,
             &table::pct(cells[0]),
             &table::pct(cells[1]),
             &table::pct(cells[2]),
@@ -55,28 +63,29 @@ pub fn run_suite(suite: Suite, scale: Scale) -> Table {
 }
 
 /// Runs all three suites.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(ctx: RunCtx) -> Vec<Table> {
     vec![
-        run_suite(Suite::Splash2, scale),
-        run_suite(Suite::Spec06, scale),
-        run_suite(Suite::Dbms, scale),
+        run_suite(Suite::Splash2, ctx),
+        run_suite(Suite::Spec06, ctx),
+        run_suite(Suite::Dbms, ctx),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proram_workloads::Scale;
 
     #[test]
     fn dbms_rows() {
         let t = run_suite(
             Suite::Dbms,
-            Scale {
+            RunCtx::serial(Scale {
                 ops: 800,
                 warmup_ops: 0,
                 footprint_scale: 0.02,
                 seed: 1,
-            },
+            }),
         );
         assert_eq!(t.len(), 3); // YCSB, TPCC, avg
     }

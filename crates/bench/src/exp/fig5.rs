@@ -5,23 +5,27 @@
 //! subsystem is busy serving useful requests."
 
 use crate::common;
+use crate::exp::RunCtx;
+use crate::jobs::parallel_map;
 use proram_core::SchemeConfig;
 use proram_sim::runner;
 use proram_stats::{table, Table};
-use proram_workloads::{splash2, suite, Scale, Suite};
+use proram_workloads::{splash2, suite, BenchSpec, Suite};
 
 /// Runs the six Figure 5 benchmarks with a stream prefetcher on DRAM and
 /// on baseline ORAM; reports speedup of prefetching over the same system
 /// without it.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(ctx: RunCtx) -> Vec<Table> {
     let mut t = Table::new(&["bench", "dram_pre", "oram_pre"])
         .with_title("Figure 5: traditional prefetching speedup (vs same system without prefetch)");
-    let mut dram_gains = Vec::new();
-    let mut oram_gains = Vec::new();
-    for spec in suite::specs(Suite::Splash2)
+    let specs: Vec<BenchSpec> = suite::specs(Suite::Splash2)
         .into_iter()
         .filter(|s| splash2::FIG5_NAMES.contains(&s.name))
-    {
+        .collect();
+    // Each benchmark's four runs are independent of every other
+    // benchmark's; fan the benchmarks over the worker pool.
+    let gains = parallel_map(ctx.jobs, specs, |spec| {
+        let scale = ctx.scale;
         let dram = runner::run_spec(spec, scale, &common::dram_config());
         let mut dram_pf = common::dram_config();
         dram_pf.prefetch = Some(Default::default());
@@ -33,11 +37,18 @@ pub fn run(scale: Scale) -> Vec<Table> {
         oram_pf.prefetch = Some(Default::default());
         let oram_pre = runner::run_spec(spec, scale, &oram_pf);
 
-        let dg = dram_pre.speedup_over(&dram);
-        let og = oram_pre.speedup_over(&oram);
+        (
+            spec.name,
+            dram_pre.speedup_over(&dram),
+            oram_pre.speedup_over(&oram),
+        )
+    });
+    let mut dram_gains = Vec::new();
+    let mut oram_gains = Vec::new();
+    for (name, dg, og) in gains {
         dram_gains.push(dg);
         oram_gains.push(og);
-        t.row(&[spec.name, &table::pct(dg), &table::pct(og)]);
+        t.row(&[name, &table::pct(dg), &table::pct(og)]);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     t.row(&[
@@ -51,15 +62,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proram_workloads::Scale;
 
     #[test]
     fn produces_one_row_per_benchmark_plus_average() {
-        let t = &run(Scale {
+        let t = &run(RunCtx::serial(Scale {
             ops: 800,
             warmup_ops: 0,
             footprint_scale: 0.02,
             seed: 2,
-        })[0];
+        }))[0];
         assert_eq!(t.len(), splash2::FIG5_NAMES.len() + 1);
     }
 }

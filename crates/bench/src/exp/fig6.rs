@@ -4,11 +4,12 @@
 //! chosen here to make it easier to see the performance difference").
 
 use crate::common;
+use crate::exp::RunCtx;
+use crate::jobs::parallel_map;
 use proram_core::SchemeConfig;
 use proram_sim::SystemConfig;
 use proram_stats::{table, Table};
 use proram_workloads::synthetic::{LocalityMix, PhaseChange};
-use proram_workloads::Scale;
 
 /// Line-granular stride so each op touches a fresh cache line and a
 /// fixed op budget sweeps the array several times.
@@ -36,26 +37,32 @@ fn z4(scheme: SchemeConfig) -> SystemConfig {
 
 /// Figure 6a: sweep the percentage of data with locality; `stat` and
 /// `dyn` speedup over baseline ORAM.
-pub fn run_6a(scale: Scale) -> Table {
+pub fn run_6a(ctx: RunCtx) -> Table {
     let mut t = Table::new(&["locality", "stat", "dyn"])
         .with_title("Figure 6a: locality sweep, speedup vs baseline ORAM (Z=4)");
+    let scale = ctx.scale;
     let footprint = footprint_for(scale.ops);
-    for pct in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+    // The six sweep points are independent triples of runs.
+    let rows = parallel_map(ctx.jobs, vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0], |pct| {
         let build = || LocalityMix::with_stride(footprint, pct, scale.ops, scale.seed, STRIDE);
         let oram = common::run_built(build, &z4(SchemeConfig::baseline()));
         let stat = common::run_built(build, &z4(SchemeConfig::static_scheme(2)));
         let dynamic = common::run_built(build, &z4(SchemeConfig::dynamic(2)));
-        t.row(&[
-            &format!("{:.0}%", pct * 100.0),
-            &table::pct(stat.speedup_over(&oram)),
-            &table::pct(dynamic.speedup_over(&oram)),
-        ]);
+        [
+            format!("{:.0}%", pct * 100.0),
+            table::pct(stat.speedup_over(&oram)),
+            table::pct(dynamic.speedup_over(&oram)),
+        ]
+    });
+    for row in rows {
+        t.row(&row);
     }
     t
 }
 
 /// Figure 6b: phase-change behaviour of the merge/break variants.
-pub fn run_6b(scale: Scale) -> Table {
+pub fn run_6b(ctx: RunCtx) -> Table {
+    let scale = ctx.scale;
     let mut t = Table::new(&["scheme", "speedup", "norm_accesses"])
         .with_title("Figure 6b: phase change, speedup and normalized memory accesses (Z=4)");
     // Phases must each sweep the array several times: merges from a
@@ -95,13 +102,13 @@ pub fn run_6b(scale: Scale) -> Table {
 mod tests {
     use super::*;
 
-    fn tiny() -> Scale {
-        Scale {
+    fn tiny() -> RunCtx {
+        RunCtx::serial(proram_workloads::Scale {
             ops: 1500,
             warmup_ops: 0,
             footprint_scale: 1.0,
             seed: 4,
-        }
+        })
     }
 
     #[test]

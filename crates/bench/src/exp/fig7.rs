@@ -9,10 +9,12 @@ use crate::common;
 use proram_core::SchemeConfig;
 use proram_stats::{table, Table};
 use proram_workloads::synthetic::LocalityMix;
-use proram_workloads::Scale;
+
+use crate::exp::RunCtx;
 
 /// Runs the sbsize in {2, 4, 8} sweep.
-pub fn run(scale: Scale) -> Table {
+pub fn run(ctx: RunCtx) -> Table {
+    let scale = ctx.scale;
     let mut t = Table::new(&["sbsize", "stat", "dyn", "stat_norm_acc", "dyn_norm_acc"])
         .with_title("Figure 7: super block size sweep, 100% locality (Z=4)");
     let footprint = (scale.ops * 128 / 8).clamp(1 << 20, 2 << 20);
@@ -46,12 +48,12 @@ mod tests {
 
     #[test]
     fn sweep_covers_three_sizes() {
-        let t = run(Scale {
+        let t = run(RunCtx::serial(proram_workloads::Scale {
             ops: 1200,
             warmup_ops: 0,
             footprint_scale: 1.0,
             seed: 1,
-        });
+        }));
         assert_eq!(t.len(), 3);
     }
 }

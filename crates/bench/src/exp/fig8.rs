@@ -3,11 +3,13 @@
 //! (8c).
 
 use crate::common;
+use crate::exp::RunCtx;
+use crate::jobs::parallel_map;
 use proram_stats::{summary, table, Table};
-use proram_workloads::{Scale, Suite};
+use proram_workloads::Suite;
 
 /// Runs one suite's comparison.
-pub fn run_suite(suite: Suite, scale: Scale) -> Table {
+pub fn run_suite(suite: Suite, ctx: RunCtx) -> Table {
     let title = match suite {
         Suite::Splash2 => "Figure 8a: Splash2",
         Suite::Spec06 => "Figure 8b: SPEC06",
@@ -20,16 +22,23 @@ pub fn run_suite(suite: Suite, scale: Scale) -> Table {
     let mut dyn_ratio = Vec::new();
     let mut stat_mem = Vec::new();
     let mut dyn_mem = Vec::new();
-    for spec in common::specs(suite) {
-        let (oram, stat, dynamic) = common::run_three_schemes(spec, scale);
-        let sg = stat.speedup_over(&oram);
-        let dg = dynamic.speedup_over(&oram);
+    let per_spec = parallel_map(ctx.jobs, common::specs(suite), |spec| {
+        let (oram, stat, dynamic) = common::run_three_schemes(spec, ctx.scale);
+        (
+            spec,
+            stat.speedup_over(&oram),
+            dynamic.speedup_over(&oram),
+            stat.norm_memory_accesses(&oram),
+            dynamic.norm_memory_accesses(&oram),
+        )
+    });
+    for (spec, sg, dg, s_acc, d_acc) in per_spec {
         t.row(&[
             spec.name,
             &table::pct(sg),
             &table::pct(dg),
-            &table::f3(stat.norm_memory_accesses(&oram)),
-            &table::f3(dynamic.norm_memory_accesses(&oram)),
+            &table::f3(s_acc),
+            &table::f3(d_acc),
         ]);
         stat_ratio.push(1.0 + sg);
         dyn_ratio.push(1.0 + dg);
@@ -55,29 +64,31 @@ pub fn run_suite(suite: Suite, scale: Scale) -> Table {
     t
 }
 
-/// Runs all three suites.
-pub fn run_all(scale: Scale) -> Vec<Table> {
+/// Runs all three suites. Each suite already fans its benchmarks over
+/// the worker pool, so the suites run in sequence.
+pub fn run_all(ctx: RunCtx) -> Vec<Table> {
     vec![
-        run_suite(Suite::Splash2, scale),
-        run_suite(Suite::Spec06, scale),
-        run_suite(Suite::Dbms, scale),
+        run_suite(Suite::Splash2, ctx),
+        run_suite(Suite::Spec06, ctx),
+        run_suite(Suite::Dbms, ctx),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proram_workloads::Scale;
 
     #[test]
     fn dbms_suite_rows() {
         let t = run_suite(
             Suite::Dbms,
-            Scale {
+            RunCtx::serial(Scale {
                 ops: 1000,
                 warmup_ops: 0,
                 footprint_scale: 0.02,
                 seed: 1,
-            },
+            }),
         );
         // YCSB + TPCC + avg + mem_avg.
         assert_eq!(t.len(), 4);

@@ -18,23 +18,52 @@ pub mod table1;
 use proram_stats::Table;
 use proram_workloads::Scale;
 
-/// An experiment entry point: scale in, regenerated tables out.
-pub type ExperimentFn = fn(Scale) -> Vec<Table>;
+/// How an experiment should run: the workload scale plus the worker
+/// budget for its independent simulation runs.
+///
+/// Every simulated run is a pure function of `(spec, scale, config)`,
+/// so `jobs` only changes wall-clock time — the produced tables are
+/// byte-identical for any job count.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCtx {
+    /// Workload scaling knobs, forwarded to every run.
+    pub scale: Scale,
+    /// Maximum worker threads for an experiment's independent runs.
+    pub jobs: usize,
+}
+
+impl RunCtx {
+    /// A context running everything on the caller's thread.
+    pub fn serial(scale: Scale) -> Self {
+        RunCtx { scale, jobs: 1 }
+    }
+
+    /// A context with an explicit worker budget.
+    pub fn with_jobs(scale: Scale, jobs: usize) -> Self {
+        RunCtx {
+            scale,
+            jobs: jobs.max(1),
+        }
+    }
+}
+
+/// An experiment entry point: run context in, regenerated tables out.
+pub type ExperimentFn = fn(RunCtx) -> Vec<Table>;
 
 /// Every experiment, addressable by CLI name.
 pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("table1", table1::run),
     ("fig5", fig5::run),
-    ("fig6a", |s| vec![fig6::run_6a(s)]),
-    ("fig6b", |s| vec![fig6::run_6b(s)]),
-    ("fig7", |s| vec![fig7::run(s)]),
+    ("fig6a", |c| vec![fig6::run_6a(c)]),
+    ("fig6b", |c| vec![fig6::run_6b(c)]),
+    ("fig7", |c| vec![fig7::run(c)]),
     ("fig8", fig8::run_all),
     ("fig9", fig9::run),
-    ("fig10", |s| vec![fig10::run(s)]),
-    ("fig11", |s| vec![fig11::run(s)]),
-    ("fig12", |s| vec![fig12::run(s)]),
-    ("fig13", |s| vec![fig13::run(s)]),
-    ("fig14", |s| vec![fig14::run(s)]),
+    ("fig10", |c| vec![fig10::run(c)]),
+    ("fig11", |c| vec![fig11::run(c)]),
+    ("fig12", |c| vec![fig12::run(c)]),
+    ("fig13", |c| vec![fig13::run(c)]),
+    ("fig14", |c| vec![fig14::run(c)]),
     ("fig15", fig15::run),
     ("ablation", ablation::run),
 ];
@@ -69,5 +98,11 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("fig7").is_some());
         assert!(by_name("fig99").is_none());
+    }
+
+    #[test]
+    fn ctx_clamps_jobs() {
+        assert_eq!(RunCtx::with_jobs(Scale::quick(), 0).jobs, 1);
+        assert_eq!(RunCtx::serial(Scale::quick()).jobs, 1);
     }
 }

@@ -3,17 +3,20 @@
 //! parameter and report completion time normalized to DRAM.
 
 use crate::common;
+use crate::exp::RunCtx;
+use crate::jobs::parallel_map;
 use proram_core::SchemeConfig;
 use proram_sim::{runner, SystemConfig};
 use proram_stats::{table, Table};
-use proram_workloads::{Scale, Suite};
+use proram_workloads::Suite;
 
 /// One point of a sweep: a label and a configuration transform.
 pub struct SweptConfig {
     /// Row label (e.g. `"8GB/s"`, `"Z=4"`).
     pub label: String,
-    /// Applies the swept parameter to a base configuration.
-    pub apply: Box<dyn Fn(SystemConfig) -> SystemConfig>,
+    /// Applies the swept parameter to a base configuration. `Send +
+    /// Sync` so sweep points can be shared across worker threads.
+    pub apply: Box<dyn Fn(SystemConfig) -> SystemConfig + Send + Sync>,
 }
 
 impl std::fmt::Debug for SweptConfig {
@@ -25,32 +28,40 @@ impl std::fmt::Debug for SweptConfig {
 /// Runs `benchmarks x sweeps`, producing one row per combination with
 /// oram/stat/dyn completion times normalized to the DRAM run under the
 /// same swept parameter.
+///
+/// Every `(benchmark, sweep point)` cell is an independent set of four
+/// runs, so the grid fans over `ctx.jobs` workers; rows are assembled
+/// in grid order afterwards, identical to a serial run.
 pub fn norm_completion_rows(
     title: &str,
     benchmarks: &[&str],
     sweeps: Vec<SweptConfig>,
-    scale: Scale,
+    ctx: RunCtx,
 ) -> Table {
     let mut t = Table::new(&["bench", "sweep", "oram", "stat", "dyn"]).with_title(title);
-    for spec in common::specs(Suite::Splash2)
+    let combos: Vec<_> = common::specs(Suite::Splash2)
         .into_iter()
         .filter(|s| benchmarks.contains(&s.name))
-    {
-        for sweep in &sweeps {
-            let dram_cfg = (sweep.apply)(common::dram_config());
-            let dram = runner::run_spec(spec, scale, &dram_cfg);
-            let mut cells = vec![spec.name.to_owned(), sweep.label.clone()];
-            for scheme in [
-                SchemeConfig::baseline(),
-                SchemeConfig::static_scheme(2),
-                SchemeConfig::dynamic(2),
-            ] {
-                let cfg = (sweep.apply)(common::oram_config(scheme));
-                let m = runner::run_spec(spec, scale, &cfg);
-                cells.push(table::f3(m.norm_completion_time(&dram)));
-            }
-            t.row(&cells);
+        .flat_map(|spec| sweeps.iter().map(move |sweep| (spec, sweep)))
+        .collect();
+    let rows = parallel_map(ctx.jobs, combos, |(spec, sweep)| {
+        let scale = ctx.scale;
+        let dram_cfg = (sweep.apply)(common::dram_config());
+        let dram = runner::run_spec(spec, scale, &dram_cfg);
+        let mut cells = vec![spec.name.to_owned(), sweep.label.clone()];
+        for scheme in [
+            SchemeConfig::baseline(),
+            SchemeConfig::static_scheme(2),
+            SchemeConfig::dynamic(2),
+        ] {
+            let cfg = (sweep.apply)(common::oram_config(scheme));
+            let m = runner::run_spec(spec, scale, &cfg);
+            cells.push(table::f3(m.norm_completion_time(&dram)));
         }
+        cells
+    });
+    for cells in rows {
+        t.row(&cells);
     }
     t
 }
@@ -58,6 +69,16 @@ pub fn norm_completion_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proram_workloads::Scale;
+
+    fn tiny() -> RunCtx {
+        RunCtx::serial(Scale {
+            ops: 500,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed: 1,
+        })
+    }
 
     #[test]
     fn sweep_produces_expected_grid() {
@@ -65,20 +86,32 @@ mod tests {
             label: "base".into(),
             apply: Box::new(|c| c),
         }];
-        let t = norm_completion_rows(
-            "test",
-            &["fft"],
-            sweeps,
-            Scale {
-                ops: 500,
-                warmup_ops: 0,
-                footprint_scale: 0.02,
-                seed: 1,
-            },
-        );
+        let t = norm_completion_rows("test", &["fft"], sweeps, tiny());
         assert_eq!(t.len(), 1);
         let s = t.to_string();
         assert!(s.contains("fft"));
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let mk = || {
+            vec![
+                SweptConfig {
+                    label: "a".into(),
+                    apply: Box::new(|c| c),
+                },
+                SweptConfig {
+                    label: "b".into(),
+                    apply: Box::new(|mut c: SystemConfig| {
+                        c.oram.z = 4;
+                        c
+                    }),
+                },
+            ]
+        };
+        let serial = norm_completion_rows("t", &["fft"], mk(), tiny());
+        let parallel = norm_completion_rows("t", &["fft"], mk(), RunCtx { jobs: 4, ..tiny() });
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 
     #[test]

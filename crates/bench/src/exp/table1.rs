@@ -4,11 +4,12 @@ use crate::common;
 use proram_core::SchemeConfig;
 use proram_oram::{OramConfig, OramTiming};
 use proram_stats::Table;
-use proram_workloads::Scale;
+
+use crate::exp::RunCtx;
 
 /// Prints the configuration the simulator runs with, alongside the
 /// paper's values.
-pub fn run(_scale: Scale) -> Vec<Table> {
+pub fn run(_ctx: RunCtx) -> Vec<Table> {
     let cfg = common::oram_config(SchemeConfig::dynamic(2));
     let mut t = Table::new(&["parameter", "paper", "this reproduction"])
         .with_title("Table 1: System Configuration");
@@ -87,7 +88,7 @@ mod tests {
 
     #[test]
     fn table_mentions_key_parameters() {
-        let t = &run(Scale::quick())[0];
+        let t = &run(RunCtx::serial(proram_workloads::Scale::quick()))[0];
         let s = t.to_string();
         assert!(s.contains("Path ORAM latency"));
         assert!(s.contains("2364"));

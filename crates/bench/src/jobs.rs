@@ -1,0 +1,124 @@
+//! A std-only parallel job scheduler for the experiment harness.
+//!
+//! Experiments are embarrassingly parallel — every `runner::run_spec`
+//! call is a pure function of `(spec, scale, config)` — so the harness
+//! fans independent runs over a fixed worker pool. Results come back in
+//! submission order, and each unit is computed by exactly one worker
+//! from the same inputs it would see serially, so the assembled tables
+//! are byte-identical to a serial run regardless of the job count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `jobs` worker threads, preserving
+/// input order in the output.
+///
+/// `jobs <= 1` (or a single item) runs inline on the caller's thread
+/// with no thread or lock overhead — the serial path is not just
+/// equivalent but literally the same sequence of calls. A panic in any
+/// worker propagates to the caller once all workers have stopped.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot carries its input in and its result out; workers claim
+    // slots by atomically taking the next index.
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|item| Mutex::new((Some(item), None)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let input = slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .0
+                        .take()
+                        .expect("job claimed twice");
+                    let output = f(input);
+                    slots[i].lock().expect("job slot poisoned").1 = Some(output);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload reaches the caller
+        // intact instead of the scope's generic panic message.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .1
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map(4, (0..100).collect(), |x: u64| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |x: u64| {
+            x.wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
+        };
+        assert_eq!(parallel_map(1, items.clone(), f), parallel_map(8, items, f));
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = parallel_map(64, vec![1u64, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_jobs_runs_inline() {
+        let out = parallel_map(0, vec![5u64], |x| x);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        parallel_map(2, vec![1u64, 2, 3, 4], |x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

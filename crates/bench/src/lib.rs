@@ -9,10 +9,10 @@
 //! # Examples
 //!
 //! ```no_run
-//! use proram_bench::exp;
+//! use proram_bench::exp::{self, RunCtx};
 //! use proram_workloads::Scale;
 //!
-//! let tables = exp::fig6::run_6a(Scale::quick());
+//! let tables = exp::fig6::run_6a(RunCtx::serial(Scale::quick()));
 //! println!("{tables}");
 //! ```
 
@@ -21,4 +21,6 @@
 
 pub mod common;
 pub mod exp;
+pub mod hotpath;
+pub mod jobs;
 pub mod microbench;

@@ -86,6 +86,38 @@ impl Bencher {
     }
 }
 
+/// Accumulates work counters alongside a timed region and converts them
+/// to rates — the before/after throughput record behind
+/// `BENCH_hotpath.json` (see [`crate::hotpath`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    /// Work units completed (e.g. logical ORAM accesses).
+    pub units: u64,
+    /// Bytes processed over the region.
+    pub bytes: u64,
+    /// Heap allocations avoided by buffer reuse over the region.
+    pub allocations_avoided: u64,
+    /// Wall-clock seconds of the timed region.
+    pub secs: f64,
+}
+
+impl Throughput {
+    /// Work units per second.
+    pub fn units_per_sec(&self) -> f64 {
+        self.units as f64 / self.secs
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.secs
+    }
+
+    /// Ratio of this throughput over a baseline measurement.
+    pub fn speedup_over(&self, before: &Throughput) -> f64 {
+        self.units_per_sec() / before.units_per_sec()
+    }
+}
+
 fn default_budget() -> Duration {
     let ms = std::env::var("PRORAM_BENCH_MS")
         .ok()

@@ -1,0 +1,45 @@
+//! Parallel runs must be byte-identical to serial runs.
+//!
+//! The scheduler hands each simulation the same `(spec, scale, config)`
+//! inputs it would see serially and reassembles rows in submission
+//! order, so the rendered tables cannot depend on the job count. These
+//! tests render representative experiments at a tiny scale with
+//! `jobs = 1` and `jobs = 4` and compare the output strings exactly.
+
+use proram_bench::exp::{self, RunCtx};
+use proram_workloads::Scale;
+
+fn tiny() -> Scale {
+    Scale {
+        ops: 600,
+        warmup_ops: 0,
+        footprint_scale: 0.02,
+        seed: 11,
+    }
+}
+
+fn render(name: &str, jobs: usize) -> String {
+    let runner = exp::by_name(name).expect("experiment registered");
+    let tables = runner(RunCtx::with_jobs(tiny(), jobs));
+    tables.iter().map(|t| format!("{t}\n")).collect::<String>()
+}
+
+#[test]
+fn table1_is_jobs_invariant() {
+    assert_eq!(render("table1", 1), render("table1", 4));
+}
+
+#[test]
+fn fig5_is_jobs_invariant() {
+    assert_eq!(render("fig5", 1), render("fig5", 4));
+}
+
+#[test]
+fn fig10_sweep_is_jobs_invariant() {
+    assert_eq!(render("fig10", 1), render("fig10", 4));
+}
+
+#[test]
+fn fig11_norm_completion_is_jobs_invariant() {
+    assert_eq!(render("fig11", 1), render("fig11", 4));
+}

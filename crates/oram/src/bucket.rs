@@ -59,9 +59,13 @@ impl Bucket {
         self.slots.push(block);
     }
 
-    /// Removes and returns all blocks (the path-read operation).
-    pub fn drain(&mut self) -> Vec<Block> {
-        std::mem::take(&mut self.slots)
+    /// Removes and yields all blocks (the path-read operation).
+    ///
+    /// Keeps the slot allocation so the next write-back into this bucket
+    /// does not reallocate — buckets on hot paths are drained and refilled
+    /// millions of times.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Block> {
+        self.slots.drain(..)
     }
 
     /// Removes the block with the given address, if present.
@@ -97,9 +101,11 @@ mod tests {
         b.push(blk(2));
         assert_eq!(b.len(), 2);
         assert!(!b.is_full());
-        let blocks = b.drain();
+        let blocks: Vec<Block> = b.drain().collect();
         assert_eq!(blocks.len(), 2);
         assert!(b.is_empty());
+        // Draining keeps the slot allocation for the refill.
+        assert!(b.slots.capacity() >= 2);
     }
 
     #[test]

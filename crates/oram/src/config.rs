@@ -58,6 +58,14 @@ pub struct OramConfig {
     /// Keep and verify real payload bytes and an encrypted DRAM image.
     /// Functional/crypto tests and examples only — costs memory and time.
     pub store_payloads: bool,
+    /// With `store_payloads`, re-read and authenticate the encrypted image
+    /// on every path read and cross-check it against the logical tree.
+    /// Purely an internal consistency check — it draws no randomness and
+    /// changes no state, so results are identical either way. On by
+    /// default in [`OramConfig::small_for_tests`], off elsewhere: the
+    /// per-access decrypt-and-MAC of a full path roughly doubles hot-path
+    /// cost. Ignored without `store_payloads`.
+    pub verify_image: bool,
     /// Capacity of the adversary-trace recorder (0 = disabled).
     pub trace_capacity: usize,
     /// Initial super-block grouping: every aligned group of this many data
@@ -95,6 +103,7 @@ impl OramConfig {
             levels_override: None,
             timing: OramTiming::default(),
             store_payloads: true,
+            verify_image: true,
             trace_capacity: 1 << 16,
             init_group_size: 1,
             dense_tree: false,
@@ -210,6 +219,7 @@ impl Default for OramConfig {
             levels_override: None,
             timing: OramTiming::paper_calibrated(),
             store_payloads: false,
+            verify_image: false,
             trace_capacity: 0,
             init_group_size: 1,
             dense_tree: false,

@@ -12,7 +12,7 @@
 use crate::addr::{AddressSpace, Hierarchy, Leaf};
 use crate::block::{Block, Payload};
 use crate::config::OramConfig;
-use crate::eviction::{read_path, write_path};
+use crate::eviction::{read_path, write_path_with, PathScratch};
 use crate::plb::Plb;
 use crate::posmap::PosEntry;
 use crate::stash::Stash;
@@ -109,6 +109,14 @@ pub struct PathOram {
     path_bytes: u64,
     busy_until: Cycle,
     label: String,
+    /// Reusable write-back scratch (see [`PathScratch`]).
+    scratch: PathScratch,
+    /// Reusable buffers for image verification (`verify_image` mode):
+    /// decrypted-bucket plaintext and the two address lists compared per
+    /// bucket.
+    verify_plain: Vec<u8>,
+    verify_store_addrs: Vec<u64>,
+    verify_tree_addrs: Vec<u64>,
 }
 
 impl PathOram {
@@ -180,8 +188,7 @@ impl PathOram {
                 &leaves,
             );
             let mut placed = false;
-            let path: Vec<usize> = tree.path_indices(block.leaf).collect();
-            for &idx in path.iter().rev() {
+            for idx in tree.path_indices(block.leaf).rev() {
                 if !tree.bucket(idx).is_full() {
                     tree.bucket_mut(idx).push(block.clone());
                     placed = true;
@@ -224,6 +231,10 @@ impl PathOram {
             path_bytes,
             busy_until: 0,
             label: "oram".to_owned(),
+            scratch: PathScratch::new(),
+            verify_plain: Vec::new(),
+            verify_store_addrs: Vec::new(),
+            verify_tree_addrs: Vec::new(),
         }
     }
 
@@ -284,6 +295,12 @@ impl PathOram {
     /// PLB `(hits, misses)`.
     pub fn plb_stats(&self) -> (u64, u64) {
         self.plb.stats()
+    }
+
+    /// Heap allocations avoided so far by reusing the write-back scratch
+    /// (one per path write-back; see [`PathScratch`]).
+    pub fn allocs_avoided(&self) -> u64 {
+        self.scratch.allocs_avoided()
     }
 
     /// The stash (for occupancy statistics).
@@ -414,20 +431,32 @@ impl PathOram {
     /// must pair this with [`PathOram::write_path_from_stash`] on the same
     /// leaf.
     pub fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) {
-        if let Some(store) = self.store.as_ref() {
-            // Exercise and verify the encrypted image on the read half.
-            let indices: Vec<usize> = self.tree.path_indices(leaf).collect();
-            for idx in indices {
-                let mut from_store: Vec<u64> =
-                    store.read_bucket(idx).iter().map(|b| b.addr.0).collect();
-                let mut from_tree: Vec<u64> =
-                    self.tree.bucket(idx).iter().map(|b| b.addr.0).collect();
-                from_store.sort_unstable();
-                from_tree.sort_unstable();
-                assert_eq!(
-                    from_store, from_tree,
-                    "encrypted image diverged at bucket {idx}"
-                );
+        if self.config.verify_image {
+            if let Some(store) = self.store.as_ref() {
+                // Exercise and verify the encrypted image on the read
+                // half: decrypt, authenticate, and cross-check the address
+                // set against the logical tree. Addr-only reads through
+                // reusable buffers — no payload reconstruction, no
+                // allocation.
+                for idx in self.tree.path_indices(leaf) {
+                    self.verify_store_addrs.clear();
+                    store
+                        .bucket_addrs_into(
+                            idx,
+                            &mut self.verify_plain,
+                            &mut self.verify_store_addrs,
+                        )
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    self.verify_tree_addrs.clear();
+                    self.verify_tree_addrs
+                        .extend(self.tree.bucket(idx).iter().map(|b| b.addr.0));
+                    self.verify_store_addrs.sort_unstable();
+                    self.verify_tree_addrs.sort_unstable();
+                    assert_eq!(
+                        self.verify_store_addrs, self.verify_tree_addrs,
+                        "encrypted image diverged at bucket {idx}"
+                    );
+                }
             }
         }
         read_path(&mut self.tree, &mut self.stash, leaf);
@@ -452,7 +481,7 @@ impl PathOram {
     /// Greedily writes stash blocks back to the path to `leaf` and
     /// re-encrypts the touched buckets into the storage image.
     pub fn write_path_from_stash(&mut self, leaf: Leaf) {
-        write_path(&mut self.tree, &mut self.stash, leaf);
+        write_path_with(&mut self.tree, &mut self.stash, leaf, &mut self.scratch);
         if let Some(store) = self.store.as_mut() {
             for idx in self.tree.path_indices(leaf) {
                 store.write_bucket(idx, self.tree.bucket(idx));
@@ -585,8 +614,7 @@ impl PathOram {
         let Some(leaf) = self.known_leaf(addr) else {
             return false;
         };
-        let indices: Vec<usize> = self.tree.path_indices(leaf).collect();
-        for idx in indices {
+        for idx in self.tree.path_indices(leaf) {
             let updated = match self.tree.bucket_mut(idx).block_mut(addr) {
                 Some(block) => match &mut block.payload {
                     Payload::Data(old) => {
@@ -616,8 +644,6 @@ impl PathOram {
         let leaf = self.known_leaf(addr)?;
         self.tree
             .path_indices(leaf)
-            .collect::<Vec<_>>()
-            .into_iter()
             .find_map(|idx| self.tree.bucket(idx).iter().find(|b| b.addr == addr))
     }
 
@@ -1032,6 +1058,39 @@ mod tests {
         oram.access_block(BlockAddr(0), AccessKind::Read);
         let s = oram.oram_stats();
         assert_eq!(s.bytes_moved, s.total_path_accesses() * oram.path_bytes);
+    }
+
+    #[test]
+    fn verification_gating_does_not_change_behavior() {
+        // verify_image draws no randomness and mutates nothing, so runs
+        // with and without it must be step-for-step identical.
+        let run = |verify: bool| {
+            let cfg = OramConfig {
+                verify_image: verify,
+                ..OramConfig::small_for_tests(256)
+            };
+            let mut oram = PathOram::new(cfg, 42);
+            let mut rng = Xoshiro256::seed_from(3);
+            for _ in 0..200 {
+                oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+            }
+            (
+                oram.oram_stats(),
+                oram.trace().observed_leaves(),
+                oram.stash().peak(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn write_backs_reuse_the_scratch() {
+        let mut oram = small();
+        oram.access_block(BlockAddr(1), AccessKind::Read);
+        let after_one = oram.allocs_avoided();
+        assert!(after_one > 0, "each write-back counts a scratch reuse");
+        oram.access_block(BlockAddr(2), AccessKind::Read);
+        assert!(oram.allocs_avoided() > after_one);
     }
 
     #[test]

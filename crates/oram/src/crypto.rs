@@ -48,9 +48,18 @@ impl StreamCipher {
         let seed = self.key.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ nonce.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
         let mut ks = SplitMix64::new(seed);
-        for chunk in buf.chunks_mut(8) {
+        // Whole words XOR 8 bytes at a time; the tail (if any) falls back
+        // to byte-wise XOR of the same keystream word, so the keystream
+        // byte sequence is independent of the chunking.
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.as_ref().try_into().expect("8-byte chunk"));
+            chunk.copy_from_slice(&(word ^ ks.next_u64()).to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
             let word = ks.next_u64().to_le_bytes();
-            for (b, k) in chunk.iter_mut().zip(word.iter()) {
+            for (b, k) in rem.iter_mut().zip(word.iter()) {
                 *b ^= k;
             }
         }

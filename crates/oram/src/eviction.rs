@@ -6,15 +6,52 @@
 //! deep as its leaf mapping allows. Background eviction (Section 2.4)
 //! reuses the same two operations on a random path without remapping
 //! anything.
+//!
+//! Both operations are allocation-free on the hot path: the path-index
+//! iterator owns its geometry (no collected `Vec`), bucket drains keep
+//! their slot storage, and write-back bins candidates into a reusable
+//! [`PathScratch`] instead of sorting a freshly allocated candidate list.
 
 use crate::addr::Leaf;
 use crate::stash::Stash;
 use crate::tree::OramTree;
 
+/// Reusable write-back scratch: one bin of candidate addresses per tree
+/// level, keyed by the deepest level the candidate may occupy.
+///
+/// Owned by the controller (one per ORAM) so the per-level bins are
+/// allocated once and reused for every path access. The counting-bin pass
+/// replaces the seed implementation's per-write-back
+/// `sort_unstable` over all `(common_level, addr)` pairs: binning is O(n),
+/// and only each (typically tiny) bin is sorted to preserve the exact
+/// deepest-first, address-descending placement order of the original.
+#[derive(Debug, Clone, Default)]
+pub struct PathScratch {
+    /// `bins[level]` holds addresses of stash blocks whose deepest
+    /// eligible level is `level`.
+    bins: Vec<Vec<u64>>,
+    /// Allocations avoided by reusing this scratch (one per write-back
+    /// that would have built a fresh candidate `Vec`).
+    reuses: u64,
+}
+
+impl PathScratch {
+    /// Creates an empty scratch; bins grow on first use.
+    pub fn new() -> Self {
+        PathScratch::default()
+    }
+
+    /// Number of heap allocations avoided by buffer reuse so far.
+    pub fn allocs_avoided(&self) -> u64 {
+        self.reuses
+    }
+}
+
 /// Moves every real block on the path to `leaf` into the stash.
 pub fn read_path(tree: &mut OramTree, stash: &mut Stash, leaf: Leaf) {
-    let indices: Vec<usize> = tree.path_indices(leaf).collect();
-    for idx in indices {
+    // The owned index iterator lets us mutate buckets mid-walk: no
+    // temporary `Vec<usize>` of path indices.
+    for idx in tree.path_indices(leaf) {
         for block in tree.bucket_mut(idx).drain() {
             stash.insert(block);
         }
@@ -27,33 +64,73 @@ pub fn read_path(tree: &mut OramTree, stash: &mut Stash, leaf: Leaf) {
 /// the deepest level its own leaf shares with `leaf`; the greedy pass
 /// fills from the leaf level upward, deepest-eligible blocks first —
 /// the standard Path ORAM eviction. Returns the number of blocks placed.
-pub fn write_path(tree: &mut OramTree, stash: &mut Stash, leaf: Leaf) -> usize {
-    // Candidates sorted by how deep they can go, deepest first.
-    let mut candidates: Vec<(u32, u64)> = stash
-        .iter()
-        .map(|b| (tree.common_level(b.leaf, leaf), b.addr.0))
-        .collect();
-    candidates.sort_unstable_by(|a, b| b.cmp(a));
+///
+/// Behavior (which blocks land in which buckets, and in what slot order)
+/// is identical to sorting all candidates by `(common_level, addr)`
+/// descending; see [`PathScratch`].
+pub fn write_path_with(
+    tree: &mut OramTree,
+    stash: &mut Stash,
+    leaf: Leaf,
+    scratch: &mut PathScratch,
+) -> usize {
+    let levels = tree.levels() as usize;
+    if scratch.bins.len() < levels {
+        scratch.bins.resize_with(levels, Vec::new);
+    }
+    scratch.reuses += 1;
+    for bin in &mut scratch.bins {
+        bin.clear();
+    }
+    // Counting-bin pass: group candidates by the deepest level they can
+    // occupy on this path.
+    for b in stash.iter() {
+        scratch.bins[tree.common_level(b.leaf, leaf) as usize].push(b.addr.0);
+    }
+    // Within a bin, match the seed implementation's address-descending
+    // tiebreak so placement is bit-identical.
+    for bin in &mut scratch.bins[..levels] {
+        bin.sort_unstable_by(|a, b| b.cmp(a));
+    }
 
     let mut placed = 0;
-    let mut cursor = 0;
-    for level in (0..tree.levels()).rev() {
-        let idx = tree.bucket_index(leaf, level);
-        while !tree.bucket(idx).is_full() && cursor < candidates.len() {
-            let (common, addr) = candidates[cursor];
+    // Cursor over the bins from deepest to shallowest: the concatenation
+    // (bins[levels-1], ..., bins[0]) is exactly the old sorted candidate
+    // order.
+    let mut bin = levels; // bins[bin - 1] is the current bin
+    let mut off = 0;
+    for level in (0..levels).rev() {
+        let idx = tree.bucket_index(leaf, level as u32);
+        while !tree.bucket(idx).is_full() {
+            // Advance to the next non-exhausted bin.
+            while bin > 0 && off >= scratch.bins[bin - 1].len() {
+                bin -= 1;
+                off = 0;
+            }
+            if bin == 0 {
+                return placed; // all candidates consumed
+            }
+            let common = bin - 1;
             if common < level {
                 break; // everything left is shallower-only
             }
-            cursor += 1;
+            let addr = scratch.bins[common][off];
+            off += 1;
             let block = stash
                 .take(proram_mem::BlockAddr(addr))
                 .expect("candidate vanished from stash");
-            debug_assert!(tree.common_level(block.leaf, leaf) >= level);
+            debug_assert!(tree.common_level(block.leaf, leaf) as usize >= level);
             tree.bucket_mut(idx).push(block);
             placed += 1;
         }
     }
     placed
+}
+
+/// [`write_path_with`] with a throwaway scratch, for tests and callers
+/// outside the hot path.
+pub fn write_path(tree: &mut OramTree, stash: &mut Stash, leaf: Leaf) -> usize {
+    write_path_with(tree, stash, leaf, &mut PathScratch::new())
 }
 
 #[cfg(test)]
@@ -164,5 +241,45 @@ mod tests {
         write_path(&mut tree, &mut stash, path);
         assert_eq!(stash.len(), 0, "background-eviction guarantee");
         assert_eq!(tree.occupancy(), 2);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        // A long random read/write sequence through one shared scratch
+        // must produce the same tree state as per-call scratches.
+        use proram_stats::{Rng64, Xoshiro256};
+        let run = |shared: bool| {
+            let (mut tree, mut stash) = setup(6, 2);
+            let mut rng = Xoshiro256::seed_from(77);
+            for a in 0..40u64 {
+                stash.insert(Block::opaque(BlockAddr(a), Leaf(rng.next_below(32) as u32)));
+            }
+            let mut scratch = PathScratch::new();
+            for _ in 0..100 {
+                let leaf = Leaf(rng.next_below(32) as u32);
+                read_path(&mut tree, &mut stash, leaf);
+                if shared {
+                    write_path_with(&mut tree, &mut stash, leaf, &mut scratch);
+                } else {
+                    write_path(&mut tree, &mut stash, leaf);
+                }
+            }
+            let contents: Vec<Vec<u64>> = (0..tree.num_buckets())
+                .map(|i| tree.bucket(i).iter().map(|b| b.addr.0).collect())
+                .collect();
+            contents
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn scratch_counts_reuses() {
+        let (mut tree, mut stash) = setup(4, 2);
+        let mut scratch = PathScratch::new();
+        stash.insert(Block::opaque(BlockAddr(1), Leaf(5)));
+        write_path_with(&mut tree, &mut stash, Leaf(5), &mut scratch);
+        read_path(&mut tree, &mut stash, Leaf(5));
+        write_path_with(&mut tree, &mut stash, Leaf(5), &mut scratch);
+        assert_eq!(scratch.allocs_avoided(), 2);
     }
 }

@@ -58,6 +58,7 @@ pub use bucket::Bucket;
 pub use config::OramConfig;
 pub use controller::{AccessReport, OramStats, PathKind, PathOram};
 pub use crypto::{Mac, StreamCipher};
+pub use eviction::PathScratch;
 pub use plb::Plb;
 pub use posmap::PosEntry;
 pub use shi::{ShiOram, ShiOramConfig};

@@ -9,6 +9,7 @@
 
 use crate::block::Block;
 use proram_mem::BlockAddr;
+use std::collections::VecDeque;
 
 /// A small fully-associative LRU cache of position-map blocks.
 ///
@@ -25,8 +26,11 @@ use proram_mem::BlockAddr;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Plb {
-    /// Most recently used first.
-    blocks: Vec<Block>,
+    /// Most recently used first. A deque so the MRU insert and LRU
+    /// eviction on every PLB miss are O(1) instead of shifting the whole
+    /// buffer; the LRU order (and thus every eviction decision) is
+    /// unchanged.
+    blocks: VecDeque<Block>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -41,7 +45,7 @@ impl Plb {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "PLB capacity must be positive");
         Plb {
-            blocks: Vec::with_capacity(capacity),
+            blocks: VecDeque::with_capacity(capacity),
             capacity,
             hits: 0,
             misses: 0,
@@ -69,8 +73,10 @@ impl Plb {
         match self.blocks.iter().position(|b| b.addr == addr) {
             Some(pos) => {
                 self.hits += 1;
-                let b = self.blocks.remove(pos);
-                self.blocks.insert(0, b);
+                if pos != 0 {
+                    let b = self.blocks.remove(pos).expect("position just found");
+                    self.blocks.push_front(b);
+                }
                 Some(&mut self.blocks[0])
             }
             None => {
@@ -106,17 +112,17 @@ impl Plb {
         assert!(block.payload.is_posmap(), "PLB holds only posmap blocks");
         assert!(!self.contains(block.addr), "posmap block already in PLB");
         let victim = if self.blocks.len() == self.capacity {
-            self.blocks.pop()
+            self.blocks.pop_back()
         } else {
             None
         };
-        self.blocks.insert(0, block);
+        self.blocks.push_front(block);
         victim
     }
 
     /// Removes every resident block (used when flushing state for tests).
     pub fn drain(&mut self) -> Vec<Block> {
-        std::mem::take(&mut self.blocks)
+        std::mem::take(&mut self.blocks).into_iter().collect()
     }
 
     /// `(hits, misses)` since construction.

@@ -8,8 +8,7 @@
 
 use crate::block::Block;
 use proram_mem::BlockAddr;
-use proram_stats::Histogram;
-use std::collections::HashMap;
+use proram_stats::{FxHashMap, Histogram};
 
 /// The stash: an address-indexed set of blocks with occupancy tracking.
 ///
@@ -26,7 +25,11 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Stash {
-    blocks: HashMap<u64, Block>,
+    /// Address-indexed block set. Keyed with the deterministic
+    /// [`FxHashMap`] — stash lookups sit on the per-access hot path, and
+    /// no consumer depends on iteration order (every order-sensitive
+    /// caller imposes a total order itself).
+    blocks: FxHashMap<u64, Block>,
     limit: usize,
     occupancy_hist: Histogram,
     peak: usize,
@@ -42,7 +45,7 @@ impl Stash {
     pub fn new(limit: usize) -> Self {
         assert!(limit > 0, "stash limit must be positive");
         Stash {
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
             limit,
             occupancy_hist: Histogram::new(),
             peak: 0,
@@ -107,9 +110,10 @@ impl Stash {
         self.blocks.values()
     }
 
-    /// Addresses of all stashed blocks (unspecified order).
-    pub fn addrs(&self) -> Vec<BlockAddr> {
-        self.blocks.keys().map(|&a| BlockAddr(a)).collect()
+    /// Addresses of all stashed blocks (unspecified order), borrowed —
+    /// callers that need them sorted collect explicitly.
+    pub fn addrs(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.blocks.keys().map(|&a| BlockAddr(a))
     }
 
     /// Records the current occupancy into the histogram; the controller
@@ -202,7 +206,7 @@ mod tests {
         let mut s = Stash::new(10);
         s.insert(blk(3));
         s.insert(blk(7));
-        let mut a: Vec<u64> = s.addrs().iter().map(|b| b.0).collect();
+        let mut a: Vec<u64> = s.addrs().map(|b| b.0).collect();
         a.sort_unstable();
         assert_eq!(a, vec![3, 7]);
     }

@@ -17,6 +17,9 @@ use crate::posmap::PosEntry;
 use proram_mem::BlockAddr;
 use std::fmt;
 
+/// Authenticated slot header: `(addr, leaf, hit, kind, payload_len)`.
+type SlotHeader = (BlockAddr, Leaf, bool, u8, usize);
+
 /// Serialized size of one position-map entry.
 pub const ENTRY_BYTES: usize = 9;
 
@@ -113,19 +116,21 @@ impl EncryptedStore {
         assert!(bucket.len() <= self.z, "bucket exceeds Z");
         let nonce = self.next_nonce;
         self.next_nonce += 1;
-        let mut plain = vec![0u8; self.bucket_bytes() - BUCKET_HEADER_BYTES];
-        let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
-        for (i, block) in bucket.iter().enumerate() {
-            let slot = &mut plain[i * slot_bytes..(i + 1) * slot_bytes];
-            Self::serialize_block(block, slot, self.payload_bytes, &self.mac, index as u64);
-        }
-        // Remaining slots stay zero: dummy blocks, indistinguishable after
-        // encryption.
-        self.cipher.encrypt(nonce, &mut plain);
         let bb = self.bucket_bytes();
+        let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
+        // Serialize and encrypt directly in the image — no staging buffer.
+        let (mac, cipher, payload_bytes) = (self.mac, self.cipher, self.payload_bytes);
         let out = &mut self.data[index * bb..(index + 1) * bb];
         out[..BUCKET_HEADER_BYTES].copy_from_slice(&nonce.to_le_bytes());
-        out[BUCKET_HEADER_BYTES..].copy_from_slice(&plain);
+        let plain = &mut out[BUCKET_HEADER_BYTES..];
+        // Zero first so unfilled slots are dummy blocks, indistinguishable
+        // after encryption.
+        plain.fill(0);
+        for (i, block) in bucket.iter().enumerate() {
+            let slot = &mut plain[i * slot_bytes..(i + 1) * slot_bytes];
+            Self::serialize_block(block, slot, payload_bytes, &mac, index as u64);
+        }
+        cipher.encrypt(nonce, plain);
     }
 
     /// Reads, decrypts, authenticates and deserializes bucket `index`.
@@ -143,13 +148,8 @@ impl EncryptedStore {
     /// Like [`EncryptedStore::read_bucket`], reporting tampering as an
     /// [`IntegrityError`] instead of panicking.
     pub fn try_read_bucket(&self, index: usize) -> Result<Vec<Block>, IntegrityError> {
-        let bb = self.bucket_bytes();
-        let raw = &self.data[index * bb..(index + 1) * bb];
-        let nonce = u64::from_le_bytes(raw[..BUCKET_HEADER_BYTES].try_into().expect("nonce"));
-        let mut plain = raw[BUCKET_HEADER_BYTES..].to_vec();
-        if nonce != 0 {
-            self.cipher.decrypt(nonce, &mut plain);
-        }
+        let mut plain = Vec::new();
+        self.decrypt_into(index, &mut plain);
         let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
         let mut blocks = Vec::new();
         for i in 0..self.z {
@@ -166,6 +166,53 @@ impl EncryptedStore {
             }
         }
         Ok(blocks)
+    }
+
+    /// Decrypts bucket `index` into the caller's reusable `plain` buffer.
+    fn decrypt_into(&self, index: usize, plain: &mut Vec<u8>) {
+        let bb = self.bucket_bytes();
+        let raw = &self.data[index * bb..(index + 1) * bb];
+        let nonce = u64::from_le_bytes(raw[..BUCKET_HEADER_BYTES].try_into().expect("nonce"));
+        plain.clear();
+        plain.extend_from_slice(&raw[BUCKET_HEADER_BYTES..]);
+        if nonce != 0 {
+            self.cipher.decrypt(nonce, plain);
+        }
+    }
+
+    /// Authenticates bucket `index` and appends the address of every real
+    /// block it holds to `addrs`, without reconstructing payloads.
+    ///
+    /// `plain` is a caller-owned scratch buffer reused across calls, so
+    /// the per-bucket verification the controller performs in
+    /// [`verify_image` mode](crate::OramConfig::verify_image) allocates
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IntegrityError`] if any slot fails authentication.
+    pub fn bucket_addrs_into(
+        &self,
+        index: usize,
+        plain: &mut Vec<u8>,
+        addrs: &mut Vec<u64>,
+    ) -> Result<(), IntegrityError> {
+        self.decrypt_into(index, plain);
+        let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
+        for i in 0..self.z {
+            let slot = &plain[i * slot_bytes..(i + 1) * slot_bytes];
+            match Self::check_slot(slot, &self.mac, index as u64) {
+                Ok(Some((addr, ..))) => addrs.push(addr.0),
+                Ok(None) => {}
+                Err(()) => {
+                    return Err(IntegrityError {
+                        bucket: index,
+                        slot: i,
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Verifies every bucket's authentication tags.
@@ -201,31 +248,41 @@ impl EncryptedStore {
         mac: &Mac,
         bucket_index: u64,
     ) {
-        slot[0] = 1; // valid
-        slot[1..9].copy_from_slice(&block.addr.0.to_le_bytes());
-        slot[9..13].copy_from_slice(&block.leaf.0.to_le_bytes());
-        slot[13] = u8::from(block.hit);
-        let (kind, body): (u8, Vec<u8>) = match &block.payload {
-            Payload::Opaque => (0, Vec::new()),
-            Payload::Data(bytes) => (1, bytes.to_vec()),
+        let (head, body_area) = slot.split_at_mut(SLOT_HEADER_BYTES);
+        head[0] = 1; // valid
+        head[1..9].copy_from_slice(&block.addr.0.to_le_bytes());
+        head[9..13].copy_from_slice(&block.leaf.0.to_le_bytes());
+        head[13] = u8::from(block.hit);
+        // Serialize the payload straight into the slot's body area — no
+        // staging Vec; the MAC is computed over the written bytes.
+        let (kind, len): (u8, usize) = match &block.payload {
+            Payload::Opaque => (0, 0),
+            Payload::Data(bytes) => {
+                assert!(
+                    bytes.len() <= payload_bytes,
+                    "payload {} exceeds slot {payload_bytes}",
+                    bytes.len()
+                );
+                body_area[..bytes.len()].copy_from_slice(bytes);
+                (1, bytes.len())
+            }
             Payload::PosMap(entries) => {
-                let mut body = Vec::with_capacity(entries.len() * ENTRY_BYTES);
-                for e in entries.iter() {
-                    body.extend_from_slice(&e.leaf.0.to_le_bytes());
-                    body.extend_from_slice(&e.merge.to_le_bytes());
-                    body.extend_from_slice(&e.brk.to_le_bytes());
-                    body.push(u8::from(e.prefetch));
+                let len = entries.len() * ENTRY_BYTES;
+                assert!(
+                    len <= payload_bytes,
+                    "payload {len} exceeds slot {payload_bytes}"
+                );
+                for (e, out) in entries.iter().zip(body_area.chunks_exact_mut(ENTRY_BYTES)) {
+                    out[0..4].copy_from_slice(&e.leaf.0.to_le_bytes());
+                    out[4..6].copy_from_slice(&e.merge.to_le_bytes());
+                    out[6..8].copy_from_slice(&e.brk.to_le_bytes());
+                    out[8] = u8::from(e.prefetch);
                 }
-                (2, body)
+                (2, len)
             }
         };
-        assert!(
-            body.len() <= payload_bytes,
-            "payload {} exceeds slot {payload_bytes}",
-            body.len()
-        );
-        slot[14] = kind;
-        slot[15..17].copy_from_slice(&(body.len() as u16).to_le_bytes());
+        head[14] = kind;
+        head[15..17].copy_from_slice(&(len as u16).to_le_bytes());
         // The tag binds the block's identity AND its physical location, so
         // replaying an authentic bucket at a different tree position fails
         // verification.
@@ -237,20 +294,15 @@ impl EncryptedStore {
                 u64::from(block.hit),
                 u64::from(kind),
             ],
-            &body,
+            &body_area[..len],
         );
-        slot[17..25].copy_from_slice(&tag.to_le_bytes());
-        slot[25..25 + body.len()].copy_from_slice(&body);
+        head[17..25].copy_from_slice(&tag.to_le_bytes());
     }
 
-    /// `Ok(None)` = dummy slot, `Ok(Some)` = authenticated block,
-    /// `Err(())` = tag mismatch.
-    fn deserialize_block(
-        slot: &[u8],
-        _payload_bytes: usize,
-        mac: &Mac,
-        bucket_index: u64,
-    ) -> Result<Option<Block>, ()> {
+    /// Validates and authenticates one slot without touching the payload
+    /// encoding: `Ok(None)` = dummy slot, `Ok(Some((addr, leaf, hit, kind,
+    /// len)))` = authenticated header, `Err(())` = tampering.
+    fn check_slot(slot: &[u8], mac: &Mac, bucket_index: u64) -> Result<Option<SlotHeader>, ()> {
         if slot[0] != 1 {
             // Dummy slots are all-zero after decryption; any other value
             // in the valid flag is tampering.
@@ -265,11 +317,11 @@ impl EncryptedStore {
         let hit = slot[13] != 0;
         let kind = slot[14];
         let len = u16::from_le_bytes(slot[15..17].try_into().expect("len")) as usize;
-        if len > slot.len().saturating_sub(25) {
+        if len > slot.len().saturating_sub(SLOT_HEADER_BYTES) {
             return Err(()); // corrupted length field
         }
         let stored_tag = u64::from_le_bytes(slot[17..25].try_into().expect("tag"));
-        let body = &slot[25..25 + len];
+        let body = &slot[SLOT_HEADER_BYTES..SLOT_HEADER_BYTES + len];
         let expected = mac.tag(
             &[
                 bucket_index,
@@ -283,6 +335,21 @@ impl EncryptedStore {
         if stored_tag != expected {
             return Err(());
         }
+        Ok(Some((addr, leaf, hit, kind, len)))
+    }
+
+    /// `Ok(None)` = dummy slot, `Ok(Some)` = authenticated block,
+    /// `Err(())` = tag mismatch.
+    fn deserialize_block(
+        slot: &[u8],
+        _payload_bytes: usize,
+        mac: &Mac,
+        bucket_index: u64,
+    ) -> Result<Option<Block>, ()> {
+        let Some((addr, leaf, hit, kind, len)) = Self::check_slot(slot, mac, bucket_index)? else {
+            return Ok(None);
+        };
+        let body = &slot[SLOT_HEADER_BYTES..SLOT_HEADER_BYTES + len];
         let payload = match kind {
             0 => Payload::Opaque,
             1 => Payload::Data(body.to_vec().into()),
@@ -477,6 +544,26 @@ mod tests {
         );
         // The source bucket itself still verifies.
         assert!(s.try_read_bucket(0).is_ok());
+    }
+
+    #[test]
+    fn addr_only_reads_match_full_reads() {
+        let mut s = store();
+        let mut b = Bucket::new(3);
+        b.push(data_block(5, 0x01));
+        b.push(data_block(9, 0x02));
+        s.write_bucket(6, &b);
+        let mut plain = Vec::new();
+        let mut addrs = Vec::new();
+        s.bucket_addrs_into(6, &mut plain, &mut addrs).unwrap();
+        let mut full: Vec<u64> = s.read_bucket(6).iter().map(|b| b.addr.0).collect();
+        addrs.sort_unstable();
+        full.sort_unstable();
+        assert_eq!(addrs, full);
+        // Tampering is detected on the addr-only path too.
+        s.corrupt_byte(6, 40, 0x10);
+        addrs.clear();
+        assert!(s.bucket_addrs_into(6, &mut plain, &mut addrs).is_err());
     }
 
     #[test]

@@ -80,8 +80,23 @@ impl OramTree {
     }
 
     /// Heap indices of the buckets on the path to `leaf`, root first.
-    pub fn path_indices(&self, leaf: Leaf) -> impl Iterator<Item = usize> + '_ {
-        (0..self.levels).map(move |l| self.bucket_index(leaf, l))
+    ///
+    /// The iterator owns the tree geometry rather than borrowing the tree,
+    /// so callers may mutate buckets while walking the path — the hot path
+    /// in [`crate::eviction`] consumes it directly instead of collecting
+    /// indices into a temporary `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn path_indices(&self, leaf: Leaf) -> PathIndices {
+        assert!(leaf.0 < self.num_leaves(), "{leaf} out of range");
+        PathIndices {
+            leaf: leaf.0,
+            leaf_level: self.levels - 1,
+            front: 0,
+            back: self.levels,
+        }
     }
 
     /// Borrows the bucket at a heap index.
@@ -115,6 +130,60 @@ impl OramTree {
     }
 }
 
+/// Owned iterator over the bucket heap indices of one path, root first.
+///
+/// Returned by [`OramTree::path_indices`]; holds no borrow of the tree.
+#[derive(Debug, Clone)]
+pub struct PathIndices {
+    leaf: u32,
+    /// Level of the leaf bucket (`levels - 1`).
+    leaf_level: u32,
+    /// Next level to yield from the front.
+    front: u32,
+    /// One past the last level to yield from the back.
+    back: u32,
+}
+
+impl PathIndices {
+    #[inline]
+    fn index_at(&self, level: u32) -> usize {
+        let prefix = self.leaf >> (self.leaf_level - level);
+        ((1u32 << level) - 1 + prefix) as usize
+    }
+}
+
+impl Iterator for PathIndices {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.front >= self.back {
+            return None;
+        }
+        let idx = self.index_at(self.front);
+        self.front += 1;
+        Some(idx)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.back - self.front) as usize;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for PathIndices {
+    #[inline]
+    fn next_back(&mut self) -> Option<usize> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.index_at(self.back))
+    }
+}
+
+impl ExactSizeIterator for PathIndices {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +207,28 @@ mod tests {
         let t = OramTree::new(4, 3);
         let path: Vec<usize> = t.path_indices(Leaf(5)).collect();
         assert_eq!(path, vec![0, 2, 5, 12]);
+    }
+
+    #[test]
+    fn path_indices_iterate_both_ways() {
+        let t = OramTree::new(4, 3);
+        let fwd: Vec<usize> = t.path_indices(Leaf(5)).collect();
+        let mut rev: Vec<usize> = t.path_indices(Leaf(5)).rev().collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        assert_eq!(t.path_indices(Leaf(5)).len(), 4);
+    }
+
+    #[test]
+    fn path_indices_do_not_borrow_the_tree() {
+        // The owned iterator permits bucket mutation mid-walk — the shape
+        // the eviction hot path relies on.
+        let mut t = OramTree::new(4, 2);
+        for idx in t.path_indices(Leaf(3)) {
+            t.bucket_mut(idx)
+                .push(Block::opaque(BlockAddr(idx as u64), Leaf(3)));
+        }
+        assert_eq!(t.occupancy(), 4);
     }
 
     #[test]

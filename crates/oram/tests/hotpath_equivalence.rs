@@ -1,0 +1,127 @@
+//! Behavior-identity goldens for the allocation-free hot path.
+//!
+//! The hot-path optimizations (reusable path scratch, counting-bucket
+//! write-back, wide stream-cipher XOR, gated image verification) must
+//! not change *what* the ORAM does — only how fast. These tests replay
+//! a fixed-seed workload and compare every observable of the run
+//! against goldens captured on the seed implementation: the stats
+//! counters, the stash-occupancy histogram, the physical access trace,
+//! and the stash peak. Any change to path selection, eviction order,
+//! or byte accounting shows up as a hash mismatch here.
+
+use proram_mem::{AccessKind, BlockAddr};
+use proram_oram::{OramConfig, PathOram};
+use proram_stats::{Rng64, Xoshiro256};
+
+/// FNV-1a-style fold used when the goldens were captured.
+fn fnv(acc: u64, v: u64) -> u64 {
+    (acc ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+const FNV_INIT: u64 = 0xcbf29ce484222325;
+
+struct RunDigest {
+    logical: u64,
+    data_paths: u64,
+    posmap_paths: u64,
+    background: u64,
+    bytes_moved: u64,
+    hist_hash: u64,
+    hist_total: u64,
+    trace_hash: u64,
+    trace_events: usize,
+    trace_dropped: u64,
+    stash_peak: usize,
+}
+
+/// Replays the golden workload: 256-block tree, ORAM seed 42, 2000
+/// uniform reads from a Xoshiro stream seeded with 7.
+fn replay(store_payloads: bool) -> RunDigest {
+    let cfg = OramConfig {
+        store_payloads,
+        ..OramConfig::small_for_tests(256)
+    };
+    let mut oram = PathOram::new(cfg, 42);
+    let mut rng = Xoshiro256::seed_from(7);
+    for _ in 0..2000 {
+        oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+    }
+    let s = oram.oram_stats();
+    let h = oram.stash().occupancy_histogram();
+    let mut hist_hash = FNV_INIT;
+    for (v, c) in h.iter() {
+        hist_hash = fnv(fnv(hist_hash, v), c);
+    }
+    let leaves = oram.trace().observed_leaves();
+    let mut trace_hash = FNV_INIT;
+    for l in &leaves {
+        trace_hash = fnv(trace_hash, *l);
+    }
+    RunDigest {
+        logical: s.logical_accesses,
+        data_paths: s.data_path_accesses,
+        posmap_paths: s.posmap_path_accesses,
+        background: s.background_evictions,
+        bytes_moved: s.bytes_moved,
+        hist_hash,
+        hist_total: h.total(),
+        trace_hash,
+        trace_events: leaves.len(),
+        trace_dropped: oram.trace().dropped(),
+        stash_peak: oram.stash().peak(),
+    }
+}
+
+fn assert_common(d: &RunDigest) {
+    assert_eq!(d.logical, 2000);
+    assert_eq!(d.data_paths, 2000);
+    assert_eq!(d.posmap_paths, 2210);
+    assert_eq!(d.background, 0);
+    assert_eq!(d.bytes_moved, 38_799_360);
+    assert_eq!(d.hist_total, 4210);
+    assert_eq!(d.trace_events, 4210);
+    assert_eq!(d.trace_dropped, 0);
+}
+
+#[test]
+fn golden_run_with_payloads() {
+    let d = replay(true);
+    assert_common(&d);
+    assert_eq!(d.hist_hash, 0x7e34_7ba1_61c4_bef3);
+    assert_eq!(d.trace_hash, 0xb5a0_c950_fe1e_8801);
+    assert_eq!(d.stash_peak, 19);
+}
+
+#[test]
+fn golden_run_without_payloads() {
+    let d = replay(false);
+    assert_common(&d);
+    assert_eq!(d.hist_hash, 0x06db_69e5_5d8e_25fe);
+    assert_eq!(d.trace_hash, 0xd4fb_1582_f412_add7);
+    assert_eq!(d.stash_peak, 21);
+}
+
+/// The gated per-read image verification must not change behavior when
+/// enabled — it re-derives what the opaque path already computed.
+#[test]
+fn verify_image_is_observationally_silent() {
+    let run = |verify_image: bool| {
+        let cfg = OramConfig {
+            store_payloads: true,
+            verify_image,
+            ..OramConfig::small_for_tests(256)
+        };
+        let mut oram = PathOram::new(cfg, 42);
+        let mut rng = Xoshiro256::seed_from(7);
+        for _ in 0..500 {
+            oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+        }
+        let leaves = oram.trace().observed_leaves();
+        let mut h = FNV_INIT;
+        for l in &leaves {
+            h = fnv(h, *l);
+        }
+        (oram.oram_stats().bytes_moved, h)
+    };
+    assert_eq!(run(false), run(true));
+}

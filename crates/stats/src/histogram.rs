@@ -6,10 +6,17 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Values below this bound are counted in a dense array; hot-path
+/// histograms (stash occupancy, prefetch distances) never leave it.
+const DENSE_LIMIT: u64 = 512;
+
 /// A histogram over `u64` sample values.
 ///
-/// Backed by a `BTreeMap` so iteration is in sample order and sparse value
-/// ranges (e.g. 2^25 ORAM leaves) cost no memory until observed.
+/// Small values (below 512) are counted in a dense array — recording those
+/// is an index increment, cheap enough for once-per-ORAM-access use.
+/// Larger values fall back to a `BTreeMap`, so sparse ranges (e.g. 2^25
+/// ORAM leaves) cost no memory until observed. Iteration is in sample
+/// order either way.
 ///
 /// # Examples
 ///
@@ -24,9 +31,13 @@ use std::fmt;
 /// assert_eq!(h.total(), 3);
 /// assert_eq!(h.max(), Some(7));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    counts: BTreeMap<u64, u64>,
+    /// Counts for values `0..DENSE_LIMIT`, indexed by value; grown lazily
+    /// to the largest observed small value.
+    dense: Vec<u64>,
+    /// Counts for values `>= DENSE_LIMIT`.
+    sparse: BTreeMap<u64, u64>,
     total: u64,
 }
 
@@ -38,8 +49,7 @@ impl Histogram {
 
     /// Records one observation of `value`.
     pub fn record(&mut self, value: u64) {
-        *self.counts.entry(value).or_insert(0) += 1;
-        self.total += 1;
+        self.record_n(value, 1);
     }
 
     /// Records `n` observations of `value`.
@@ -47,13 +57,25 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        *self.counts.entry(value).or_insert(0) += n;
+        if value < DENSE_LIMIT {
+            let idx = value as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            self.dense[idx] += n;
+        } else {
+            *self.sparse.entry(value).or_insert(0) += n;
+        }
         self.total += n;
     }
 
     /// Number of observations of exactly `value`.
     pub fn count(&self, value: u64) -> u64 {
-        self.counts.get(&value).copied().unwrap_or(0)
+        if value < DENSE_LIMIT {
+            self.dense.get(value as usize).copied().unwrap_or(0)
+        } else {
+            self.sparse.get(&value).copied().unwrap_or(0)
+        }
     }
 
     /// Total number of observations.
@@ -68,12 +90,20 @@ impl Histogram {
 
     /// Smallest observed value, if any.
     pub fn min(&self) -> Option<u64> {
-        self.counts.keys().next().copied()
+        self.dense
+            .iter()
+            .position(|&c| c > 0)
+            .map(|v| v as u64)
+            .or_else(|| self.sparse.keys().next().copied())
     }
 
     /// Largest observed value, if any.
     pub fn max(&self) -> Option<u64> {
-        self.counts.keys().next_back().copied()
+        self.sparse
+            .keys()
+            .next_back()
+            .copied()
+            .or_else(|| self.dense.iter().rposition(|&c| c > 0).map(|v| v as u64))
     }
 
     /// Mean of the observations; `None` when empty.
@@ -81,7 +111,7 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let sum: f64 = self.counts.iter().map(|(&v, &c)| v as f64 * c as f64).sum();
+        let sum: f64 = self.iter().map(|(v, c)| v as f64 * c as f64).sum();
         Some(sum / self.total as f64)
     }
 
@@ -98,7 +128,7 @@ impl Histogram {
         }
         let target = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut acc = 0;
-        for (&v, &c) in &self.counts {
+        for (v, c) in self.iter() {
             acc += c;
             if acc >= target {
                 return Some(v);
@@ -109,7 +139,14 @@ impl Histogram {
 
     /// Iterates over `(value, count)` pairs in increasing value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts.iter().map(|(&v, &c)| (v, c))
+        // Dense values all precede sparse ones, so chaining keeps the
+        // sample order.
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+            .chain(self.sparse.iter().map(|(&v, &c)| (v, c)))
     }
 
     /// Merges another histogram into this one.
@@ -119,6 +156,16 @@ impl Histogram {
         }
     }
 }
+
+impl PartialEq for Histogram {
+    /// Logical equality: the same observations, regardless of how the
+    /// dense array happens to be sized.
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Histogram {}
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -229,6 +276,33 @@ mod tests {
         let h: Histogram = [9u64, 1, 5, 5].into_iter().collect();
         let values: Vec<u64> = h.iter().map(|(v, _)| v).collect();
         assert_eq!(values, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn dense_and_sparse_ranges_mix() {
+        let mut h = Histogram::new();
+        h.record(3); // dense
+        h.record_n(100_000, 2); // sparse
+        h.record(511);
+        h.record(512);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.count(100_000), 2);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(100_000));
+        let values: Vec<u64> = h.iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![3, 511, 512, 100_000]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn equality_is_logical() {
+        // Two histograms with the same observations are equal even if one
+        // grew its dense array further via values later superseded.
+        let a: Histogram = [1u64, 5].into_iter().collect();
+        let b: Histogram = [5u64, 1].into_iter().collect();
+        assert_eq!(a, b);
+        let c: Histogram = [1u64, 6].into_iter().collect();
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod chart;
 pub mod chi2;
+pub mod fxhash;
 pub mod histogram;
 pub mod rng;
 pub mod summary;
@@ -43,6 +44,7 @@ pub mod zipf;
 
 pub use chart::BarChart;
 pub use chi2::{chi2_uniform, serial_correlation};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use histogram::Histogram;
 pub use rng::{Rng64, SplitMix64, Xoshiro256};
 pub use summary::Summary;
