@@ -16,7 +16,7 @@
 //!
 //! Experiments: `table1`, `fig5`, `fig6a`, `fig6b`, `fig7`, `fig8`,
 //! `fig9`, `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `fig15`,
-//! `ablation`.
+//! `ablation`, `fault_sweep`.
 //!
 //! `proram-bench trace <benchmark>` dumps a benchmark's memory trace to
 //! stdout in the portable text format of `proram_workloads::tracefile`.
@@ -24,6 +24,12 @@
 //! `proram-bench hotpath [--ms N] [--out PATH]` measures the raw
 //! ORAM-access kernels against the recorded pre-optimization baseline
 //! and emits the `BENCH_hotpath.json` report (stdout unless `--out`).
+//!
+//! `proram-bench fault` runs the fault-injection sweep (alias of the
+//! `fault_sweep` experiment): every fault class x rate cell must detect
+//! 100% of observable injected corruptions, and a zero-rate injector
+//! must be observationally identical to a fault-free run — the command
+//! exits nonzero (panics) if either robustness contract is violated.
 
 use proram_bench::exp::{self, RunCtx};
 use proram_bench::{hotpath, jobs};
@@ -57,6 +63,7 @@ fn usage() -> ExitCode {
     );
     eprintln!("       proram-bench trace <benchmark> [--ops N] [--fp-scale F] [--seed N]");
     eprintln!("       proram-bench hotpath [--ms N] [--out PATH]");
+    eprintln!("       proram-bench fault [--scale quick|standard] [--jobs N]");
     eprintln!("experiments:");
     for (name, _) in exp::EXPERIMENTS {
         eprintln!("  {name}");
@@ -222,6 +229,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "hotpath" => run_hotpath(hotpath_ms, hotpath_out.as_ref()),
+        // Robustness smoke: the sweep asserts zero undetected corruptions
+        // and zero-rate silence internally.
+        "fault" => {
+            emit(
+                "fault_sweep",
+                &exp::fault_sweep::run(RunCtx::with_jobs(scale, njobs)),
+                svg_dir.as_ref(),
+            );
+            ExitCode::SUCCESS
+        }
         "all" => {
             // Fan out across experiments rather than within them: the
             // registry's work items are coarse and independent, and each

@@ -1,6 +1,7 @@
 //! One module per paper table/figure.
 
 pub mod ablation;
+pub mod fault_sweep;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -66,6 +67,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("fig14", |c| vec![fig14::run(c)]),
     ("fig15", fig15::run),
     ("ablation", ablation::run),
+    ("fault_sweep", fault_sweep::run),
 ];
 
 /// Looks up an experiment by name.

@@ -26,10 +26,10 @@ use crate::superblock::SuperBlock;
 use crate::threshold::{CounterWidth, Thresholds};
 use crate::window::WindowStats;
 use proram_mem::{
-    AccessKind, AccessOutcome, BackendStats, BlockAddr, CacheProbe, Cycle, Fill, MemRequest,
-    MemoryBackend,
+    AccessKind, AccessOutcome, BackendStats, BlockAddr, CacheProbe, Cycle, FaultStats, Fill,
+    MemRequest, MemoryBackend,
 };
-use proram_oram::{AccessReport, OramBackend, OramConfig, PathKind, PathOram};
+use proram_oram::{AccessReport, OramBackend, OramConfig, OramError, PathKind, PathOram};
 use std::collections::HashSet;
 
 /// Counters specific to the super-block machinery.
@@ -86,6 +86,9 @@ pub struct SuperBlockOram<O: OramBackend = PathOram> {
     /// Outstanding prefetches that have been used (the hit bit).
     hit: HashSet<u64>,
     stats: SchemeStats,
+    /// Faults that surfaced to the scheme layer unrecovered (the backend
+    /// already counts its own detections/recoveries).
+    scheme_faults: FaultStats,
     busy_until: Cycle,
     last_complete: Cycle,
     label: String,
@@ -149,6 +152,7 @@ impl<O: OramBackend> SuperBlockOram<O> {
             outstanding: HashSet::new(),
             hit: HashSet::new(),
             stats: SchemeStats::default(),
+            scheme_faults: FaultStats::default(),
             busy_until: 0,
             last_complete: 0,
             label,
@@ -180,7 +184,10 @@ impl<O: OramBackend> SuperBlockOram<O> {
     /// block. Performs posmap accesses if the covering posmap block is
     /// not on-chip; returns the group and the posmap accesses spent.
     pub fn current_super_block(&mut self, addr: BlockAddr) -> (SuperBlock, u64) {
-        let pm = self.oram.resolve_posmap(addr);
+        let pm = self
+            .oram
+            .resolve_posmap(addr)
+            .unwrap_or_else(|e| panic!("{e}"));
         (self.detect(addr), pm)
     }
 
@@ -212,15 +219,19 @@ impl<O: OramBackend> SuperBlockOram<O> {
     // Demand read: the full Section 4 flow
     // ------------------------------------------------------------------
 
-    fn demand_read(&mut self, addr: BlockAddr, llc: &dyn CacheProbe) -> (AccessReport, Vec<Fill>) {
+    fn demand_read(
+        &mut self,
+        addr: BlockAddr,
+        llc: &dyn CacheProbe,
+    ) -> Result<(AccessReport, Vec<Fill>), OramError> {
         self.stats.demand_reads += 1;
-        let posmap_accesses = self.oram.resolve_posmap(addr);
+        let posmap_accesses = self.oram.resolve_posmap(addr)?;
         let sb = self.detect(addr);
         let old_leaf = self.oram.entry(addr).leaf;
 
         // Step 1 (Section 4): access the path and pull the whole super
         // block on-chip.
-        self.oram.read_path_into_stash(old_leaf, PathKind::Data);
+        self.oram.read_path_into_stash(old_leaf, PathKind::Data)?;
         let found: Vec<BlockAddr> = sb
             .members()
             .filter(|&m| self.oram.stash_contains(m))
@@ -305,9 +316,9 @@ impl<O: OramBackend> SuperBlockOram<O> {
         }
 
         self.oram.write_path_from_stash(old_leaf);
-        let background_evictions = self.oram.drain_background();
+        let background_evictions = self.oram.drain_background()?;
         let tree_accesses = 1 + posmap_accesses + background_evictions;
-        (
+        Ok((
             AccessReport {
                 latency: tree_accesses * self.oram.path_cycles(),
                 tree_accesses,
@@ -315,7 +326,7 @@ impl<O: OramBackend> SuperBlockOram<O> {
                 background_evictions,
             },
             fills,
-        )
+        ))
     }
 
     /// Returns the requested block plus prefetch fills for the other
@@ -399,12 +410,12 @@ impl<O: OramBackend> SuperBlockOram<O> {
     // Write-back
     // ------------------------------------------------------------------
 
-    fn writeback(&mut self, addr: BlockAddr) -> (AccessReport, Vec<Fill>) {
+    fn writeback(&mut self, addr: BlockAddr) -> Result<(AccessReport, Vec<Fill>), OramError> {
         self.stats.writebacks += 1;
-        let posmap_accesses = self.oram.resolve_posmap(addr);
+        let posmap_accesses = self.oram.resolve_posmap(addr)?;
         let sb = self.detect(addr);
         let old_leaf = self.oram.entry(addr).leaf;
-        self.oram.read_path_into_stash(old_leaf, PathKind::Data);
+        self.oram.read_path_into_stash(old_leaf, PathKind::Data)?;
         let found: Vec<BlockAddr> = sb
             .members()
             .filter(|&m| self.oram.stash_contains(m))
@@ -417,9 +428,9 @@ impl<O: OramBackend> SuperBlockOram<O> {
             }
         }
         self.oram.write_path_from_stash(old_leaf);
-        let background_evictions = self.oram.drain_background();
+        let background_evictions = self.oram.drain_background()?;
         let tree_accesses = 1 + posmap_accesses + background_evictions;
-        (
+        Ok((
             AccessReport {
                 latency: tree_accesses * self.oram.path_cycles(),
                 tree_accesses,
@@ -427,7 +438,7 @@ impl<O: OramBackend> SuperBlockOram<O> {
                 background_evictions,
             },
             Vec::new(),
-        )
+        ))
     }
 
     fn schedule(&mut self, now: Cycle, latency: u64) -> Cycle {
@@ -440,10 +451,30 @@ impl<O: OramBackend> SuperBlockOram<O> {
 
 impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
     fn access(&mut self, now: Cycle, req: MemRequest, llc: &dyn CacheProbe) -> AccessOutcome {
-        let (report, fills) = match req.kind {
+        let attempt = match req.kind {
             AccessKind::Read => self.demand_read(req.block, llc),
             AccessKind::Write => self.writeback(req.block),
         };
+        // An unrecovered fault degrades the access instead of aborting the
+        // simulation: the requested block is still delivered (reads), the
+        // access is charged one path latency, and the fault is reported in
+        // the run's fault counters.
+        let (report, fills) = attempt.unwrap_or_else(|_err| {
+            self.scheme_faults.unrecovered += 1;
+            let fills = match req.kind {
+                AccessKind::Read => vec![Fill::demand(req.block)],
+                AccessKind::Write => Vec::new(),
+            };
+            (
+                AccessReport {
+                    latency: self.oram.path_cycles(),
+                    tree_accesses: 1,
+                    posmap_accesses: 0,
+                    background_evictions: 0,
+                },
+                fills,
+            )
+        });
         let complete_at = self.schedule(now, report.latency);
         let elapsed = complete_at.saturating_sub(self.last_complete).max(1);
         self.window
@@ -453,7 +484,9 @@ impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
     }
 
     fn dummy_access(&mut self, now: Cycle) -> Cycle {
-        self.oram.background_evict();
+        if self.oram.background_evict().is_err() {
+            self.scheme_faults.unrecovered += 1;
+        }
         self.schedule(now, self.oram.path_cycles())
     }
 
@@ -492,6 +525,7 @@ impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
             prefetch_hits: self.stats.prefetch_hits,
             prefetch_misses: self.stats.prefetch_misses,
             busy_cycles: o.total_path_accesses() * self.oram.path_cycles(),
+            faults: self.oram.fault_stats() + self.scheme_faults,
         }
     }
 

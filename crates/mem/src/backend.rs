@@ -66,6 +66,136 @@ pub struct AccessOutcome {
     pub fills: Vec<Fill>,
 }
 
+/// Fault-injection, detection and recovery counters of a backend whose
+/// storage sits in untrusted memory (the ORAM controllers; all-zero for
+/// DRAM).
+///
+/// Injection counters are ground truth recorded by the fault injector
+/// itself; detection/recovery counters are recorded by the controller's
+/// verification and repair paths. `undetected` counts injected corruptions
+/// that survived a full authenticated read — the false negatives the
+/// fault-sweep experiment asserts to be zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Ciphertext bit flips injected.
+    pub injected_bit_flips: u64,
+    /// Torn (partially applied) bucket writes injected.
+    pub injected_torn_writes: u64,
+    /// Dropped bucket writes injected (rollback to the previous image).
+    pub injected_rollbacks: u64,
+    /// Transient read-attempt failures injected.
+    pub injected_transients: u64,
+    /// Reads that failed authentication (corruption detected).
+    pub detected_integrity: u64,
+    /// Reads that authenticated but carried a stale version counter
+    /// (rollback detected).
+    pub detected_rollback: u64,
+    /// Read retries performed for transient failures.
+    pub transient_retries: u64,
+    /// Extra cycles spent in retry backoff.
+    pub backoff_cycles: u64,
+    /// Faults survived: transient reads that succeeded on retry plus
+    /// corrupted/rolled-back buckets repaired from the trusted state.
+    pub recovered: u64,
+    /// Typed errors that could not be recovered and were reported upward.
+    pub unrecovered: u64,
+    /// Emergency background evictions run past the normal per-access bound
+    /// because the stash crossed its hard capacity (degradation mode).
+    pub emergency_evictions: u64,
+    /// Periodic full-image scrub passes completed.
+    pub scrub_runs: u64,
+    /// Buckets verified by scrub passes.
+    pub scrub_buckets: u64,
+    /// Injected faults overwritten by a later write before any read could
+    /// observe them (not detectable, and nothing to detect).
+    pub masked_by_overwrite: u64,
+    /// Injected corruptions that survived a full authenticated read — the
+    /// false negatives; must stay zero.
+    pub undetected: u64,
+}
+
+impl FaultStats {
+    /// All injected faults (corruptions plus transients).
+    pub fn total_injected(&self) -> u64 {
+        self.injected_bit_flips
+            + self.injected_torn_writes
+            + self.injected_rollbacks
+            + self.injected_transients
+    }
+
+    /// Corruptions injected and still observable (not masked by a later
+    /// write) — the denominator of [`FaultStats::detection_rate`].
+    pub fn observable_corruptions(&self) -> u64 {
+        (self.injected_bit_flips + self.injected_torn_writes + self.injected_rollbacks)
+            .saturating_sub(self.masked_by_overwrite)
+    }
+
+    /// Corruption detections (integrity + rollback).
+    pub fn total_detected(&self) -> u64 {
+        self.detected_integrity + self.detected_rollback
+    }
+
+    /// Fraction of observable injected corruptions that were detected;
+    /// `None` when nothing observable was injected.
+    pub fn detection_rate(&self) -> Option<f64> {
+        let obs = self.observable_corruptions();
+        (obs > 0).then(|| {
+            let caught = obs - self.undetected;
+            caught as f64 / obs as f64
+        })
+    }
+}
+
+impl std::ops::Add for FaultStats {
+    type Output = FaultStats;
+
+    /// Field-wise sum; aggregates injector- and controller-side counters.
+    fn add(self, rhs: FaultStats) -> FaultStats {
+        FaultStats {
+            injected_bit_flips: self.injected_bit_flips + rhs.injected_bit_flips,
+            injected_torn_writes: self.injected_torn_writes + rhs.injected_torn_writes,
+            injected_rollbacks: self.injected_rollbacks + rhs.injected_rollbacks,
+            injected_transients: self.injected_transients + rhs.injected_transients,
+            detected_integrity: self.detected_integrity + rhs.detected_integrity,
+            detected_rollback: self.detected_rollback + rhs.detected_rollback,
+            transient_retries: self.transient_retries + rhs.transient_retries,
+            backoff_cycles: self.backoff_cycles + rhs.backoff_cycles,
+            recovered: self.recovered + rhs.recovered,
+            unrecovered: self.unrecovered + rhs.unrecovered,
+            emergency_evictions: self.emergency_evictions + rhs.emergency_evictions,
+            scrub_runs: self.scrub_runs + rhs.scrub_runs,
+            scrub_buckets: self.scrub_buckets + rhs.scrub_buckets,
+            masked_by_overwrite: self.masked_by_overwrite + rhs.masked_by_overwrite,
+            undetected: self.undetected + rhs.undetected,
+        }
+    }
+}
+
+impl std::ops::Sub for FaultStats {
+    type Output = FaultStats;
+
+    /// Field-wise difference; used for warmup-baseline subtraction.
+    fn sub(self, rhs: FaultStats) -> FaultStats {
+        FaultStats {
+            injected_bit_flips: self.injected_bit_flips - rhs.injected_bit_flips,
+            injected_torn_writes: self.injected_torn_writes - rhs.injected_torn_writes,
+            injected_rollbacks: self.injected_rollbacks - rhs.injected_rollbacks,
+            injected_transients: self.injected_transients - rhs.injected_transients,
+            detected_integrity: self.detected_integrity - rhs.detected_integrity,
+            detected_rollback: self.detected_rollback - rhs.detected_rollback,
+            transient_retries: self.transient_retries - rhs.transient_retries,
+            backoff_cycles: self.backoff_cycles - rhs.backoff_cycles,
+            recovered: self.recovered - rhs.recovered,
+            unrecovered: self.unrecovered - rhs.unrecovered,
+            emergency_evictions: self.emergency_evictions - rhs.emergency_evictions,
+            scrub_runs: self.scrub_runs - rhs.scrub_runs,
+            scrub_buckets: self.scrub_buckets - rhs.scrub_buckets,
+            masked_by_overwrite: self.masked_by_overwrite - rhs.masked_by_overwrite,
+            undetected: self.undetected - rhs.undetected,
+        }
+    }
+}
+
 /// Aggregate statistics exposed by every backend.
 ///
 /// Fields that do not apply to a given technology are zero (e.g. DRAM has
@@ -93,6 +223,9 @@ pub struct BackendStats {
     pub prefetch_misses: u64,
     /// Cycles during which the memory resource was busy.
     pub busy_cycles: u64,
+    /// Fault injection / detection / recovery counters (all-zero without
+    /// fault injection).
+    pub faults: FaultStats,
 }
 
 impl std::ops::Sub for BackendStats {
@@ -111,6 +244,7 @@ impl std::ops::Sub for BackendStats {
             prefetch_hits: self.prefetch_hits - rhs.prefetch_hits,
             prefetch_misses: self.prefetch_misses - rhs.prefetch_misses,
             busy_cycles: self.busy_cycles - rhs.busy_cycles,
+            faults: self.faults - rhs.faults,
         }
     }
 }
@@ -131,6 +265,7 @@ impl std::ops::Add for BackendStats {
             prefetch_hits: self.prefetch_hits + rhs.prefetch_hits,
             prefetch_misses: self.prefetch_misses + rhs.prefetch_misses,
             busy_cycles: self.busy_cycles + rhs.busy_cycles,
+            faults: self.faults + rhs.faults,
         }
     }
 }
@@ -253,6 +388,24 @@ mod tests {
         assert_eq!(sum.physical_accesses, 15);
         assert_eq!(sum.since(b), a);
         assert_eq!(sum.since(a), b);
+    }
+
+    #[test]
+    fn fault_stats_rates_and_arithmetic() {
+        let mut f = FaultStats::default();
+        assert_eq!(f.detection_rate(), None);
+        f.injected_bit_flips = 4;
+        f.injected_rollbacks = 2;
+        f.masked_by_overwrite = 1;
+        f.detected_integrity = 4;
+        f.detected_rollback = 1;
+        assert_eq!(f.observable_corruptions(), 5);
+        assert_eq!(f.detection_rate(), Some(1.0));
+        f.undetected = 1;
+        assert_eq!(f.detection_rate(), Some(0.8));
+        let sum = f + f;
+        assert_eq!(sum.injected_bit_flips, 8);
+        assert_eq!(sum - f, f);
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod periodic;
 pub mod request;
 
 pub use adaptive_periodic::{AdaptivePeriodic, AdaptivePeriodicConfig};
-pub use backend::{AccessOutcome, BackendStats, CacheProbe, Fill, MemoryBackend, NoProbe};
+pub use backend::{
+    AccessOutcome, BackendStats, CacheProbe, FaultStats, Fill, MemoryBackend, NoProbe,
+};
 pub use dram::{Dram, DramConfig};
 pub use periodic::Periodic;
 pub use request::{AccessKind, BlockAddr, Cycle, MemRequest};

@@ -16,17 +16,28 @@
 use crate::addr::{AddressSpace, Leaf};
 use crate::block::Block;
 use crate::controller::{OramStats, PathKind};
+use crate::error::OramError;
 use crate::posmap::PosEntry;
-use proram_mem::BlockAddr;
+use proram_mem::{BlockAddr, FaultStats};
 
 /// A tree-based ORAM offering the primitives super-block schemes need.
+///
+/// The fallible methods return [`OramError`] for faults the backend
+/// detected but could not recover from (corruption or rollback with
+/// recovery disabled, exhausted transient retries, stash overflow past the
+/// hard capacity); backends with recovery enabled repair in place and
+/// return `Ok`.
 pub trait OramBackend {
     /// The unified block-address-space layout.
     fn space(&self) -> &AddressSpace;
 
     /// Ensures the position-map entries covering `child`'s group are
     /// on-chip; returns the tree accesses spent doing so.
-    fn resolve_posmap(&mut self, child: BlockAddr) -> u64;
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered faults from the path reads.
+    fn resolve_posmap(&mut self, child: BlockAddr) -> Result<u64, OramError>;
 
     /// Borrows `child`'s position-map entry (requires a prior resolve).
     fn entry(&self, child: BlockAddr) -> &PosEntry;
@@ -36,7 +47,11 @@ pub trait OramBackend {
 
     /// Read phase of one access: brings every real block that the access
     /// may serve into the stash, recording the adversary-visible event.
-    fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind);
+    ///
+    /// # Errors
+    ///
+    /// Returns the detected [`OramError`] when recovery is disabled.
+    fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) -> Result<(), OramError>;
 
     /// Write phase of one access, paired with the preceding read.
     fn write_path_from_stash(&mut self, leaf: Leaf);
@@ -51,17 +66,33 @@ pub trait OramBackend {
     fn random_leaf(&mut self) -> Leaf;
 
     /// One background eviction (a dummy access on the wire).
-    fn background_evict(&mut self);
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered faults from the path read.
+    fn background_evict(&mut self) -> Result<(), OramError>;
 
     /// Background-evicts until the stash is under its trigger; returns
     /// the evictions run.
-    fn drain_background(&mut self) -> u64;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::StashOverflow`] if even emergency eviction
+    /// cannot respect a configured hard capacity, or propagates
+    /// unrecovered path-read faults.
+    fn drain_background(&mut self) -> Result<u64, OramError>;
 
     /// Cycles one physical tree access costs.
     fn path_cycles(&self) -> u64;
 
     /// Statistics so far.
     fn oram_stats(&self) -> OramStats;
+
+    /// Fault injection/detection/recovery counters; all-zero for backends
+    /// without fault injection (the default).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
 
     /// Short name of the underlying ORAM ("path", "shi", ...).
     fn backend_name(&self) -> &'static str;

@@ -1,6 +1,7 @@
 //! ORAM configuration.
 
 use crate::addr::AddressSpace;
+use crate::fault::FaultConfig;
 use crate::timing::OramTiming;
 
 /// Full configuration of a [`crate::PathOram`] instance.
@@ -74,6 +75,24 @@ pub struct OramConfig {
     /// its super-block size ("In the initialization stage of Path ORAM,
     /// blocks are merged into super blocks").
     pub init_group_size: u64,
+    /// Seeded fault injection on the encrypted image (requires
+    /// `store_payloads`). `None` disables the injector entirely; `Some`
+    /// with all rates zero installs it silently — the injector draws from
+    /// its own RNG, so observable behavior is unchanged. Enabling faults
+    /// also enables per-path image verification (detection needs reads to
+    /// be authenticated) and typed-error recovery instead of panics.
+    pub fault: Option<FaultConfig>,
+    /// Hard stash capacity: if set, exceeding it after the bounded
+    /// background-eviction drain triggers *emergency eviction* (a degraded
+    /// mode counted in [`proram_mem::FaultStats`]) and, only if that also
+    /// fails, fail-stop via [`crate::OramError::StashOverflow`]. `None`
+    /// keeps the legacy behavior (soft `stash_limit` only).
+    pub stash_hard_capacity: Option<usize>,
+    /// Scrub period in path accesses: every `scrub_interval` data-path
+    /// reads, re-authenticate the whole encrypted image
+    /// ([`crate::EncryptedStore::verify_all`]) and repair what it flags.
+    /// `0` disables scrubbing. Requires `store_payloads`.
+    pub scrub_interval: u64,
 }
 
 impl OramConfig {
@@ -108,6 +127,9 @@ impl OramConfig {
             init_group_size: 1,
             dense_tree: false,
             treetop_levels: 0,
+            fault: None,
+            stash_hard_capacity: None,
+            scrub_interval: 0,
         }
     }
 
@@ -204,6 +226,24 @@ impl OramConfig {
                 "posmap entries do not fit a serialized block; reduce entries_per_posmap_block"
             );
         }
+        if let Some(fault) = &self.fault {
+            assert!(
+                self.store_payloads,
+                "fault injection requires store_payloads (there is no image to corrupt otherwise)"
+            );
+            fault.validate();
+        }
+        if let Some(cap) = self.stash_hard_capacity {
+            assert!(
+                cap >= self.stash_limit,
+                "stash_hard_capacity ({cap}) below stash_limit ({})",
+                self.stash_limit
+            );
+        }
+        assert!(
+            self.scrub_interval == 0 || self.store_payloads,
+            "scrubbing requires store_payloads (there is no image to verify otherwise)"
+        );
     }
 }
 
@@ -224,6 +264,9 @@ impl Default for OramConfig {
             init_group_size: 1,
             dense_tree: false,
             treetop_levels: 0,
+            fault: None,
+            stash_hard_capacity: None,
+            scrub_interval: 0,
         }
     }
 }
@@ -309,6 +352,37 @@ mod tests {
         let cfg = OramConfig {
             treetop_levels: 64,
             ..OramConfig::small_for_tests(64)
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn fault_injection_validates_with_payloads() {
+        let cfg = OramConfig {
+            fault: Some(FaultConfig::silent(1)),
+            stash_hard_capacity: Some(64),
+            scrub_interval: 100,
+            ..OramConfig::small_for_tests(256)
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection requires store_payloads")]
+    fn fault_injection_without_payloads_rejected() {
+        let cfg = OramConfig {
+            fault: Some(FaultConfig::silent(1)),
+            ..OramConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "below stash_limit")]
+    fn hard_capacity_below_soft_limit_rejected() {
+        let cfg = OramConfig {
+            stash_hard_capacity: Some(10),
+            ..OramConfig::small_for_tests(256)
         };
         cfg.validate();
     }

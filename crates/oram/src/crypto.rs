@@ -109,6 +109,16 @@ impl Mac {
 
     /// Tags the `header` words and `data` bytes.
     pub fn tag(&self, header: &[u64], data: &[u8]) -> u64 {
+        self.tag_parts(header, &[data])
+    }
+
+    /// Tags the `header` words and several byte slices, absorbing each
+    /// part's length so the boundaries are unambiguous:
+    /// `tag_parts(h, &[a, b])` and `tag_parts(h, &[ab])` differ even when
+    /// the concatenations agree. Used to authenticate non-contiguous
+    /// regions (e.g. a slot's header and payload around the tag field)
+    /// without copying them together.
+    pub fn tag_parts(&self, header: &[u64], parts: &[&[u8]]) -> u64 {
         let mut state = self.key ^ 0xA076_1D64_78BD_642F;
         let mut absorb = |w: u64| {
             state ^= w;
@@ -118,12 +128,14 @@ impl Mac {
         for &w in header {
             absorb(w);
         }
-        for chunk in data.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            absorb(u64::from_le_bytes(buf));
+        for part in parts {
+            for chunk in part.chunks(8) {
+                let mut buf = [0u8; 8];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                absorb(u64::from_le_bytes(buf));
+            }
+            absorb(part.len() as u64);
         }
-        absorb(data.len() as u64);
         state
     }
 }
@@ -194,6 +206,28 @@ mod tests {
     #[test]
     fn mac_is_key_dependent() {
         assert_ne!(Mac::new(1).tag(&[5], b"x"), Mac::new(2).tag(&[5], b"x"));
+    }
+
+    #[test]
+    fn tag_parts_is_boundary_sensitive() {
+        let mac = Mac::new(11);
+        // Single-part tagging is exactly `tag`.
+        assert_eq!(mac.tag(&[1], b"abcdef"), mac.tag_parts(&[1], &[b"abcdef"]));
+        // Moving a byte across a part boundary changes the tag even though
+        // the concatenation is identical.
+        assert_ne!(
+            mac.tag_parts(&[1], &[b"abc", b"def"]),
+            mac.tag_parts(&[1], &[b"abcd", b"ef"])
+        );
+        assert_ne!(
+            mac.tag_parts(&[1], &[b"abc", b"def"]),
+            mac.tag_parts(&[1], &[b"abcdef"])
+        );
+        // Part contents matter.
+        assert_ne!(
+            mac.tag_parts(&[1], &[b"abc", b"def"]),
+            mac.tag_parts(&[1], &[b"abc", b"deg"])
+        );
     }
 
     #[test]

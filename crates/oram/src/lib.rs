@@ -10,7 +10,9 @@
 //!   ORAM which the paper uses as its baseline,
 //! * **background eviction** for small `Z` (Section 2.4),
 //! * a **probabilistic encryption** layer and byte-level DRAM image
-//!   ([`crypto`], [`storage`]),
+//!   ([`crypto`], [`storage`]), with rollback-detecting authentication,
+//! * a seeded **fault injector** and typed error taxonomy for exercising
+//!   the detection/recovery machinery ([`fault`], [`error`]),
 //! * the **adversary-observable physical trace** ([`trace`]) used by the
 //!   obliviousness test-suite,
 //! * a first-principles **timing model** (path bytes / pin bandwidth,
@@ -41,7 +43,9 @@ pub mod bucket;
 pub mod config;
 pub mod controller;
 pub mod crypto;
+pub mod error;
 pub mod eviction;
+pub mod fault;
 pub mod plb;
 pub mod posmap;
 pub mod shi;
@@ -58,12 +62,14 @@ pub use bucket::Bucket;
 pub use config::OramConfig;
 pub use controller::{AccessReport, OramStats, PathKind, PathOram};
 pub use crypto::{Mac, StreamCipher};
+pub use error::OramError;
 pub use eviction::PathScratch;
+pub use fault::{FaultClass, FaultConfig, FaultyStore};
 pub use plb::Plb;
 pub use posmap::PosEntry;
 pub use shi::{ShiOram, ShiOramConfig};
 pub use stash::Stash;
-pub use storage::{EncryptedStore, IntegrityError};
+pub use storage::EncryptedStore;
 pub use timing::OramTiming;
 pub use trace::{PhysEvent, TraceRecorder};
 pub use tree::OramTree;

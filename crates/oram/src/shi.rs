@@ -26,6 +26,7 @@ use crate::addr::{AddressSpace, Leaf};
 use crate::backend_trait::OramBackend;
 use crate::block::Block;
 use crate::controller::{OramStats, PathKind};
+use crate::error::OramError;
 use crate::eviction::{read_path, write_path};
 use crate::posmap::PosEntry;
 use crate::stash::Stash;
@@ -274,14 +275,17 @@ impl ShiOram {
         let old_leaf = self.entry(addr).leaf;
         let new_leaf = self.random_leaf();
         self.entry_mut(addr).leaf = new_leaf;
-        self.read_path_into_stash(old_leaf, PathKind::Data);
+        self.read_path_into_stash(old_leaf, PathKind::Data)
+            .expect("shi backend has no encrypted image to fault");
         let block = self
             .stash
             .get_mut(addr)
             .unwrap_or_else(|| panic!("invariant broken: {addr} missing from {old_leaf}"));
         block.leaf = new_leaf;
         self.write_path_from_stash(old_leaf);
-        let background_evictions = self.drain_background();
+        let background_evictions = self
+            .drain_background()
+            .expect("shi backend has no encrypted image to fault");
         let tree_accesses = 1 + background_evictions;
         crate::controller::AccessReport {
             latency: tree_accesses * self.path_cycles,
@@ -315,8 +319,8 @@ impl OramBackend for ShiOram {
         &self.space
     }
 
-    fn resolve_posmap(&mut self, _child: BlockAddr) -> u64 {
-        0 // the entire position map is on-chip
+    fn resolve_posmap(&mut self, _child: BlockAddr) -> Result<u64, OramError> {
+        Ok(0) // the entire position map is on-chip
     }
 
     fn entry(&self, child: BlockAddr) -> &PosEntry {
@@ -327,7 +331,7 @@ impl OramBackend for ShiOram {
         &mut self.top[child.0 as usize]
     }
 
-    fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) {
+    fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) -> Result<(), OramError> {
         read_path(&mut self.tree, &mut self.stash, leaf);
         match kind {
             PathKind::Data => {
@@ -345,6 +349,7 @@ impl OramBackend for ShiOram {
         }
         self.stats.bytes_moved += self.path_bytes;
         self.stash.sample_occupancy();
+        Ok(())
     }
 
     fn write_path_from_stash(&mut self, leaf: Leaf) {
@@ -364,19 +369,20 @@ impl OramBackend for ShiOram {
         Leaf(self.rng.next_below(u64::from(self.tree.num_leaves())) as u32)
     }
 
-    fn background_evict(&mut self) {
+    fn background_evict(&mut self) -> Result<(), OramError> {
         let leaf = self.random_leaf();
-        self.read_path_into_stash(leaf, PathKind::Dummy);
+        self.read_path_into_stash(leaf, PathKind::Dummy)?;
         self.write_path_from_stash(leaf);
+        Ok(())
     }
 
-    fn drain_background(&mut self) -> u64 {
+    fn drain_background(&mut self) -> Result<u64, OramError> {
         let mut n = 0;
         while self.stash.over_limit() && n < MAX_BACKGROUND_EVICTIONS_PER_ACCESS {
-            self.background_evict();
+            self.background_evict()?;
             n += 1;
         }
-        n
+        Ok(n)
     }
 
     fn path_cycles(&self) -> u64 {

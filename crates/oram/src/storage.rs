@@ -8,14 +8,34 @@
 //! controller's crypto unit performs; the tests check round-tripping and
 //! that rewriting a bucket always changes its ciphertext (probabilistic
 //! encryption).
+//!
+//! # Authentication and rollback protection
+//!
+//! Each bucket carries a cleartext header — nonce, a **monotonic version
+//! counter**, and a header MAC binding both to the bucket index — and each
+//! slot carries a PMMAC-style tag (after Freecursive ORAM \[8\]) over the
+//! slot's *entire raw bytes* (header fields and the full payload area,
+//! used or not) keyed by `(bucket index, version)`. The controller keeps
+//! the authoritative version of every bucket in trusted on-chip state
+//! ([`EncryptedStore`] itself models the trusted controller); a stored
+//! bucket that authenticates but carries an old version is a **rollback**
+//! ([`OramError::Rollback`]) — the replay of a previously valid ciphertext
+//! — which plain MACs cannot distinguish from fresh data. Anything that
+//! fails a MAC is **corruption** ([`OramError::Integrity`]).
+//!
+//! The byte backing is either plain memory or a [`FaultyStore`] that
+//! injects seeded faults (bit flips, torn writes, rollbacks, transient
+//! read failures); see [`crate::fault`]. All read paths report failures as
+//! typed [`OramError`] values — nothing here panics on adversarial input.
 
 use crate::addr::Leaf;
 use crate::block::{Block, Payload};
 use crate::bucket::Bucket;
 use crate::crypto::{Mac, StreamCipher};
+use crate::error::OramError;
+use crate::fault::{FaultConfig, FaultyStore};
 use crate::posmap::PosEntry;
-use proram_mem::BlockAddr;
-use std::fmt;
+use proram_mem::{BlockAddr, FaultStats};
 
 /// Authenticated slot header: `(addr, leaf, hit, kind, payload_len)`.
 type SlotHeader = (BlockAddr, Leaf, bool, u8, usize);
@@ -27,39 +47,61 @@ pub const ENTRY_BYTES: usize = 9;
 /// payload length, MAC tag.
 const SLOT_HEADER_BYTES: usize = 1 + 8 + 4 + 1 + 1 + 2 + 8;
 
-/// An authentication failure: the stored image was modified outside the
-/// controller (PMMAC-style verification, after Freecursive ORAM \[8\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IntegrityError {
-    /// Bucket whose contents failed verification.
-    pub bucket: usize,
-    /// Slot within the bucket.
-    pub slot: usize,
+/// Offset of the slot tag within the slot; the tag covers every other
+/// slot byte (`[0, TAG)` and `[SLOT_HEADER_BYTES, end)`).
+const SLOT_TAG_OFFSET: usize = 17;
+
+/// Per-bucket header, stored in the clear as a real system stores its
+/// IV/counter: encryption nonce, monotonic version counter, and a MAC over
+/// both (bound to the bucket index).
+const BUCKET_HEADER_BYTES: usize = 8 + 8 + 8;
+
+/// The byte backing of the image: plain memory, or the fault injector.
+#[derive(Debug, Clone)]
+enum Backing {
+    Plain(Vec<u8>),
+    Faulty(Box<FaultyStore>),
 }
 
-impl fmt::Display for IntegrityError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "integrity violation in bucket {} slot {}",
-            self.bucket, self.slot
-        )
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Plain(d) => d,
+            Backing::Faulty(f) => f.bytes(),
+        }
+    }
+
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        match self {
+            Backing::Plain(d) => d,
+            Backing::Faulty(f) => f.bytes_mut(),
+        }
+    }
+
+    fn begin_write(&mut self, index: usize, bucket_bytes: usize) -> &mut [u8] {
+        match self {
+            Backing::Plain(d) => &mut d[index * bucket_bytes..(index + 1) * bucket_bytes],
+            Backing::Faulty(f) => f.begin_write(index),
+        }
+    }
+
+    fn commit_write(&mut self, index: usize) {
+        if let Backing::Faulty(f) = self {
+            f.commit_write(index);
+        }
     }
 }
-
-impl std::error::Error for IntegrityError {}
-
-/// Per-bucket header: the encryption nonce (stored in the clear, as a real
-/// system stores its IV/counter).
-const BUCKET_HEADER_BYTES: usize = 8;
 
 /// The encrypted bucket store.
 #[derive(Debug, Clone)]
 pub struct EncryptedStore {
-    data: Vec<u8>,
+    backing: Backing,
     cipher: StreamCipher,
     mac: Mac,
     next_nonce: u64,
+    /// Trusted on-chip version counters, one per bucket. The stored image
+    /// must match exactly; an authentic-but-older version is a rollback.
+    versions: Vec<u64>,
     z: usize,
     payload_bytes: usize,
     num_buckets: usize,
@@ -67,18 +109,61 @@ pub struct EncryptedStore {
 
 impl EncryptedStore {
     /// Creates a zeroed store for `num_buckets` buckets of `z` slots whose
-    /// payload area holds `payload_bytes` bytes.
+    /// payload area holds `payload_bytes` bytes. Every bucket starts at
+    /// version 0 with an authentic all-dummy image.
     pub fn new(num_buckets: usize, z: usize, payload_bytes: usize, key: u64) -> Self {
         let bucket_bytes = Self::bucket_bytes_for(z, payload_bytes);
+        let mac = Mac::new(key.rotate_left(32) ^ 0x5A5A_5A5A_5A5A_5A5A);
+        let mut data = vec![0; num_buckets * bucket_bytes];
+        // Authentic initial headers: nonce 0 (body not yet encrypted),
+        // version 0. Without them an unwritten bucket would read as a
+        // header forgery.
+        for idx in 0..num_buckets {
+            let header = &mut data[idx * bucket_bytes..idx * bucket_bytes + BUCKET_HEADER_BYTES];
+            Self::write_header(header, &mac, idx as u64, 0, 0);
+        }
         EncryptedStore {
-            data: vec![0; num_buckets * bucket_bytes],
+            backing: Backing::Plain(data),
             cipher: StreamCipher::new(key),
-            mac: Mac::new(key.rotate_left(32) ^ 0x5A5A_5A5A_5A5A_5A5A),
+            mac,
             next_nonce: 1,
+            versions: vec![0; num_buckets],
             z,
             payload_bytes,
             num_buckets,
         }
+    }
+
+    /// Swaps the plain byte backing for a seeded fault injector.
+    ///
+    /// The injector draws from its own RNG, so a zero-rate configuration
+    /// leaves every observable behavior identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault injection is already enabled or the configuration
+    /// is invalid.
+    pub fn enable_faults(&mut self, cfg: FaultConfig) {
+        let bucket_bytes = self.bucket_bytes();
+        match std::mem::replace(&mut self.backing, Backing::Plain(Vec::new())) {
+            Backing::Plain(data) => {
+                self.backing = Backing::Faulty(Box::new(FaultyStore::new(data, bucket_bytes, cfg)));
+            }
+            Backing::Faulty(_) => panic!("fault injection already enabled"),
+        }
+    }
+
+    /// Fault injection / detection counters (all-zero without injection).
+    pub fn fault_stats(&self) -> FaultStats {
+        match &self.backing {
+            Backing::Plain(_) => FaultStats::default(),
+            Backing::Faulty(f) => f.stats(),
+        }
+    }
+
+    /// Whether a fault injector backs this store.
+    pub fn faults_enabled(&self) -> bool {
+        matches!(self.backing, Backing::Faulty(_))
     }
 
     fn bucket_bytes_for(z: usize, payload_bytes: usize) -> usize {
@@ -102,11 +187,18 @@ impl EncryptedStore {
     /// Panics if `index` is out of range.
     pub fn ciphertext(&self, index: usize) -> &[u8] {
         let bb = self.bucket_bytes();
-        &self.data[index * bb..(index + 1) * bb]
+        &self.backing.bytes()[index * bb..(index + 1) * bb]
+    }
+
+    fn write_header(header: &mut [u8], mac: &Mac, bucket_index: u64, nonce: u64, version: u64) {
+        header[0..8].copy_from_slice(&nonce.to_le_bytes());
+        header[8..16].copy_from_slice(&version.to_le_bytes());
+        let tag = mac.tag(&[bucket_index, nonce, version], &[]);
+        header[16..24].copy_from_slice(&tag.to_le_bytes());
     }
 
     /// Serializes, encrypts and stores `bucket` at `index` under a fresh
-    /// nonce.
+    /// nonce, advancing the bucket's trusted version counter.
     ///
     /// # Panics
     ///
@@ -116,67 +208,126 @@ impl EncryptedStore {
         assert!(bucket.len() <= self.z, "bucket exceeds Z");
         let nonce = self.next_nonce;
         self.next_nonce += 1;
+        let version = self.versions[index] + 1;
+        self.versions[index] = version;
         let bb = self.bucket_bytes();
         let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
         // Serialize and encrypt directly in the image — no staging buffer.
         let (mac, cipher, payload_bytes) = (self.mac, self.cipher, self.payload_bytes);
-        let out = &mut self.data[index * bb..(index + 1) * bb];
-        out[..BUCKET_HEADER_BYTES].copy_from_slice(&nonce.to_le_bytes());
+        let out = self.backing.begin_write(index, bb);
+        Self::write_header(
+            &mut out[..BUCKET_HEADER_BYTES],
+            &mac,
+            index as u64,
+            nonce,
+            version,
+        );
         let plain = &mut out[BUCKET_HEADER_BYTES..];
         // Zero first so unfilled slots are dummy blocks, indistinguishable
         // after encryption.
         plain.fill(0);
         for (i, block) in bucket.iter().enumerate() {
             let slot = &mut plain[i * slot_bytes..(i + 1) * slot_bytes];
-            Self::serialize_block(block, slot, payload_bytes, &mac, index as u64);
+            Self::serialize_block(block, slot, payload_bytes, &mac, index as u64, version);
         }
         cipher.encrypt(nonce, plain);
+        self.backing.commit_write(index);
     }
 
     /// Reads, decrypts, authenticates and deserializes bucket `index`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an authentication failure — tampering with the image is
-    /// a fatal, detected event for the controller. Use
-    /// [`EncryptedStore::try_read_bucket`] to observe failures as values.
-    pub fn read_bucket(&self, index: usize) -> Vec<Block> {
-        self.try_read_bucket(index)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Like [`EncryptedStore::read_bucket`], reporting tampering as an
-    /// [`IntegrityError`] instead of panicking.
-    pub fn try_read_bucket(&self, index: usize) -> Result<Vec<Block>, IntegrityError> {
+    /// Reports tampering as [`OramError::Integrity`], an authentic stale
+    /// image as [`OramError::Rollback`], and a transient read failure that
+    /// exhausted its retry budget as [`OramError::Transient`].
+    pub fn try_read_bucket(&mut self, index: usize) -> Result<Vec<Block>, OramError> {
         let mut plain = Vec::new();
-        self.decrypt_into(index, &mut plain);
+        let version = self.authenticated_plain(index, &mut plain)?;
         let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
         let mut blocks = Vec::new();
         for i in 0..self.z {
             let slot = &plain[i * slot_bytes..(i + 1) * slot_bytes];
-            match Self::deserialize_block(slot, self.payload_bytes, &self.mac, index as u64) {
+            match Self::deserialize_block(slot, &self.mac, index as u64, version) {
                 Ok(Some(b)) => blocks.push(b),
                 Ok(None) => {}
                 Err(()) => {
-                    return Err(IntegrityError {
+                    let err = OramError::Integrity {
                         bucket: index,
-                        slot: i,
-                    })
+                        slot: Some(i),
+                    };
+                    self.note_detected(index, &err);
+                    return Err(err);
                 }
             }
         }
+        self.note_clean_read(index);
         Ok(blocks)
     }
 
-    /// Decrypts bucket `index` into the caller's reusable `plain` buffer.
-    fn decrypt_into(&self, index: usize, plain: &mut Vec<u8>) {
+    /// Runs the transient-read gate, authenticates bucket `index`'s header
+    /// against the trusted version counter, and decrypts the body into the
+    /// caller's reusable buffer. Returns the authenticated version.
+    fn authenticated_plain(&mut self, index: usize, plain: &mut Vec<u8>) -> Result<u64, OramError> {
+        if let Backing::Faulty(f) = &mut self.backing {
+            if let Err(attempts) = f.read_gate() {
+                return Err(OramError::Transient {
+                    bucket: index,
+                    attempts,
+                });
+            }
+        }
         let bb = self.bucket_bytes();
-        let raw = &self.data[index * bb..(index + 1) * bb];
-        let nonce = u64::from_le_bytes(raw[..BUCKET_HEADER_BYTES].try_into().expect("nonce"));
+        let raw = &self.backing.bytes()[index * bb..(index + 1) * bb];
+        let nonce = u64::from_le_bytes(raw[0..8].try_into().expect("nonce"));
+        let version = u64::from_le_bytes(raw[8..16].try_into().expect("version"));
+        let stored_tag = u64::from_le_bytes(raw[16..24].try_into().expect("header tag"));
+        if stored_tag != self.mac.tag(&[index as u64, nonce, version], &[]) {
+            let err = OramError::Integrity {
+                bucket: index,
+                slot: None,
+            };
+            self.note_detected(index, &err);
+            return Err(err);
+        }
+        let expected = self.versions[index];
+        if version != expected {
+            // The header authenticates, so (nonce, version) was once valid
+            // for this bucket: an old version is a replayed stale image.
+            // (A version ahead of the trusted counter cannot be produced
+            // by replay; classify it as corruption defensively.)
+            let err = if version < expected {
+                OramError::Rollback {
+                    bucket: index,
+                    stored_version: version,
+                    expected_version: expected,
+                }
+            } else {
+                OramError::Integrity {
+                    bucket: index,
+                    slot: None,
+                }
+            };
+            self.note_detected(index, &err);
+            return Err(err);
+        }
         plain.clear();
         plain.extend_from_slice(&raw[BUCKET_HEADER_BYTES..]);
         if nonce != 0 {
             self.cipher.decrypt(nonce, plain);
+        }
+        Ok(version)
+    }
+
+    fn note_detected(&mut self, index: usize, err: &OramError) {
+        if let Backing::Faulty(f) = &mut self.backing {
+            f.note_detected(index, err);
+        }
+    }
+
+    fn note_clean_read(&mut self, index: usize) {
+        if let Backing::Faulty(f) = &mut self.backing {
+            f.note_clean_read(index);
         }
     }
 
@@ -190,39 +341,51 @@ impl EncryptedStore {
     ///
     /// # Errors
     ///
-    /// Returns an [`IntegrityError`] if any slot fails authentication.
+    /// Same classification as [`EncryptedStore::try_read_bucket`].
     pub fn bucket_addrs_into(
-        &self,
+        &mut self,
         index: usize,
         plain: &mut Vec<u8>,
         addrs: &mut Vec<u64>,
-    ) -> Result<(), IntegrityError> {
-        self.decrypt_into(index, plain);
+    ) -> Result<(), OramError> {
+        let version = self.authenticated_plain(index, plain)?;
         let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
         for i in 0..self.z {
             let slot = &plain[i * slot_bytes..(i + 1) * slot_bytes];
-            match Self::check_slot(slot, &self.mac, index as u64) {
+            match Self::check_slot(slot, &self.mac, index as u64, version) {
                 Ok(Some((addr, ..))) => addrs.push(addr.0),
                 Ok(None) => {}
                 Err(()) => {
-                    return Err(IntegrityError {
+                    let err = OramError::Integrity {
                         bucket: index,
-                        slot: i,
-                    })
+                        slot: Some(i),
+                    };
+                    self.note_detected(index, &err);
+                    return Err(err);
                 }
             }
         }
+        self.note_clean_read(index);
         Ok(())
     }
 
-    /// Verifies every bucket's authentication tags.
+    /// Verifies one bucket's header and slot authentication tags.
     ///
     /// # Errors
     ///
-    /// Returns the first [`IntegrityError`] encountered.
-    pub fn verify_all(&self) -> Result<(), IntegrityError> {
+    /// Same classification as [`EncryptedStore::try_read_bucket`].
+    pub fn verify_bucket(&mut self, index: usize) -> Result<(), OramError> {
+        self.try_read_bucket(index).map(|_| ())
+    }
+
+    /// Verifies every bucket's authentication tags (the scrub pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OramError`] encountered.
+    pub fn verify_all(&mut self) -> Result<(), OramError> {
         for idx in 0..self.num_buckets {
-            self.try_read_bucket(idx)?;
+            self.verify_bucket(idx)?;
         }
         Ok(())
     }
@@ -238,7 +401,7 @@ impl EncryptedStore {
         assert!(mask != 0, "a zero mask does not corrupt");
         let bb = self.bucket_bytes();
         assert!(offset < bb, "offset {offset} outside bucket of {bb} bytes");
-        self.data[index * bb + offset] ^= mask;
+        self.backing.bytes_mut()[index * bb + offset] ^= mask;
     }
 
     fn serialize_block(
@@ -247,6 +410,7 @@ impl EncryptedStore {
         payload_bytes: usize,
         mac: &Mac,
         bucket_index: u64,
+        version: u64,
     ) {
         let (head, body_area) = slot.split_at_mut(SLOT_HEADER_BYTES);
         head[0] = 1; // valid
@@ -283,26 +447,28 @@ impl EncryptedStore {
         };
         head[14] = kind;
         head[15..17].copy_from_slice(&(len as u16).to_le_bytes());
-        // The tag binds the block's identity AND its physical location, so
-        // replaying an authentic bucket at a different tree position fails
-        // verification.
-        let tag = mac.tag(
-            &[
-                bucket_index,
-                block.addr.0,
-                u64::from(block.leaf.0),
-                u64::from(block.hit),
-                u64::from(kind),
-            ],
-            &body_area[..len],
+        // The tag binds the slot's raw bytes — header fields and the whole
+        // payload area, used or not (zeroed padding included, so a flip
+        // past `len` is still caught) — plus the bucket index and version,
+        // so replaying an authentic slot at a different tree position or
+        // from an older epoch fails verification. The tag field itself is
+        // zero at this point and excluded from coverage.
+        let tag = mac.tag_parts(
+            &[bucket_index, version],
+            &[&head[..SLOT_TAG_OFFSET], body_area],
         );
-        head[17..25].copy_from_slice(&tag.to_le_bytes());
+        head[SLOT_TAG_OFFSET..SLOT_HEADER_BYTES].copy_from_slice(&tag.to_le_bytes());
     }
 
     /// Validates and authenticates one slot without touching the payload
     /// encoding: `Ok(None)` = dummy slot, `Ok(Some((addr, leaf, hit, kind,
     /// len)))` = authenticated header, `Err(())` = tampering.
-    fn check_slot(slot: &[u8], mac: &Mac, bucket_index: u64) -> Result<Option<SlotHeader>, ()> {
+    fn check_slot(
+        slot: &[u8],
+        mac: &Mac,
+        bucket_index: u64,
+        version: u64,
+    ) -> Result<Option<SlotHeader>, ()> {
         if slot[0] != 1 {
             // Dummy slots are all-zero after decryption; any other value
             // in the valid flag is tampering.
@@ -320,17 +486,14 @@ impl EncryptedStore {
         if len > slot.len().saturating_sub(SLOT_HEADER_BYTES) {
             return Err(()); // corrupted length field
         }
-        let stored_tag = u64::from_le_bytes(slot[17..25].try_into().expect("tag"));
-        let body = &slot[SLOT_HEADER_BYTES..SLOT_HEADER_BYTES + len];
-        let expected = mac.tag(
-            &[
-                bucket_index,
-                addr.0,
-                u64::from(leaf.0),
-                u64::from(hit),
-                u64::from(kind),
-            ],
-            body,
+        let stored_tag = u64::from_le_bytes(
+            slot[SLOT_TAG_OFFSET..SLOT_HEADER_BYTES]
+                .try_into()
+                .expect("tag"),
+        );
+        let expected = mac.tag_parts(
+            &[bucket_index, version],
+            &[&slot[..SLOT_TAG_OFFSET], &slot[SLOT_HEADER_BYTES..]],
         );
         if stored_tag != expected {
             return Err(());
@@ -342,11 +505,13 @@ impl EncryptedStore {
     /// `Err(())` = tag mismatch.
     fn deserialize_block(
         slot: &[u8],
-        _payload_bytes: usize,
         mac: &Mac,
         bucket_index: u64,
+        version: u64,
     ) -> Result<Option<Block>, ()> {
-        let Some((addr, leaf, hit, kind, len)) = Self::check_slot(slot, mac, bucket_index)? else {
+        let Some((addr, leaf, hit, kind, len)) =
+            Self::check_slot(slot, mac, bucket_index, version)?
+        else {
             return Ok(None);
         };
         let body = &slot[SLOT_HEADER_BYTES..SLOT_HEADER_BYTES + len];
@@ -379,6 +544,7 @@ impl EncryptedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultClass;
 
     fn store() -> EncryptedStore {
         EncryptedStore::new(8, 3, 128, 0x5EED)
@@ -395,7 +561,7 @@ mod tests {
         b.push(data_block(1, 0xAA));
         b.push(data_block(2, 0xBB));
         s.write_bucket(4, &b);
-        let blocks = s.read_bucket(4);
+        let blocks = s.try_read_bucket(4).expect("authentic bucket");
         assert_eq!(blocks.len(), 2);
         let b1 = blocks.iter().find(|b| b.addr == BlockAddr(1)).unwrap();
         assert_eq!(b1.leaf, Leaf(3));
@@ -424,7 +590,7 @@ mod tests {
             entries.clone().into(),
         ));
         s.write_bucket(0, &b);
-        let blocks = s.read_bucket(0);
+        let blocks = s.try_read_bucket(0).expect("authentic bucket");
         assert_eq!(blocks[0].entries(), entries.as_slice());
     }
 
@@ -436,20 +602,20 @@ mod tests {
         let mut b = Bucket::new(3);
         b.push(blk);
         s.write_bucket(1, &b);
-        assert!(s.read_bucket(1)[0].hit);
+        assert!(s.try_read_bucket(1).expect("authentic bucket")[0].hit);
     }
 
     #[test]
     fn empty_bucket_round_trips() {
         let mut s = store();
         s.write_bucket(2, &Bucket::new(3));
-        assert!(s.read_bucket(2).is_empty());
+        assert!(s.try_read_bucket(2).expect("authentic bucket").is_empty());
     }
 
     #[test]
     fn unwritten_bucket_reads_empty() {
-        let s = store();
-        assert!(s.read_bucket(5).is_empty());
+        let mut s = store();
+        assert!(s.try_read_bucket(5).expect("initial image").is_empty());
     }
 
     #[test]
@@ -466,7 +632,10 @@ mod tests {
             "probabilistic encryption must refresh ciphertexts"
         );
         // But the logical content is unchanged.
-        assert_eq!(s.read_bucket(3)[0].addr, BlockAddr(1));
+        assert_eq!(
+            s.try_read_bucket(3).expect("authentic bucket")[0].addr,
+            BlockAddr(1)
+        );
     }
 
     #[test]
@@ -495,7 +664,8 @@ mod tests {
         let err = s
             .try_read_bucket(2)
             .expect_err("tampering must be detected");
-        assert_eq!(err.bucket, 2);
+        assert_eq!(err.bucket(), Some(2));
+        assert!(matches!(err, OramError::Integrity { .. }));
         assert!(s.verify_all().is_err());
     }
 
@@ -506,24 +676,151 @@ mod tests {
         b.push(data_block(1, 0x5A));
         s.write_bucket(0, &b);
         s.corrupt_byte(0, 0, 0x01); // nonce byte
+        assert!(matches!(
+            s.try_read_bucket(0),
+            Err(OramError::Integrity {
+                bucket: 0,
+                slot: None
+            })
+        ));
+    }
+
+    #[test]
+    fn every_header_field_flip_reports_exact_bucket_and_slot() {
+        // Flip one byte in each authenticated field — bucket header
+        // (nonce, version, header tag) and slot 0's header (valid, addr,
+        // leaf, hit, kind, len, tag) — and check the error names the exact
+        // bucket, and the exact slot for slot-local corruption.
+        let bucket_fields: [(&str, usize); 3] = [("nonce", 0), ("version", 8), ("header-tag", 16)];
+        for (name, offset) in bucket_fields {
+            let mut s = store();
+            let mut b = Bucket::new(3);
+            b.push(data_block(1, 0x5A));
+            s.write_bucket(2, &b);
+            s.corrupt_byte(2, offset, 0x01);
+            assert_eq!(
+                s.try_read_bucket(2),
+                Err(OramError::Integrity {
+                    bucket: 2,
+                    slot: None
+                }),
+                "{name} flip misclassified"
+            );
+        }
+        // Slot 0 begins after the bucket header; its field offsets follow
+        // the serialized layout.
+        let slot0 = BUCKET_HEADER_BYTES;
+        let slot_fields: [(&str, usize); 7] = [
+            ("valid", slot0),
+            ("addr", slot0 + 1),
+            ("leaf", slot0 + 9),
+            ("hit", slot0 + 13),
+            ("kind", slot0 + 14),
+            ("len", slot0 + 15),
+            ("tag", slot0 + SLOT_TAG_OFFSET),
+        ];
+        for (name, offset) in slot_fields {
+            let mut s = store();
+            let mut b = Bucket::new(3);
+            b.push(data_block(1, 0x5A));
+            s.write_bucket(2, &b);
+            s.corrupt_byte(2, offset, 0x01);
+            assert_eq!(
+                s.try_read_bucket(2),
+                Err(OramError::Integrity {
+                    bucket: 2,
+                    slot: Some(0)
+                }),
+                "{name} flip misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bytes_past_len_are_authenticated() {
+        // A posmap payload uses only part of the payload area; the MAC
+        // must cover the zeroed remainder too.
+        let mut s = store();
+        let mut b = Bucket::new(3);
+        b.push(Block::posmap(
+            BlockAddr(9),
+            Leaf(2),
+            vec![PosEntry::new(Leaf(1)); 4].into(),
+        ));
+        s.write_bucket(1, &b);
+        // 4 entries * 9 bytes = 36 used of 128; flip a byte well past len.
+        let offset = BUCKET_HEADER_BYTES + SLOT_HEADER_BYTES + 100;
+        s.corrupt_byte(1, offset, 0x40);
+        assert_eq!(
+            s.try_read_bucket(1),
+            Err(OramError::Integrity {
+                bucket: 1,
+                slot: Some(0)
+            })
+        );
+    }
+
+    #[test]
+    fn hit_byte_is_authenticated_raw() {
+        // Flipping the hit byte from 1 to another nonzero value must fail:
+        // the MAC covers the raw byte, not the derived bool.
+        let mut s = store();
+        let mut blk = data_block(1, 0x11);
+        blk.hit = true;
+        let mut b = Bucket::new(3);
+        b.push(blk);
+        s.write_bucket(0, &b);
+        s.corrupt_byte(0, BUCKET_HEADER_BYTES + 13, 0x02); // 1 -> 3
         assert!(s.try_read_bucket(0).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "integrity violation")]
-    fn panicking_reader_reports_bucket() {
+    fn rollback_replay_is_detected_as_rollback() {
+        // Capture an authentic version-1 image, let the store advance to
+        // version 2, then replay the stale image. Every MAC in the stale
+        // image verifies — without version counters this replay would be
+        // accepted (the error would have to be `Integrity`, and there is
+        // none). The trusted version counter is what catches it.
         let mut s = store();
         let mut b = Bucket::new(3);
-        b.push(data_block(1, 0x11));
-        s.write_bucket(1, &b);
-        s.corrupt_byte(1, 30, 0x04);
-        s.read_bucket(1);
+        b.push(data_block(1, 0x77));
+        s.write_bucket(4, &b);
+        let stale = s.ciphertext(4).to_vec();
+        let mut b2 = Bucket::new(3);
+        b2.push(data_block(2, 0x88));
+        s.write_bucket(4, &b2);
+
+        // Adversary restores the old bytes wholesale.
+        for (i, byte) in stale.iter().enumerate() {
+            let cur = s.ciphertext(4)[i];
+            if cur != *byte {
+                s.corrupt_byte(4, i, cur ^ *byte);
+            }
+        }
+        assert_eq!(
+            s.try_read_bucket(4),
+            Err(OramError::Rollback {
+                bucket: 4,
+                stored_version: 1,
+                expected_version: 2
+            }),
+            "authentic stale image must be classified as rollback, not corruption"
+        );
+
+        // Control: the same stale image under a store whose trusted
+        // counter still expects version 1 authenticates perfectly — i.e.
+        // the MACs alone cannot reject it; only the version counter does.
+        let mut fresh = store();
+        let mut b = Bucket::new(3);
+        b.push(data_block(1, 0x77));
+        fresh.write_bucket(4, &b);
+        assert!(fresh.try_read_bucket(4).is_ok());
     }
 
     #[test]
     fn replaying_another_buckets_ciphertext_is_detected() {
         // Copy bucket 0's authentic ciphertext over bucket 1: the nonce
-        // decrypts and the slot tags are valid MACs — but they bind the
+        // decrypts and the tags are valid MACs — but they bind the
         // *source* bucket index, so the replay fails verification at the
         // destination.
         let mut s = store();
@@ -556,7 +853,12 @@ mod tests {
         let mut plain = Vec::new();
         let mut addrs = Vec::new();
         s.bucket_addrs_into(6, &mut plain, &mut addrs).unwrap();
-        let mut full: Vec<u64> = s.read_bucket(6).iter().map(|b| b.addr.0).collect();
+        let mut full: Vec<u64> = s
+            .try_read_bucket(6)
+            .expect("authentic bucket")
+            .iter()
+            .map(|b| b.addr.0)
+            .collect();
         addrs.sort_unstable();
         full.sort_unstable();
         assert_eq!(addrs, full);
@@ -564,6 +866,82 @@ mod tests {
         s.corrupt_byte(6, 40, 0x10);
         addrs.clear();
         assert!(s.bucket_addrs_into(6, &mut plain, &mut addrs).is_err());
+    }
+
+    #[test]
+    fn transient_failures_exhaust_into_typed_error() {
+        let mut s = store();
+        s.enable_faults(FaultConfig {
+            retry_budget: 2,
+            ..FaultConfig::single(FaultClass::Transient, 1.0, 5)
+        });
+        let mut b = Bucket::new(3);
+        b.push(data_block(1, 0x11));
+        s.write_bucket(0, &b);
+        assert_eq!(
+            s.try_read_bucket(0),
+            Err(OramError::Transient {
+                bucket: 0,
+                attempts: 3
+            })
+        );
+        assert_eq!(s.fault_stats().injected_transients, 3);
+    }
+
+    #[test]
+    fn injected_write_faults_are_always_detected() {
+        // Drive every write-fault class at a high rate and read each
+        // bucket back after every write: zero false negatives.
+        for class in [
+            FaultClass::BitFlip,
+            FaultClass::TornWrite,
+            FaultClass::Rollback,
+        ] {
+            let mut s = store();
+            s.enable_faults(FaultConfig::single(class, 0.5, 42));
+            let mut injected_before = 0;
+            for round in 0..50u64 {
+                let idx = (round % 8) as usize;
+                let mut b = Bucket::new(3);
+                b.push(data_block(round, round as u8));
+                s.write_bucket(idx, &b);
+                let stats = s.fault_stats();
+                let injected = stats.total_injected();
+                let read = s.try_read_bucket(idx);
+                if injected > injected_before {
+                    assert!(read.is_err(), "{} fault escaped detection", class.name());
+                    // Repair so the next round starts authentic.
+                    s.write_bucket(idx, &b);
+                } else {
+                    assert!(read.is_ok());
+                }
+                injected_before = s.fault_stats().total_injected();
+            }
+            let stats = s.fault_stats();
+            assert_eq!(stats.undetected, 0, "{}", class.name());
+            assert!(stats.total_injected() > 0, "{}", class.name());
+        }
+    }
+
+    #[test]
+    fn silent_injector_is_observationally_identical() {
+        let run = |faulty: bool| {
+            let mut s = store();
+            if faulty {
+                s.enable_faults(FaultConfig::silent(123));
+            }
+            let mut images = Vec::new();
+            for round in 0..20u64 {
+                let idx = (round % 8) as usize;
+                let mut b = Bucket::new(3);
+                b.push(data_block(round, round as u8));
+                s.write_bucket(idx, &b);
+                assert!(s.try_read_bucket(idx).is_ok());
+                images.push(s.ciphertext(idx).to_vec());
+            }
+            images
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

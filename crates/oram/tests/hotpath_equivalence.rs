@@ -10,7 +10,7 @@
 //! or byte accounting shows up as a hash mismatch here.
 
 use proram_mem::{AccessKind, BlockAddr};
-use proram_oram::{OramConfig, PathOram};
+use proram_oram::{FaultConfig, OramConfig, PathOram};
 use proram_stats::{Rng64, Xoshiro256};
 
 /// FNV-1a-style fold used when the goldens were captured.
@@ -32,6 +32,7 @@ struct RunDigest {
     trace_events: usize,
     trace_dropped: u64,
     stash_peak: usize,
+    allocs_avoided: u64,
 }
 
 /// Replays the golden workload: 256-block tree, ORAM seed 42, 2000
@@ -41,6 +42,10 @@ fn replay(store_payloads: bool) -> RunDigest {
         store_payloads,
         ..OramConfig::small_for_tests(256)
     };
+    replay_cfg(cfg)
+}
+
+fn replay_cfg(cfg: OramConfig) -> RunDigest {
     let mut oram = PathOram::new(cfg, 42);
     let mut rng = Xoshiro256::seed_from(7);
     for _ in 0..2000 {
@@ -69,6 +74,7 @@ fn replay(store_payloads: bool) -> RunDigest {
         trace_events: leaves.len(),
         trace_dropped: oram.trace().dropped(),
         stash_peak: oram.stash().peak(),
+        allocs_avoided: oram.allocs_avoided(),
     }
 }
 
@@ -81,6 +87,9 @@ fn assert_common(d: &RunDigest) {
     assert_eq!(d.hist_total, 4210);
     assert_eq!(d.trace_events, 4210);
     assert_eq!(d.trace_dropped, 0);
+    // Every one of the 4210 path accesses reuses the scratch buffers
+    // (initialization warms them before the first access).
+    assert_eq!(d.allocs_avoided, 4210);
 }
 
 #[test]
@@ -99,6 +108,24 @@ fn golden_run_without_payloads() {
     assert_eq!(d.hist_hash, 0x06db_69e5_5d8e_25fe);
     assert_eq!(d.trace_hash, 0xd4fb_1582_f412_add7);
     assert_eq!(d.stash_peak, 21);
+}
+
+/// A structurally present but zero-rate fault injector must leave every
+/// golden observable untouched: the injector draws from its own RNG, so
+/// installing it cannot perturb path selection, eviction, byte
+/// accounting, or the adversary-visible trace.
+#[test]
+fn golden_run_with_silent_fault_injector() {
+    let cfg = OramConfig {
+        store_payloads: true,
+        fault: Some(FaultConfig::silent(0xDEAD)),
+        ..OramConfig::small_for_tests(256)
+    };
+    let d = replay_cfg(cfg);
+    assert_common(&d);
+    assert_eq!(d.hist_hash, 0x7e34_7ba1_61c4_bef3);
+    assert_eq!(d.trace_hash, 0xb5a0_c950_fe1e_8801);
+    assert_eq!(d.stash_peak, 19);
 }
 
 /// The gated per-read image verification must not change behavior when

@@ -241,7 +241,7 @@ fn untampered_store_verifies_end_to_end() {
     for _ in 0..50 {
         oram.access_block(BlockAddr(rng.next_below(128)), AccessKind::Read);
     }
-    oram.storage()
+    oram.storage_mut()
         .expect("payloads on")
         .verify_all()
         .expect("image authentic");
