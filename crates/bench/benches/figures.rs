@@ -24,7 +24,7 @@ fn bench_full_system_run(c: &mut Harness) {
     let spec = suite::specs(Suite::Splash2)
         .into_iter()
         .find(|s| s.name == "fft")
-        .unwrap();
+        .expect("fft is registered in the Splash2 suite");
     for (name, kind) in [
         ("dram", MemoryKind::Dram),
         ("oram", MemoryKind::Oram(SchemeConfig::baseline())),

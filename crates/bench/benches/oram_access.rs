@@ -37,7 +37,7 @@ fn bench_baseline_access(c: &mut Harness) {
 fn bench_background_eviction(c: &mut Harness) {
     c.bench_function("background_eviction", |b| {
         let mut oram = PathOram::new(oram_cfg(1 << 14, 3), 3);
-        b.iter(|| oram.background_evict());
+        b.iter(|| oram.try_background_evict().expect("healthy tree evicts"));
     });
 }
 

@@ -16,7 +16,7 @@
 //!
 //! Experiments: `table1`, `fig5`, `fig6a`, `fig6b`, `fig7`, `fig8`,
 //! `fig9`, `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `fig15`,
-//! `ablation`, `fault_sweep`.
+//! `ablation`, `fault_sweep`, `serialization`.
 //!
 //! `proram-bench trace <benchmark>` dumps a benchmark's memory trace to
 //! stdout in the portable text format of `proram_workloads::tracefile`.
@@ -25,6 +25,11 @@
 //! ORAM-access kernels against the recorded pre-optimization baseline
 //! and emits the `BENCH_hotpath.json` report (stdout unless `--out`).
 //!
+//! `proram-bench pipeline [--scale quick|standard] [--jobs N]
+//! [--out PATH]` sweeps the staged access pipeline's bank scheduler and
+//! the sharded-controller ablation, asserts the bank-overlap win holds,
+//! and emits the `BENCH_pipeline.json` report (stdout unless `--out`).
+//!
 //! `proram-bench fault` runs the fault-injection sweep (alias of the
 //! `fault_sweep` experiment): every fault class x rate cell must detect
 //! 100% of observable injected corruptions, and a zero-rate injector
@@ -32,7 +37,7 @@
 //! exits nonzero (panics) if either robustness contract is violated.
 
 use proram_bench::exp::{self, RunCtx};
-use proram_bench::{hotpath, jobs};
+use proram_bench::{hotpath, jobs, pipeline};
 use proram_stats::{BarChart, Table};
 use proram_workloads::{suite, tracefile, Scale, Suite};
 use std::path::PathBuf;
@@ -63,6 +68,7 @@ fn usage() -> ExitCode {
     );
     eprintln!("       proram-bench trace <benchmark> [--ops N] [--fp-scale F] [--seed N]");
     eprintln!("       proram-bench hotpath [--ms N] [--out PATH]");
+    eprintln!("       proram-bench pipeline [--scale quick|standard] [--jobs N] [--out PATH]");
     eprintln!("       proram-bench fault [--scale quick|standard] [--jobs N]");
     eprintln!("experiments:");
     for (name, _) in exp::EXPERIMENTS {
@@ -110,6 +116,34 @@ fn run_hotpath(ms: u64, out: Option<&PathBuf>) -> ExitCode {
         );
     }
     let json = hotpath::to_json(&reports, ms);
+    match out {
+        Some(path) => match std::fs::write(path, &json) {
+            Ok(()) => {
+                eprintln!("[wrote {}]", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{json}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run_pipeline(scale: Scale, njobs: usize, out: Option<&PathBuf>) -> ExitCode {
+    eprintln!("[sweeping pipeline banks and controller shards...]");
+    let report = pipeline::measure(scale, njobs);
+    eprintln!(
+        "[bank overlap: {:.2}x per path, {:.2}x end to end; {} shard points]",
+        report.fetch_overlap_gain(),
+        report.system_overlap_gain(),
+        report.shards.len()
+    );
+    let json = pipeline::to_json(&report);
     match out {
         Some(path) => match std::fs::write(path, &json) {
             Ok(()) => {
@@ -229,6 +263,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "hotpath" => run_hotpath(hotpath_ms, hotpath_out.as_ref()),
+        // Regression smoke: measure() panics if the bank-overlap win or
+        // shard scaling regresses.
+        "pipeline" => run_pipeline(scale, njobs, hotpath_out.as_ref()),
         // Robustness smoke: the sweep asserts zero undetected corruptions
         // and zero-rate silence internally.
         "fault" => {

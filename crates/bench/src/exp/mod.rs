@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serialization;
 pub mod sweep;
 pub mod table1;
 
@@ -68,6 +69,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("fig15", fig15::run),
     ("ablation", ablation::run),
     ("fault_sweep", fault_sweep::run),
+    ("serialization", serialization::run),
 ];
 
 /// Looks up an experiment by name.

@@ -1,0 +1,88 @@
+//! The serialization ablation: reproduce the paper's Section 2.6
+//! observation — one ORAM controller serializes every request, so extra
+//! cores buy almost nothing — then relax it with address-partitioned
+//! controller shards ([`proram_sim::ShardedOram`]).
+//!
+//! `shards=1` must track the stock single controller; larger shard
+//! counts recover multi-core scaling in proportion to how much of the
+//! wall was controller serialization rather than the access pattern.
+
+use crate::exp::RunCtx;
+use crate::jobs;
+use proram_core::SchemeConfig;
+use proram_sim::{runner, MemoryKind, SystemConfig};
+use proram_stats::{table, Table};
+use proram_workloads::synthetic::LocalityMix;
+use proram_workloads::Scale;
+
+/// Core counts swept (rows).
+const CORES: [usize; 3] = [1, 2, 4];
+/// Shard counts swept (columns after the stock controller).
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+fn throughput(kind: MemoryKind, cores: usize, scale: Scale) -> f64 {
+    let ops = (scale.ops / 4).clamp(1_000, 8_000);
+    let cfg = SystemConfig::paper_default(kind);
+    let m = runner::run_multicore(&cfg, cores, 0, |id| {
+        Box::new(LocalityMix::with_stride(
+            1 << 20,
+            0.8,
+            ops,
+            scale.seed + id as u64,
+            128,
+        ))
+    });
+    m.trace_ops as f64 * 1000.0 / m.cycles as f64
+}
+
+/// Regenerates the serialization-ablation table: aggregate throughput
+/// (trace ops per kilocycle) of the stock serialized controller next to
+/// `OramShards(N)` for every core count.
+pub fn run(ctx: RunCtx) -> Vec<Table> {
+    let mut t = Table::new(&["cores", "oram", "oram_sh1", "oram_sh2", "oram_sh4"]).with_title(
+        "Serialization ablation (Section 2.6): one controller caps scaling; shards relax it",
+    );
+    // All (core count, memory kind) cells are independent runs: fan them
+    // over the worker pool, then reassemble rows in sweep order.
+    let mut cells = Vec::new();
+    for &cores in &CORES {
+        cells.push((cores, MemoryKind::Oram(SchemeConfig::baseline())));
+        for &n in &SHARDS {
+            cells.push((cores, MemoryKind::OramShards(SchemeConfig::baseline(), n)));
+        }
+    }
+    let results = jobs::parallel_map(ctx.jobs, cells, |(cores, kind)| {
+        throughput(kind, cores, ctx.scale)
+    });
+    let per_row = 1 + SHARDS.len();
+    for (i, &cores) in CORES.iter().enumerate() {
+        let row = &results[i * per_row..(i + 1) * per_row];
+        let mut cols = vec![cores.to_string()];
+        cols.extend(row.iter().map(|tp| table::f3(*tp)));
+        t.row(&cols);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sweeps_all_core_counts() {
+        let ctx = RunCtx::with_jobs(
+            Scale {
+                ops: 4_000,
+                warmup_ops: 0,
+                footprint_scale: 0.02,
+                seed: 3,
+            },
+            2,
+        );
+        let tables = run(ctx);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), CORES.len());
+        let s = tables[0].to_string();
+        assert!(s.contains("oram_sh4"));
+    }
+}

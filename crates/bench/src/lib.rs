@@ -24,3 +24,4 @@ pub mod exp;
 pub mod hotpath;
 pub mod jobs;
 pub mod microbench;
+pub mod pipeline;

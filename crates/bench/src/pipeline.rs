@@ -1,0 +1,309 @@
+//! The staged-pipeline / bank-overlap report behind `proram-bench
+//! pipeline`.
+//!
+//! Three measurements back the serialization ablation (DESIGN.md
+//! Section 12):
+//!
+//! 1. **Per-path fetch cost** straight from the controller:
+//!    pipeline-off must price a path at the legacy lump sum, a
+//!    single-bank pipeline serializes every bucket read behind one bank,
+//!    and added banks overlap bucket latencies until only the shared bus
+//!    is left.
+//! 2. **End-to-end completion time** of a single-core system over a
+//!    locality-mix workload, with the same bank sweep.
+//! 3. **Sharded-controller scaling**: multi-core throughput over
+//!    `OramShards(N)`, where `N = 1` reproduces the paper's Section 2.6
+//!    serialized controller and `N > 1` relaxes it.
+//!
+//! [`measure`] panics if the measured win disappears (a pipelined fetch
+//! with >= 2 banks must beat the serialized single bank), so the CI
+//! smoke run doubles as a regression gate. The JSON document written by
+//! [`to_json`] is checked in as `BENCH_pipeline.json`.
+
+use crate::jobs;
+use proram_core::SchemeConfig;
+use proram_mem::BankConfig;
+use proram_oram::{OramConfig, PathOram};
+use proram_sim::{runner, MemoryKind, SystemConfig};
+use proram_workloads::synthetic::LocalityMix;
+use proram_workloads::Scale;
+
+/// One point of the per-path fetch-cost sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchPoint {
+    /// `off` for the lump-sum model, `banks1`..`banks8` for the
+    /// bank-aware scheduler.
+    pub label: String,
+    /// Banks in the scheduler (`0` when the pipeline is off).
+    pub banks: u32,
+    /// Cycles one off-chip path fetch costs under this configuration.
+    pub fetch_cycles: u64,
+}
+
+/// One end-to-end single-core run of the bank sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemPoint {
+    /// Same labels as [`FetchPoint`].
+    pub label: String,
+    /// Completion time of the run in cycles.
+    pub cycles: u64,
+    /// Trace operations executed (identical across the sweep).
+    pub trace_ops: u64,
+}
+
+/// One multi-core throughput point of the sharded-controller sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPoint {
+    /// Independent ORAM controllers.
+    pub shards: usize,
+    /// Tiles driving them.
+    pub cores: usize,
+    /// Aggregate throughput in trace ops per kilocycle.
+    pub ops_per_kcycle: f64,
+}
+
+/// Everything `BENCH_pipeline.json` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// The legacy lump-sum path cost the pipeline-off mode must match.
+    pub lump_sum_cycles: u64,
+    /// Per-path fetch-cost sweep.
+    pub fetch: Vec<FetchPoint>,
+    /// End-to-end single-core sweep.
+    pub system: Vec<SystemPoint>,
+    /// Sharded-controller scaling sweep.
+    pub shards: Vec<ShardPoint>,
+}
+
+impl PipelineReport {
+    fn fetch_for(&self, label: &str) -> u64 {
+        self.fetch
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.fetch_cycles)
+            .expect("sweep covers label")
+    }
+
+    fn system_for(&self, label: &str) -> u64 {
+        self.system
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.cycles)
+            .expect("sweep covers label")
+    }
+
+    /// Serialized-over-pipelined fetch-cost ratio (`> 1` is the win).
+    pub fn fetch_overlap_gain(&self) -> f64 {
+        self.fetch_for("banks1") as f64 / self.fetch_for("banks8") as f64
+    }
+
+    /// Serialized-over-pipelined end-to-end ratio (`> 1` is the win).
+    pub fn system_overlap_gain(&self) -> f64 {
+        self.system_for("banks1") as f64 / self.system_for("banks8") as f64
+    }
+}
+
+/// Bank counts the sweeps cover (besides pipeline-off).
+const BANK_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+fn sweep_configs() -> Vec<(String, Option<BankConfig>)> {
+    let mut v = vec![("off".to_owned(), None)];
+    v.extend(BANK_SWEEP.iter().map(|&banks| {
+        (
+            format!("banks{banks}"),
+            Some(BankConfig {
+                banks,
+                ..BankConfig::default()
+            }),
+        )
+    }));
+    v
+}
+
+fn fetch_sweep() -> (u64, Vec<FetchPoint>) {
+    let base_cfg = OramConfig {
+        num_data_blocks: 1 << 12,
+        store_payloads: false,
+        trace_capacity: 0,
+        ..OramConfig::default()
+    };
+    let lump_sum = PathOram::new(base_cfg.clone(), 1).path_cycles();
+    let points = sweep_configs()
+        .into_iter()
+        .map(|(label, pipeline)| {
+            let oram = PathOram::new(
+                OramConfig {
+                    pipeline,
+                    ..base_cfg.clone()
+                },
+                1,
+            );
+            FetchPoint {
+                label,
+                banks: pipeline.map_or(0, |b| b.banks),
+                fetch_cycles: oram.fetch_cycles(),
+            }
+        })
+        .collect();
+    (lump_sum, points)
+}
+
+fn system_sweep(scale: Scale, njobs: usize) -> Vec<SystemPoint> {
+    let ops = (scale.ops / 2).clamp(2_000, 20_000);
+    jobs::parallel_map(njobs, sweep_configs(), move |(label, pipeline)| {
+        let mut cfg = SystemConfig::paper_default(MemoryKind::Oram(SchemeConfig::baseline()));
+        cfg.oram.pipeline = pipeline;
+        let mut workload = LocalityMix::with_stride(1 << 20, 0.8, ops, scale.seed, 128);
+        let m = runner::run_workload(&mut workload, &cfg);
+        SystemPoint {
+            label,
+            cycles: m.cycles,
+            trace_ops: m.trace_ops,
+        }
+    })
+}
+
+fn shard_sweep(scale: Scale, njobs: usize) -> Vec<ShardPoint> {
+    let ops = (scale.ops / 4).clamp(1_000, 8_000);
+    let cores = 4usize;
+    jobs::parallel_map(njobs, vec![1usize, 2, 4], move |shards| {
+        let cfg =
+            SystemConfig::paper_default(MemoryKind::OramShards(SchemeConfig::baseline(), shards));
+        let m = runner::run_multicore(&cfg, cores, 0, |id| {
+            Box::new(LocalityMix::with_stride(
+                1 << 20,
+                0.8,
+                ops,
+                scale.seed + id as u64,
+                128,
+            ))
+        });
+        ShardPoint {
+            shards,
+            cores,
+            ops_per_kcycle: m.trace_ops as f64 * 1000.0 / m.cycles as f64,
+        }
+    })
+}
+
+/// Runs all three sweeps and checks the report's invariants:
+/// pipeline-off prices a path at the lump sum, more banks never cost
+/// more, and >= 2 banks strictly beat the serialized single bank both
+/// per path and end to end.
+///
+/// # Panics
+///
+/// Panics if any of those regress — the CI smoke run relies on this.
+pub fn measure(scale: Scale, njobs: usize) -> PipelineReport {
+    let (lump_sum_cycles, fetch) = fetch_sweep();
+    let system = system_sweep(scale, njobs);
+    let shards = shard_sweep(scale, njobs);
+    let report = PipelineReport {
+        lump_sum_cycles,
+        fetch,
+        system,
+        shards,
+    };
+    assert_eq!(
+        report.fetch_for("off"),
+        lump_sum_cycles,
+        "pipeline-off must keep the legacy lump-sum path cost"
+    );
+    for pair in report.fetch.windows(2).skip(1) {
+        assert!(
+            pair[1].fetch_cycles <= pair[0].fetch_cycles,
+            "adding banks must never slow a fetch: {pair:?}"
+        );
+    }
+    assert!(
+        report.fetch_for("banks2") < report.fetch_for("banks1"),
+        "two banks must overlap bucket reads"
+    );
+    assert!(
+        report.system_for("banks2") < report.system_for("banks1"),
+        "the per-path overlap must survive end to end"
+    );
+    assert!(
+        report.shards.last().expect("sweep ran").ops_per_kcycle
+            > report.shards.first().expect("sweep ran").ops_per_kcycle,
+        "sharding must relax controller serialization"
+    );
+    report
+}
+
+/// Renders the report as the `BENCH_pipeline.json` document.
+pub fn to_json(report: &PipelineReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"staged access pipeline + bank scheduler\",\n");
+    out.push_str("  \"harness\": \"proram-bench pipeline\",\n");
+    out.push_str(&format!(
+        "  \"lump_sum_path_cycles\": {},\n",
+        report.lump_sum_cycles
+    ));
+    out.push_str("  \"path_fetch_cycles\": {");
+    for (i, p) in report.fetch.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        out.push_str(&format!("{sep}\"{}\": {}", p.label, p.fetch_cycles));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"end_to_end_cycles\": {");
+    for (i, p) in report.system.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        out.push_str(&format!("{sep}\"{}\": {}", p.label, p.cycles));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"shard_scaling\": [\n");
+    for (i, p) in report.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"cores\": {}, \"ops_per_kcycle\": {:.3}}}{}\n",
+            p.shards,
+            p.cores,
+            p.ops_per_kcycle,
+            if i + 1 == report.shards.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"overlap_gain\": {{\"path_fetch\": {:.3}, \"end_to_end\": {:.3}}}\n",
+        report.fetch_overlap_gain(),
+        report.system_overlap_gain()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_sweep_orders_bank_counts() {
+        let (lump, points) = fetch_sweep();
+        assert_eq!(points[0].label, "off");
+        assert_eq!(points[0].fetch_cycles, lump);
+        let b1 = points.iter().find(|p| p.banks == 1).expect("banks1");
+        let b8 = points.iter().find(|p| p.banks == 8).expect("banks8");
+        assert!(b8.fetch_cycles < b1.fetch_cycles);
+    }
+
+    #[test]
+    fn measure_upholds_its_invariants() {
+        let scale = Scale {
+            ops: 4_000,
+            warmup_ops: 0,
+            footprint_scale: 0.02,
+            seed: 7,
+        };
+        let report = measure(scale, 2);
+        assert!(report.fetch_overlap_gain() > 1.0);
+        assert!(report.system_overlap_gain() > 1.0);
+        let json = to_json(&report);
+        assert!(json.contains("\"banks8\""));
+        assert!(json.contains("\"shard_scaling\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -29,7 +29,9 @@ use proram_mem::{
     AccessKind, AccessOutcome, BackendStats, BlockAddr, CacheProbe, Cycle, FaultStats, Fill,
     MemRequest, MemoryBackend,
 };
-use proram_oram::{AccessReport, OramBackend, OramConfig, OramError, PathKind, PathOram};
+use proram_oram::{
+    AccessReport, OramBackend, OramConfig, OramError, PathKind, PathOram, StageCycles,
+};
 use std::collections::HashSet;
 
 /// Counters specific to the super-block machinery.
@@ -183,12 +185,13 @@ impl<O: OramBackend> SuperBlockOram<O> {
     /// hardware does — from leaf-label equality in the (resolved) posmap
     /// block. Performs posmap accesses if the covering posmap block is
     /// not on-chip; returns the group and the posmap accesses spent.
-    pub fn current_super_block(&mut self, addr: BlockAddr) -> (SuperBlock, u64) {
-        let pm = self
-            .oram
-            .resolve_posmap(addr)
-            .unwrap_or_else(|e| panic!("{e}"));
-        (self.detect(addr), pm)
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered faults from the posmap path reads.
+    pub fn current_super_block(&mut self, addr: BlockAddr) -> Result<(SuperBlock, u64), OramError> {
+        let pm = self.oram.resolve_posmap(addr)?;
+        Ok((self.detect(addr), pm))
     }
 
     fn detect(&self, addr: BlockAddr) -> SuperBlock {
@@ -318,12 +321,22 @@ impl<O: OramBackend> SuperBlockOram<O> {
         self.oram.write_path_from_stash(old_leaf);
         let background_evictions = self.oram.drain_background()?;
         let tree_accesses = 1 + posmap_accesses + background_evictions;
+        // A merged super-block fetch is one larger bucket-read batch on
+        // one shared path, so it is charged exactly one fetch.
+        let fetch_cycles = self.oram.fetch_cycles();
+        let stages = StageCycles {
+            posmap: posmap_accesses * fetch_cycles,
+            fetch: fetch_cycles,
+            evict: background_evictions * fetch_cycles,
+            backoff: 0,
+        };
         Ok((
             AccessReport {
-                latency: tree_accesses * self.oram.path_cycles(),
+                latency: stages.total(),
                 tree_accesses,
                 posmap_accesses,
                 background_evictions,
+                stages,
             },
             fills,
         ))
@@ -430,12 +443,20 @@ impl<O: OramBackend> SuperBlockOram<O> {
         self.oram.write_path_from_stash(old_leaf);
         let background_evictions = self.oram.drain_background()?;
         let tree_accesses = 1 + posmap_accesses + background_evictions;
+        let fetch_cycles = self.oram.fetch_cycles();
+        let stages = StageCycles {
+            posmap: posmap_accesses * fetch_cycles,
+            fetch: fetch_cycles,
+            evict: background_evictions * fetch_cycles,
+            backoff: 0,
+        };
         Ok((
             AccessReport {
-                latency: tree_accesses * self.oram.path_cycles(),
+                latency: stages.total(),
                 tree_accesses,
                 posmap_accesses,
                 background_evictions,
+                stages,
             },
             Vec::new(),
         ))
@@ -467,10 +488,14 @@ impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
             };
             (
                 AccessReport {
-                    latency: self.oram.path_cycles(),
+                    latency: self.oram.fetch_cycles(),
                     tree_accesses: 1,
                     posmap_accesses: 0,
                     background_evictions: 0,
+                    stages: StageCycles {
+                        fetch: self.oram.fetch_cycles(),
+                        ..StageCycles::default()
+                    },
                 },
                 fills,
             )
@@ -487,7 +512,7 @@ impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
         if self.oram.background_evict().is_err() {
             self.scheme_faults.unrecovered += 1;
         }
-        self.schedule(now, self.oram.path_cycles())
+        self.schedule(now, self.oram.fetch_cycles())
     }
 
     fn free_at(&self) -> Cycle {
@@ -524,7 +549,10 @@ impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
             bytes_moved: o.bytes_moved,
             prefetch_hits: self.stats.prefetch_hits,
             prefetch_misses: self.stats.prefetch_misses,
-            busy_cycles: o.total_path_accesses() * self.oram.path_cycles(),
+            busy_cycles: o.total_path_accesses() * self.oram.fetch_cycles(),
+            data_path_cycles: o.data_path_accesses * self.oram.fetch_cycles(),
+            posmap_path_cycles: o.posmap_path_accesses * self.oram.fetch_cycles(),
+            dummy_path_cycles: o.background_evictions * self.oram.fetch_cycles(),
             faults: self.oram.fault_stats() + self.scheme_faults,
         }
     }
@@ -592,7 +620,7 @@ mod tests {
             oram.access(0, MemRequest::read(a), &NoProbe);
         }
         for base in (0..256u64).step_by(2) {
-            oram.oram_mut().resolve_posmap(BlockAddr(base));
+            oram.oram_mut().resolve_posmap(BlockAddr(base)).unwrap();
             let l0 = oram.oram().entry(BlockAddr(base)).leaf;
             let l1 = oram.oram().entry(BlockAddr(base + 1)).leaf;
             assert_eq!(l0, l1, "static group {base} split");
@@ -625,7 +653,7 @@ mod tests {
             "no merge after sustained locality"
         );
         // The pair must now be co-located.
-        oram.oram_mut().resolve_posmap(BlockAddr(10));
+        oram.oram_mut().resolve_posmap(BlockAddr(10)).unwrap();
         assert_eq!(
             oram.oram().entry(BlockAddr(10)).leaf,
             oram.oram().entry(BlockAddr(11)).leaf
@@ -743,7 +771,7 @@ mod tests {
         let mut oram = small(SchemeConfig::static_scheme(4));
         let o = oram.access(0, MemRequest::write(BlockAddr(9)), &NoProbe);
         assert!(o.fills.is_empty());
-        oram.oram_mut().resolve_posmap(BlockAddr(8));
+        oram.oram_mut().resolve_posmap(BlockAddr(8)).unwrap();
         let leaf = oram.oram().entry(BlockAddr(8)).leaf;
         for m in 9..12u64 {
             assert_eq!(oram.oram().entry(BlockAddr(m)).leaf, leaf);
@@ -818,11 +846,11 @@ mod tests {
     #[test]
     fn current_super_block_reports_size() {
         let mut oram = small(SchemeConfig::static_scheme(4));
-        let (sb, _) = oram.current_super_block(BlockAddr(6));
+        let (sb, _) = oram.current_super_block(BlockAddr(6)).unwrap();
         assert_eq!(sb.size(), 4);
         assert_eq!(sb.base(), BlockAddr(4));
         let mut oram2 = small(SchemeConfig::dynamic(4));
-        let (sb2, _) = oram2.current_super_block(BlockAddr(6));
+        let (sb2, _) = oram2.current_super_block(BlockAddr(6)).unwrap();
         assert_eq!(sb2.size(), 1);
     }
 
@@ -840,7 +868,7 @@ mod tests {
             }
         }
         assert!(oram.scheme_stats().merges >= 1, "strided pair never merged");
-        oram.oram_mut().resolve_posmap(BlockAddr(40));
+        oram.oram_mut().resolve_posmap(BlockAddr(40)).unwrap();
         assert_eq!(
             oram.oram().entry(BlockAddr(40)).leaf,
             oram.oram().entry(BlockAddr(44)).leaf,

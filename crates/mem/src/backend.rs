@@ -223,6 +223,14 @@ pub struct BackendStats {
     pub prefetch_misses: u64,
     /// Cycles during which the memory resource was busy.
     pub busy_cycles: u64,
+    /// Busy cycles attributable to demand-data path accesses (for DRAM,
+    /// demand + prefetch transfers).
+    pub data_path_cycles: u64,
+    /// Busy cycles attributable to position-map path accesses (0 for
+    /// DRAM).
+    pub posmap_path_cycles: u64,
+    /// Busy cycles attributable to dummy / background-eviction accesses.
+    pub dummy_path_cycles: u64,
     /// Fault injection / detection / recovery counters (all-zero without
     /// fault injection).
     pub faults: FaultStats,
@@ -244,6 +252,9 @@ impl std::ops::Sub for BackendStats {
             prefetch_hits: self.prefetch_hits - rhs.prefetch_hits,
             prefetch_misses: self.prefetch_misses - rhs.prefetch_misses,
             busy_cycles: self.busy_cycles - rhs.busy_cycles,
+            data_path_cycles: self.data_path_cycles - rhs.data_path_cycles,
+            posmap_path_cycles: self.posmap_path_cycles - rhs.posmap_path_cycles,
+            dummy_path_cycles: self.dummy_path_cycles - rhs.dummy_path_cycles,
             faults: self.faults - rhs.faults,
         }
     }
@@ -265,6 +276,9 @@ impl std::ops::Add for BackendStats {
             prefetch_hits: self.prefetch_hits + rhs.prefetch_hits,
             prefetch_misses: self.prefetch_misses + rhs.prefetch_misses,
             busy_cycles: self.busy_cycles + rhs.busy_cycles,
+            data_path_cycles: self.data_path_cycles + rhs.data_path_cycles,
+            posmap_path_cycles: self.posmap_path_cycles + rhs.posmap_path_cycles,
+            dummy_path_cycles: self.dummy_path_cycles + rhs.dummy_path_cycles,
             faults: self.faults + rhs.faults,
         }
     }
@@ -285,6 +299,14 @@ impl BackendStats {
     pub fn prefetch_hit_rate(&self) -> Option<f64> {
         let total = self.prefetch_hits + self.prefetch_misses;
         (total > 0).then(|| self.prefetch_hits as f64 / total as f64)
+    }
+
+    /// `true` if the per-stage cycle attribution is complete: every busy
+    /// cycle is claimed by exactly one of the data / position-map / dummy
+    /// categories. Backends that attribute stages must keep this exact;
+    /// the run-metrics invariant check asserts it.
+    pub fn stage_cycles_consistent(&self) -> bool {
+        self.data_path_cycles + self.posmap_path_cycles + self.dummy_path_cycles == self.busy_cycles
     }
 
     /// Fraction of physical accesses that were dummies.
@@ -406,6 +428,20 @@ mod tests {
         let sum = f + f;
         assert_eq!(sum.injected_bit_flips, 8);
         assert_eq!(sum - f, f);
+    }
+
+    #[test]
+    fn stage_cycle_attribution_sums_to_busy() {
+        let mut s = BackendStats {
+            busy_cycles: 100,
+            data_path_cycles: 60,
+            posmap_path_cycles: 30,
+            dummy_path_cycles: 10,
+            ..Default::default()
+        };
+        assert!(s.stage_cycles_consistent());
+        s.dummy_path_cycles = 11;
+        assert!(!s.stage_cycles_consistent());
     }
 
     #[test]

@@ -133,6 +133,7 @@ impl MemoryBackend for Dram {
             self.stats.demand_accesses += 1;
         }
         let complete_at = self.schedule(now);
+        self.stats.data_path_cycles += self.config.transfer_cycles();
         AccessOutcome {
             complete_at,
             fills: vec![Fill {
@@ -144,7 +145,9 @@ impl MemoryBackend for Dram {
 
     fn dummy_access(&mut self, now: Cycle) -> Cycle {
         self.stats.dummy_accesses += 1;
-        self.schedule(now)
+        let complete = self.schedule(now);
+        self.stats.dummy_path_cycles += self.config.transfer_cycles();
+        complete
     }
 
     fn free_at(&self) -> Cycle {
@@ -235,6 +238,19 @@ mod tests {
         assert_eq!(c, 108);
         assert_eq!(d.stats().dummy_accesses, 1);
         assert_eq!(d.stats().physical_accesses, 1);
+    }
+
+    #[test]
+    fn stage_attribution_covers_all_busy_cycles() {
+        let mut d = dram();
+        d.access(0, MemRequest::read(BlockAddr(0)), &NoProbe);
+        d.access(0, MemRequest::prefetch(BlockAddr(1)), &NoProbe);
+        d.dummy_access(0);
+        let s = d.stats();
+        assert!(s.stage_cycles_consistent());
+        assert_eq!(s.data_path_cycles, 2 * d.config().transfer_cycles());
+        assert_eq!(s.dummy_path_cycles, d.config().transfer_cycles());
+        assert_eq!(s.posmap_path_cycles, 0);
     }
 
     #[test]

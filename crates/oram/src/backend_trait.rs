@@ -85,6 +85,14 @@ pub trait OramBackend {
     /// Cycles one physical tree access costs.
     fn path_cycles(&self) -> u64;
 
+    /// Cycles one physical tree access costs with the fetch pipeline
+    /// applied. Equal to [`OramBackend::path_cycles`] for backends
+    /// without a bank-aware fetch stage (the default), and smaller when
+    /// bucket reads overlap across banks.
+    fn fetch_cycles(&self) -> u64 {
+        self.path_cycles()
+    }
+
     /// Statistics so far.
     fn oram_stats(&self) -> OramStats;
 

@@ -93,6 +93,15 @@ pub struct OramConfig {
     /// ([`crate::EncryptedStore::verify_all`]) and repair what it flags.
     /// `0` disables scrubbing. Requires `store_payloads`.
     pub scrub_interval: u64,
+    /// Bank-aware fetch pipeline: when set, the per-path fetch cost is
+    /// computed by scheduling the path's bucket reads on a
+    /// [`proram_mem::BankScheduler`] with this configuration (overlapping
+    /// row-access latencies across banks) instead of the lump-sum
+    /// [`OramTiming::path_cycles`] charge. `None` keeps the lump-sum
+    /// model — behavior and timing are then bit-identical to the
+    /// pre-pipeline controller. Purely a timing-model choice: the access
+    /// trace, stash behavior and statistics are unaffected.
+    pub pipeline: Option<proram_mem::BankConfig>,
 }
 
 impl OramConfig {
@@ -130,6 +139,7 @@ impl OramConfig {
             fault: None,
             stash_hard_capacity: None,
             scrub_interval: 0,
+            pipeline: None,
         }
     }
 
@@ -267,6 +277,7 @@ impl Default for OramConfig {
             fault: None,
             stash_hard_capacity: None,
             scrub_interval: 0,
+            pipeline: None,
         }
     }
 }

@@ -1,41 +1,56 @@
-//! The Path ORAM controller.
+//! The Path ORAM controller, split into pipeline stage modules.
 //!
 //! Implements the five-step access of paper Section 2.2 on top of the
 //! unified recursive position map of Section 2.3 and background eviction
-//! of Section 2.4. The controller exposes both a high-level
-//! [`PathOram::access_block`] (the `oram` baseline of the evaluation) and
-//! the lower-level primitives — [`PathOram::resolve_posmap`],
-//! [`PathOram::read_path_into_stash`], [`PathOram::write_path_from_stash`],
-//! entry accessors — that the super-block schemes in `proram-core` compose
-//! into grouped accesses.
+//! of Section 2.4. Each stage of an access lives in its own child module
+//! and the stages communicate through the typed
+//! [`crate::pipeline::AccessMachine`] state machine instead of one deep
+//! call chain:
+//!
+//! * [`posmap`] — position-map resolve and remap (PLB, top table),
+//! * [`fetch`] — path fetch: bucket-read batches, stash fill, block claim,
+//! * [`verify`] — decrypt/authenticate/repair of the encrypted image,
+//! * [`writeback`] — path write-back, background and emergency eviction.
+//!
+//! [`PathOram::try_access_block`] is a thin driver that steps the machine
+//! to completion; the super-block schemes in `proram-core` compose the
+//! same stage primitives ([`PathOram::try_resolve_posmap`],
+//! [`PathOram::try_read_path_into_stash`],
+//! [`PathOram::write_path_from_stash`], entry accessors) into grouped
+//! accesses.
 //!
 //! # Fault handling
 //!
-//! Every path primitive has a `try_` form returning
-//! [`Result<_, OramError>`]; the plain forms are panicking wrappers kept
-//! for tests and benchmarks. With [`OramConfig::fault`] set, the
-//! controller recovers in place: corrupted or rolled-back buckets flagged
-//! by per-path verification (or the periodic scrub) are re-encrypted from
-//! the trusted logical tree, transient read failures retry with
-//! exponential backoff charged to access latency, and a stash past its
-//! hard capacity enters emergency eviction before fail-stop. Counters
-//! live in [`proram_mem::FaultStats`], surfaced via
-//! [`PathOram::fault_stats`].
+//! Every fallible primitive returns [`Result<_, OramError>`]; the one
+//! remaining panicking convenience is [`PathOram::access_block`]. With
+//! [`OramConfig::fault`] set, the controller recovers in place: corrupted
+//! or rolled-back buckets flagged by per-path verification (or the
+//! periodic scrub) are re-encrypted from the trusted logical tree,
+//! transient read failures retry with exponential backoff charged to
+//! access latency, and a stash past its hard capacity enters emergency
+//! eviction before fail-stop. Counters live in [`proram_mem::FaultStats`],
+//! surfaced via [`PathOram::fault_stats`].
 
-use crate::addr::{AddressSpace, Hierarchy, Leaf};
+pub(crate) mod fetch;
+pub(crate) mod posmap;
+pub(crate) mod verify;
+pub(crate) mod writeback;
+
+use crate::addr::{AddressSpace, Leaf};
 use crate::block::{Block, Payload};
 use crate::config::OramConfig;
 use crate::error::OramError;
-use crate::eviction::{read_path, write_path_with, PathScratch};
+use crate::eviction::PathScratch;
+use crate::pipeline::{AccessMachine, AccessRequest, StageCycles};
 use crate::plb::Plb;
 use crate::posmap::PosEntry;
 use crate::stash::Stash;
 use crate::storage::EncryptedStore;
-use crate::trace::{PhysEvent, TraceRecorder};
+use crate::trace::TraceRecorder;
 use crate::tree::OramTree;
 use proram_mem::{
-    AccessKind, AccessOutcome, BackendStats, BlockAddr, CacheProbe, Cycle, FaultStats, Fill,
-    MemRequest, MemoryBackend,
+    AccessKind, AccessOutcome, BackendStats, BankScheduler, BlockAddr, CacheProbe, Cycle,
+    FaultStats, Fill, MemRequest, MemoryBackend,
 };
 use proram_stats::{Rng64, Xoshiro256};
 
@@ -43,13 +58,13 @@ use proram_stats::{Rng64, Xoshiro256};
 /// tiny stash target can enter a persistent eviction storm (the regime of
 /// the paper's Figure 12 at stash size 25); the controller then keeps
 /// serving requests while evicting at this rate instead of livelocking.
-const MAX_BACKGROUND_EVICTIONS_PER_ACCESS: u64 = 64;
+pub(crate) const MAX_BACKGROUND_EVICTIONS_PER_ACCESS: u64 = 64;
 
 /// Bound on *emergency* evictions when the stash exceeds its hard
 /// capacity: the degraded mode may run this much longer than a normal
 /// drain before the controller gives up and fail-stops with
 /// [`OramError::StashOverflow`].
-const MAX_EMERGENCY_EVICTIONS: u64 = 4 * MAX_BACKGROUND_EVICTIONS_PER_ACCESS;
+pub(crate) const MAX_EMERGENCY_EVICTIONS: u64 = 4 * MAX_BACKGROUND_EVICTIONS_PER_ACCESS;
 
 /// Statistics kept by the controller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,6 +104,7 @@ pub enum PathKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessReport {
     /// Cycles the access occupied the ORAM (path transfers + overheads).
+    /// Always equals [`StageCycles::total`] of `stages`.
     pub latency: u64,
     /// Total tree path accesses performed (data + posmap + background).
     pub tree_accesses: u64,
@@ -96,6 +112,8 @@ pub struct AccessReport {
     pub posmap_accesses: u64,
     /// Background evictions among them.
     pub background_evictions: u64,
+    /// Per-stage cycle attribution summing to `latency`.
+    pub stages: StageCycles,
 }
 
 /// The Path ORAM controller plus its in-DRAM tree.
@@ -113,36 +131,40 @@ pub struct AccessReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PathOram {
-    config: OramConfig,
-    space: AddressSpace,
-    tree: OramTree,
-    stash: Stash,
-    plb: Plb,
+    pub(crate) config: OramConfig,
+    pub(crate) space: AddressSpace,
+    pub(crate) tree: OramTree,
+    pub(crate) stash: Stash,
+    pub(crate) plb: Plb,
     /// On-chip entries for blocks of the highest on-tree hierarchy (or for
     /// the data blocks themselves when `on_tree_hierarchies == 0`).
-    top: Vec<PosEntry>,
-    rng: Xoshiro256,
-    store: Option<EncryptedStore>,
-    trace: TraceRecorder,
-    stats: OramStats,
-    path_cycles: u64,
-    path_bytes: u64,
-    busy_until: Cycle,
-    label: String,
+    pub(crate) top: Vec<PosEntry>,
+    pub(crate) rng: Xoshiro256,
+    pub(crate) store: Option<EncryptedStore>,
+    pub(crate) trace: TraceRecorder,
+    pub(crate) stats: OramStats,
+    pub(crate) path_cycles: u64,
+    /// Per-path fetch cost actually charged: equals `path_cycles` with the
+    /// lump-sum timing model, smaller with the bank-aware pipeline
+    /// ([`OramConfig::pipeline`]).
+    pub(crate) fetch_cycles: u64,
+    pub(crate) path_bytes: u64,
+    pub(crate) busy_until: Cycle,
+    pub(crate) label: String,
     /// Reusable write-back scratch (see [`PathScratch`]).
-    scratch: PathScratch,
+    pub(crate) scratch: PathScratch,
     /// Reusable buffers for image verification (`verify_image` mode):
     /// decrypted-bucket plaintext and the two address lists compared per
     /// bucket.
-    verify_plain: Vec<u8>,
-    verify_store_addrs: Vec<u64>,
-    verify_tree_addrs: Vec<u64>,
+    pub(crate) verify_plain: Vec<u8>,
+    pub(crate) verify_store_addrs: Vec<u64>,
+    pub(crate) verify_tree_addrs: Vec<u64>,
     /// Recovery counters owned by the controller (repairs, emergency
     /// evictions, scrub passes); the injector's own counters live in the
     /// store and the two are summed by [`PathOram::fault_stats`].
-    ctrl_faults: FaultStats,
+    pub(crate) ctrl_faults: FaultStats,
     /// Data-path reads since the last scrub pass.
-    reads_since_scrub: u64,
+    pub(crate) reads_since_scrub: u64,
 }
 
 impl PathOram {
@@ -248,6 +270,17 @@ impl PathOram {
         let off_chip = config.off_chip_levels();
         let path_cycles = config.timing.path_cycles(off_chip, config.z);
         let path_bytes = config.timing.path_bytes(off_chip, config.z);
+        // With the bank-aware pipeline, the per-path fetch cost comes from
+        // scheduling one path's bucket-read batch on an idle bank
+        // scheduler; the lump-sum model keeps fetch == path cost.
+        let fetch_cycles = match config.pipeline {
+            None => path_cycles,
+            Some(bank) => {
+                let bucket_bytes = config.timing.bucket_wire_bytes(config.z);
+                BankScheduler::path_fetch_cycles(bank, bucket_bytes, u64::from(off_chip))
+                    + u64::from(config.timing.fixed_overhead_cycles)
+            }
+        };
         PathOram {
             plb: Plb::new(config.plb_blocks),
             config,
@@ -260,6 +293,7 @@ impl PathOram {
             trace,
             stats: OramStats::default(),
             path_cycles,
+            fetch_cycles,
             path_bytes,
             busy_until: 0,
             label: "oram".to_owned(),
@@ -316,9 +350,16 @@ impl PathOram {
         &self.space
     }
 
-    /// Cycles one path access costs under the timing model.
+    /// Cycles one path access costs under the lump-sum timing model.
     pub fn path_cycles(&self) -> u64 {
         self.path_cycles
+    }
+
+    /// Cycles one path fetch actually costs: equal to
+    /// [`PathOram::path_cycles`] without the pipeline, smaller when the
+    /// bank-aware scheduler overlaps bucket reads ([`OramConfig::pipeline`]).
+    pub fn fetch_cycles(&self) -> u64 {
+        self.fetch_cycles
     }
 
     /// Statistics so far.
@@ -350,7 +391,7 @@ impl PathOram {
 
     /// Whether detected faults are repaired in place rather than
     /// propagated (on whenever an injector is configured).
-    fn recovery_enabled(&self) -> bool {
+    pub(crate) fn recovery_enabled(&self) -> bool {
         self.config.fault.is_some()
     }
 
@@ -385,262 +426,6 @@ impl PathOram {
         Leaf(self.rng.next_below(u64::from(self.tree.num_leaves())) as u32)
     }
 
-    // ------------------------------------------------------------------
-    // Position-map primitives (shared with the super-block schemes)
-    // ------------------------------------------------------------------
-
-    /// Hierarchy of the posmap container holding `child`'s entry.
-    fn parent_hierarchy(&self, child: BlockAddr) -> Hierarchy {
-        self.space.hierarchy_of(child) + 1
-    }
-
-    /// Ensures the position-map block holding `child`'s entry is on-chip
-    /// (PLB or the top table), fetching ancestors as needed. Returns the
-    /// number of tree accesses performed.
-    ///
-    /// After this call [`PathOram::entry`] / [`PathOram::entry_mut`] for
-    /// `child` (and for every sibling covered by the same posmap block)
-    /// are guaranteed to succeed without further accesses.
-    ///
-    /// # Errors
-    ///
-    /// Propagates unrecovered faults from the path reads (see
-    /// [`PathOram::try_read_path_into_stash`]).
-    pub fn try_resolve_posmap(&mut self, child: BlockAddr) -> Result<u64, OramError> {
-        let h = self.parent_hierarchy(child);
-        if h == self.space.top_hierarchy() {
-            return Ok(0); // entry lives in the on-chip table
-        }
-        let pm_addr = self.space.posmap_block_for(child, h);
-        if self.plb.get_mut(pm_addr).is_some() {
-            return Ok(0);
-        }
-        // Miss: resolve the posmap block's own mapping one level up, then
-        // fetch it with a real path access.
-        let mut accesses = self.try_resolve_posmap(pm_addr)?;
-        let old_leaf = self.entry(pm_addr).leaf;
-        let new_leaf = self.random_leaf();
-        self.entry_mut(pm_addr).leaf = new_leaf;
-
-        self.try_read_path_into_stash(old_leaf, PathKind::PosMap)?;
-        accesses += 1;
-        let mut block = self.stash.take(pm_addr).unwrap_or_else(|| {
-            panic!("posmap block {pm_addr} missing from path {old_leaf} and stash")
-        });
-        block.leaf = new_leaf;
-        if let Some(victim) = self.plb.insert(block) {
-            self.stash.insert(victim);
-        }
-        self.write_path_from_stash(old_leaf);
-        Ok(accesses)
-    }
-
-    /// Panicking form of [`PathOram::try_resolve_posmap`] for call sites
-    /// that treat faults as fatal (tests, benchmarks).
-    ///
-    /// # Panics
-    ///
-    /// Panics on any unrecovered [`OramError`].
-    pub fn resolve_posmap(&mut self, child: BlockAddr) -> u64 {
-        self.try_resolve_posmap(child)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Borrows `child`'s position-map entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the covering posmap block is not on-chip — call
-    /// [`PathOram::resolve_posmap`] first.
-    pub fn entry(&self, child: BlockAddr) -> &PosEntry {
-        let h = self.parent_hierarchy(child);
-        let idx = self.space.entry_index(child);
-        if h == self.space.top_hierarchy() {
-            let base = self.space.region_base(h - 1);
-            let off = (child.0 - base) as usize;
-            return &self.top[off];
-        }
-        let pm_addr = self.space.posmap_block_for(child, h);
-        let block = self
-            .plb
-            .peek(pm_addr)
-            .unwrap_or_else(|| panic!("posmap block {pm_addr} not resolved"));
-        &block.entries()[idx]
-    }
-
-    /// Mutably borrows `child`'s position-map entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the covering posmap block is not on-chip.
-    pub fn entry_mut(&mut self, child: BlockAddr) -> &mut PosEntry {
-        let h = self.parent_hierarchy(child);
-        let idx = self.space.entry_index(child);
-        if h == self.space.top_hierarchy() {
-            let base = self.space.region_base(h - 1);
-            let off = (child.0 - base) as usize;
-            return &mut self.top[off];
-        }
-        let pm_addr = self.space.posmap_block_for(child, h);
-        let block = self
-            .plb
-            .peek_mut(pm_addr)
-            .unwrap_or_else(|| panic!("posmap block {pm_addr} not resolved"));
-        &mut block.entries_mut()[idx]
-    }
-
-    // ------------------------------------------------------------------
-    // Path primitives
-    // ------------------------------------------------------------------
-
-    /// Reads every bucket on the path to `leaf` into the stash, recording
-    /// the adversary-visible event, statistics and byte movement. Callers
-    /// must pair this with [`PathOram::write_path_from_stash`] on the same
-    /// leaf.
-    ///
-    /// When the encrypted image is kept and verification is on (explicit
-    /// `verify_image`, or implied by fault injection), every bucket on the
-    /// path is decrypted and authenticated first. With fault injection the
-    /// controller *recovers*: corrupted or rolled-back buckets are
-    /// re-encrypted from the trusted logical tree; exhausted transient
-    /// reads are counted and skipped. Without it, faults propagate.
-    ///
-    /// # Errors
-    ///
-    /// Returns the detected [`OramError`] when recovery is disabled.
-    pub fn try_read_path_into_stash(
-        &mut self,
-        leaf: Leaf,
-        kind: PathKind,
-    ) -> Result<(), OramError> {
-        if self.config.verify_image || self.recovery_enabled() {
-            self.verify_path(leaf)?;
-        }
-        read_path(&mut self.tree, &mut self.stash, leaf);
-        match kind {
-            PathKind::Data => {
-                self.stats.data_path_accesses += 1;
-                self.trace.record(PhysEvent::PathAccess(leaf));
-            }
-            PathKind::PosMap => {
-                self.stats.posmap_path_accesses += 1;
-                self.trace.record(PhysEvent::PathAccess(leaf));
-            }
-            PathKind::Dummy => {
-                self.stats.background_evictions += 1;
-                self.trace.record(PhysEvent::DummyAccess(leaf));
-            }
-        }
-        self.stats.bytes_moved += self.path_bytes;
-        self.stash.sample_occupancy();
-        Ok(())
-    }
-
-    /// Panicking form of [`PathOram::try_read_path_into_stash`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on any unrecovered [`OramError`].
-    pub fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) {
-        self.try_read_path_into_stash(leaf, kind)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    /// Decrypts, authenticates and cross-checks every bucket on the path
-    /// to `leaf` against the logical tree, repairing detected faults in
-    /// place when recovery is enabled. Addr-only reads through reusable
-    /// buffers — no payload reconstruction, no allocation on the clean
-    /// path.
-    fn verify_path(&mut self, leaf: Leaf) -> Result<(), OramError> {
-        let recover = self.recovery_enabled();
-        let Some(store) = self.store.as_mut() else {
-            return Ok(());
-        };
-        for idx in self.tree.path_indices(leaf) {
-            self.verify_store_addrs.clear();
-            match store.bucket_addrs_into(idx, &mut self.verify_plain, &mut self.verify_store_addrs)
-            {
-                Ok(()) => {
-                    self.verify_tree_addrs.clear();
-                    self.verify_tree_addrs
-                        .extend(self.tree.bucket(idx).iter().map(|b| b.addr.0));
-                    self.verify_store_addrs.sort_unstable();
-                    self.verify_tree_addrs.sort_unstable();
-                    assert_eq!(
-                        self.verify_store_addrs, self.verify_tree_addrs,
-                        "encrypted image diverged at bucket {idx}"
-                    );
-                }
-                Err(err) if recover => match err {
-                    OramError::Integrity { .. } | OramError::Rollback { .. } => {
-                        // The logical tree is trusted on-chip state:
-                        // restore the bucket by re-encrypting it under a
-                        // fresh nonce and version.
-                        store.write_bucket(idx, self.tree.bucket(idx));
-                        self.ctrl_faults.recovered += 1;
-                    }
-                    OramError::Transient { .. } => {
-                        // Retries exhausted; the logical copy still serves
-                        // the access, but the bucket went unread.
-                        self.ctrl_faults.unrecovered += 1;
-                    }
-                    OramError::StashOverflow { .. } => return Err(err),
-                },
-                Err(err) => return Err(err),
-            }
-        }
-        Ok(())
-    }
-
-    /// Verifies the whole encrypted image ([`EncryptedStore::verify_all`])
-    /// and, when recovery is enabled, repairs every bucket it flags from
-    /// the trusted logical tree. This is the periodic scrub pass driven by
-    /// [`OramConfig::scrub_interval`]; it can also be called directly.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first detected [`OramError`] when recovery is disabled.
-    pub fn scrub(&mut self) -> Result<(), OramError> {
-        let recover = self.recovery_enabled();
-        let Some(store) = self.store.as_mut() else {
-            return Ok(());
-        };
-        self.ctrl_faults.scrub_runs += 1;
-        self.ctrl_faults.scrub_buckets += store.num_buckets() as u64;
-        // Fast path: one clean sweep of the whole image.
-        match store.verify_all() {
-            Ok(()) => return Ok(()),
-            Err(err) if !recover => return Err(err),
-            Err(_) => {}
-        }
-        // Something is wrong: re-verify bucket by bucket and repair.
-        for idx in 0..store.num_buckets() {
-            match store.verify_bucket(idx) {
-                Ok(()) => {}
-                Err(OramError::Integrity { .. }) | Err(OramError::Rollback { .. }) => {
-                    store.write_bucket(idx, self.tree.bucket(idx));
-                    self.ctrl_faults.recovered += 1;
-                }
-                Err(OramError::Transient { .. }) => {
-                    self.ctrl_faults.unrecovered += 1;
-                }
-                Err(err @ OramError::StashOverflow { .. }) => return Err(err),
-            }
-        }
-        Ok(())
-    }
-
-    /// Greedily writes stash blocks back to the path to `leaf` and
-    /// re-encrypts the touched buckets into the storage image.
-    pub fn write_path_from_stash(&mut self, leaf: Leaf) {
-        write_path_with(&mut self.tree, &mut self.stash, leaf, &mut self.scratch);
-        if let Some(store) = self.store.as_mut() {
-            for idx in self.tree.path_indices(leaf) {
-                store.write_bucket(idx, self.tree.bucket(idx));
-            }
-        }
-    }
-
     /// Whether `addr` is currently in the stash.
     pub fn stash_contains(&self, addr: BlockAddr) -> bool {
         self.stash.contains(addr)
@@ -651,80 +436,6 @@ impl PathOram {
         self.stash.get_mut(addr)
     }
 
-    /// Performs one background eviction (paper Section 2.4): read and
-    /// write a random path, remapping nothing.
-    ///
-    /// # Errors
-    ///
-    /// Propagates unrecovered faults from the path read.
-    pub fn try_background_evict(&mut self) -> Result<(), OramError> {
-        let leaf = self.random_leaf();
-        self.try_read_path_into_stash(leaf, PathKind::Dummy)?;
-        self.write_path_from_stash(leaf);
-        Ok(())
-    }
-
-    /// Panicking form of [`PathOram::try_background_evict`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on any unrecovered [`OramError`].
-    pub fn background_evict(&mut self) {
-        self.try_background_evict()
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    /// Issues background evictions until the stash is under its limit,
-    /// bounded per call so a persistent eviction storm degrades
-    /// throughput instead of livelocking the simulator; returns how many
-    /// evictions ran.
-    ///
-    /// With [`OramConfig::stash_hard_capacity`] set, a stash still above
-    /// the hard capacity after the bounded drain enters **emergency
-    /// eviction**: a degraded mode (counted in
-    /// [`proram_mem::FaultStats::emergency_evictions`]) that keeps
-    /// evicting up to [`MAX_EMERGENCY_EVICTIONS`] more paths. Only if the
-    /// stash *still* exceeds capacity does the controller fail-stop.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`OramError::StashOverflow`] when emergency eviction cannot
-    /// bring occupancy under the hard capacity, or propagates unrecovered
-    /// path-read faults.
-    pub fn try_drain_background(&mut self) -> Result<u64, OramError> {
-        let mut n = 0;
-        while self.stash.over_limit() && n < MAX_BACKGROUND_EVICTIONS_PER_ACCESS {
-            self.try_background_evict()?;
-            n += 1;
-        }
-        if let Some(cap) = self.config.stash_hard_capacity {
-            let mut emergencies = 0;
-            while self.stash.len() > cap && emergencies < MAX_EMERGENCY_EVICTIONS {
-                self.try_background_evict()?;
-                self.ctrl_faults.emergency_evictions += 1;
-                emergencies += 1;
-                n += 1;
-            }
-            if self.stash.len() > cap {
-                return Err(OramError::StashOverflow {
-                    occupancy: self.stash.len(),
-                    capacity: cap,
-                });
-            }
-        }
-        Ok(n)
-    }
-
-    /// Panicking form of [`PathOram::try_drain_background`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on any unrecovered [`OramError`].
-    pub fn drain_background(&mut self) -> u64 {
-        self.try_drain_background()
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     // ------------------------------------------------------------------
     // High-level access (the `oram` baseline)
     // ------------------------------------------------------------------
@@ -733,8 +444,12 @@ impl PathOram {
     /// five steps of paper Section 2.2, plus recursion and background
     /// eviction.
     ///
-    /// The reported latency charges every tree access at the path cost
-    /// plus any transient-retry backoff the injected faults incurred.
+    /// This is a thin driver: it builds an
+    /// [`AccessMachine`] for the request and steps it through the pipeline
+    /// stages (posmap resolve → path fetch → decrypt/verify → stash
+    /// update → write-back → evict) until it yields a completion. The
+    /// reported latency charges every tree access at the fetch cost plus
+    /// any transient-retry backoff the injected faults incurred.
     ///
     /// # Errors
     ///
@@ -748,55 +463,28 @@ impl PathOram {
     pub fn try_access_block(
         &mut self,
         addr: BlockAddr,
-        _kind: AccessKind,
+        kind: AccessKind,
     ) -> Result<AccessReport, OramError> {
         assert_eq!(
             self.space.hierarchy_of(addr),
             0,
             "access_block takes data blocks"
         );
-        self.stats.logical_accesses += 1;
-        let backoff_before = self.backoff_cycles();
-
-        // Steps 1 & 4: look up the leaf and remap to a fresh one.
-        let posmap_accesses = self.try_resolve_posmap(addr)?;
-        let old_leaf = self.entry(addr).leaf;
-        let new_leaf = self.random_leaf();
-        self.entry_mut(addr).leaf = new_leaf;
-
-        // Steps 2, 3 & 5: read the path, claim the block, write back.
-        self.try_read_path_into_stash(old_leaf, PathKind::Data)?;
-        let block = self
-            .stash
-            .get_mut(addr)
-            .unwrap_or_else(|| panic!("invariant broken: {addr} not on path {old_leaf} or stash"));
-        block.leaf = new_leaf;
-        self.write_path_from_stash(old_leaf);
-
-        let background_evictions = self.try_drain_background()?;
-
-        // Periodic scrub: every `scrub_interval` data accesses, sweep and
-        // repair the whole image.
-        if self.config.scrub_interval > 0 {
-            self.reads_since_scrub += 1;
-            if self.reads_since_scrub >= self.config.scrub_interval {
-                self.reads_since_scrub = 0;
-                self.scrub()?;
+        let mut machine = AccessMachine::new(AccessRequest { addr, kind });
+        loop {
+            if let Some(completion) = machine.step(self)? {
+                return Ok(completion.report);
             }
         }
+    }
 
-        let backoff = self.backoff_cycles() - backoff_before;
-        let tree_accesses = 1 + posmap_accesses + background_evictions;
-        Ok(AccessReport {
-            latency: tree_accesses * self.path_cycles + backoff,
-            tree_accesses,
-            posmap_accesses,
-            background_evictions,
-        })
+    /// Records the start of one logical access (pipeline stage hook).
+    pub(crate) fn note_logical_access(&mut self) {
+        self.stats.logical_accesses += 1;
     }
 
     /// Cumulative transient-retry backoff cycles charged by the injector.
-    fn backoff_cycles(&self) -> u64 {
+    pub(crate) fn backoff_cycles(&self) -> u64 {
         self.store
             .as_ref()
             .map_or(0, |s| s.fault_stats().backoff_cycles)
@@ -895,21 +583,6 @@ impl PathOram {
         self.tree
             .path_indices(leaf)
             .find_map(|idx| self.tree.bucket(idx).iter().find(|b| b.addr == addr))
-    }
-
-    /// Leaf of `addr` if its covering posmap block happens to be on-chip;
-    /// used only by the payload helpers right after an access (when it
-    /// always is).
-    fn known_leaf(&self, addr: BlockAddr) -> Option<Leaf> {
-        let h = self.parent_hierarchy(addr);
-        if h == self.space.top_hierarchy() {
-            let base = self.space.region_base(h - 1);
-            return Some(self.top[(addr.0 - base) as usize].leaf);
-        }
-        let pm_addr = self.space.posmap_block_for(addr, h);
-        self.plb
-            .peek(pm_addr)
-            .map(|b| b.entries()[self.space.entry_index(addr)].leaf)
     }
 
     // ------------------------------------------------------------------
@@ -1034,6 +707,10 @@ impl crate::backend_trait::OramBackend for PathOram {
         PathOram::path_cycles(self)
     }
 
+    fn fetch_cycles(&self) -> u64 {
+        PathOram::fetch_cycles(self)
+    }
+
     fn oram_stats(&self) -> OramStats {
         PathOram::oram_stats(self)
     }
@@ -1056,7 +733,7 @@ impl MemoryBackend for PathOram {
                 // degraded (one path's worth of latency, data from the
                 // trusted logical tree) instead of aborting the run.
                 self.ctrl_faults.unrecovered += 1;
-                self.path_cycles
+                self.fetch_cycles
             }
         };
         let complete_at = self.schedule_cycles(now, latency);
@@ -1074,7 +751,7 @@ impl MemoryBackend for PathOram {
         if self.try_background_evict().is_err() {
             self.ctrl_faults.unrecovered += 1;
         }
-        self.schedule_cycles(now, self.path_cycles)
+        self.schedule_cycles(now, self.fetch_cycles)
     }
 
     fn free_at(&self) -> Cycle {
@@ -1092,7 +769,10 @@ impl MemoryBackend for PathOram {
             bytes_moved: s.bytes_moved,
             prefetch_hits: 0,
             prefetch_misses: 0,
-            busy_cycles: s.total_path_accesses() * self.path_cycles,
+            busy_cycles: s.total_path_accesses() * self.fetch_cycles,
+            data_path_cycles: s.data_path_accesses * self.fetch_cycles,
+            posmap_path_cycles: s.posmap_path_accesses * self.fetch_cycles,
+            dummy_path_cycles: s.background_evictions * self.fetch_cycles,
             faults: self.fault_stats(),
         }
     }
@@ -1130,14 +810,14 @@ mod tests {
     fn access_remaps_to_fresh_leaf() {
         let mut oram = small();
         let addr = BlockAddr(10);
-        oram.resolve_posmap(addr);
+        oram.try_resolve_posmap(addr).unwrap();
         let before = oram.entry(addr).leaf;
         // Access many times; the leaf must change (collision chance over
         // 20 draws from >=128 leaves is negligible at this seed).
         let mut changed = false;
         for _ in 0..20 {
             oram.access_block(addr, AccessKind::Read);
-            oram.resolve_posmap(addr);
+            oram.try_resolve_posmap(addr).unwrap();
             if oram.entry(addr).leaf != before {
                 changed = true;
             }
@@ -1285,6 +965,7 @@ mod tests {
         assert_eq!(s.demand_accesses, 20);
         assert!(s.physical_accesses >= 20);
         assert!(s.bytes_moved > 0);
+        assert!(s.stage_cycles_consistent(), "stage attribution incomplete");
     }
 
     #[test]
@@ -1323,6 +1004,90 @@ mod tests {
         oram.access_block(BlockAddr(0), AccessKind::Read);
         let s = oram.oram_stats();
         assert_eq!(s.bytes_moved, s.total_path_accesses() * oram.path_bytes);
+    }
+
+    #[test]
+    fn report_latency_equals_stage_total() {
+        let mut oram = small();
+        let mut rng = Xoshiro256::seed_from(5);
+        for _ in 0..50 {
+            let r = oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+            assert_eq!(r.latency, r.stages.total(), "stage attribution broken");
+            assert_eq!(r.stages.fetch, oram.fetch_cycles());
+            assert_eq!(r.stages.posmap, r.posmap_accesses * oram.fetch_cycles());
+            assert_eq!(r.stages.evict, r.background_evictions * oram.fetch_cycles());
+        }
+    }
+
+    #[test]
+    fn pipeline_off_keeps_lump_sum_fetch_cost() {
+        let oram = small();
+        assert_eq!(oram.fetch_cycles(), oram.path_cycles());
+    }
+
+    #[test]
+    fn pipeline_on_is_behavior_identical_and_overlaps_banks() {
+        use proram_mem::BankConfig;
+        // The pipeline is purely a timing-model change: stats, trace and
+        // stash must match the lump-sum run step for step.
+        let run = |pipeline: Option<BankConfig>| {
+            let cfg = OramConfig {
+                pipeline,
+                ..OramConfig::small_for_tests(256)
+            };
+            let mut oram = PathOram::new(cfg, 42);
+            let mut rng = Xoshiro256::seed_from(3);
+            for _ in 0..200 {
+                oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+            }
+            (
+                oram.oram_stats(),
+                oram.trace().observed_leaves(),
+                oram.stash().peak(),
+                oram.fetch_cycles(),
+            )
+        };
+        let banks = |n| {
+            Some(BankConfig {
+                banks: n,
+                ..BankConfig::default()
+            })
+        };
+        let (base_stats, base_leaves, base_peak, base_fetch) = run(None);
+        let (serial_stats, serial_leaves, serial_peak, serial_fetch) = run(banks(1));
+        let (pipe_stats, pipe_leaves, pipe_peak, pipe_fetch) = run(banks(8));
+        assert_eq!(base_stats, serial_stats);
+        assert_eq!(base_stats, pipe_stats);
+        assert_eq!(base_leaves, serial_leaves);
+        assert_eq!(base_leaves, pipe_leaves);
+        assert_eq!(base_peak, serial_peak);
+        assert_eq!(base_peak, pipe_peak);
+        // One bank serializes every bucket's DRAM latency; multiple banks
+        // overlap them, leaving only the bus transfers plus one latency.
+        assert!(
+            pipe_fetch < serial_fetch,
+            "bank overlap must cut the fetch cost: {pipe_fetch} vs {serial_fetch}"
+        );
+        // Versus the lump-sum model the banked fetch keeps the full bus
+        // transfer and adds the (previously unmodelled) leading DRAM
+        // latency — it is costlier than the pure pin-bandwidth bound but
+        // far cheaper than the fully serialized single-bank schedule.
+        assert!(pipe_fetch >= base_fetch);
+        assert!(serial_fetch > base_fetch);
+    }
+
+    #[test]
+    fn bucket_read_batch_covers_off_chip_path() {
+        let oram = small();
+        let batch = oram.bucket_read_batch(Leaf(0));
+        assert_eq!(
+            batch.len() as u32,
+            oram.config().off_chip_levels(),
+            "one read per off-chip bucket"
+        );
+        let per_bucket = oram.config().timing.bucket_wire_bytes(oram.config().z);
+        let total: u64 = batch.iter().map(|r| r.bytes).sum();
+        assert_eq!(total, per_bucket * batch.len() as u64);
     }
 
     #[test]
@@ -1575,7 +1340,7 @@ mod init_group_tests {
         };
         let mut oram = PathOram::new(cfg, 17);
         for base in (0..64u64).step_by(4) {
-            oram.resolve_posmap(BlockAddr(base));
+            oram.try_resolve_posmap(BlockAddr(base)).unwrap();
             let leaf = oram.entry(BlockAddr(base)).leaf;
             for off in 1..4 {
                 assert_eq!(

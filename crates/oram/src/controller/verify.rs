@@ -1,0 +1,102 @@
+//! Stage 3: decrypt, authenticate, repair.
+//!
+//! Cross-checks the encrypted DRAM image against the trusted logical tree
+//! — per-path during an access (the `DecryptVerify` stage) and image-wide
+//! in the periodic scrub. With fault injection configured the stage
+//! *recovers*: flagged buckets are re-encrypted from the logical tree;
+//! without it, detected faults propagate as typed [`OramError`]s.
+
+use super::PathOram;
+use crate::addr::Leaf;
+use crate::error::OramError;
+
+impl PathOram {
+    /// Decrypts, authenticates and cross-checks every bucket on the path
+    /// to `leaf` against the logical tree, repairing detected faults in
+    /// place when recovery is enabled. Addr-only reads through reusable
+    /// buffers — no payload reconstruction, no allocation on the clean
+    /// path.
+    pub(crate) fn verify_path(&mut self, leaf: Leaf) -> Result<(), OramError> {
+        let recover = self.recovery_enabled();
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        for idx in self.tree.path_indices(leaf) {
+            self.verify_store_addrs.clear();
+            match store.bucket_addrs_into(idx, &mut self.verify_plain, &mut self.verify_store_addrs)
+            {
+                Ok(()) => {
+                    self.verify_tree_addrs.clear();
+                    self.verify_tree_addrs
+                        .extend(self.tree.bucket(idx).iter().map(|b| b.addr.0));
+                    self.verify_store_addrs.sort_unstable();
+                    self.verify_tree_addrs.sort_unstable();
+                    assert_eq!(
+                        self.verify_store_addrs, self.verify_tree_addrs,
+                        "encrypted image diverged at bucket {idx}"
+                    );
+                }
+                Err(err) if recover => match err {
+                    OramError::Integrity { .. } | OramError::Rollback { .. } => {
+                        // The logical tree is trusted on-chip state:
+                        // restore the bucket by re-encrypting it under a
+                        // fresh nonce and version.
+                        store.write_bucket(idx, self.tree.bucket(idx));
+                        self.ctrl_faults.recovered += 1;
+                    }
+                    OramError::Transient { .. } => {
+                        // Retries exhausted; the logical copy still serves
+                        // the access, but the bucket went unread.
+                        self.ctrl_faults.unrecovered += 1;
+                    }
+                    OramError::StashOverflow { .. } | OramError::BlockMissing { .. } => {
+                        return Err(err)
+                    }
+                },
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the whole encrypted image ([`crate::EncryptedStore::verify_all`])
+    /// and, when recovery is enabled, repairs every bucket it flags from
+    /// the trusted logical tree. This is the periodic scrub pass driven by
+    /// [`crate::OramConfig::scrub_interval`]; it can also be called
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first detected [`OramError`] when recovery is disabled.
+    pub fn scrub(&mut self) -> Result<(), OramError> {
+        let recover = self.recovery_enabled();
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        self.ctrl_faults.scrub_runs += 1;
+        self.ctrl_faults.scrub_buckets += store.num_buckets() as u64;
+        // Fast path: one clean sweep of the whole image.
+        match store.verify_all() {
+            Ok(()) => return Ok(()),
+            Err(err) if !recover => return Err(err),
+            Err(_) => {}
+        }
+        // Something is wrong: re-verify bucket by bucket and repair.
+        for idx in 0..store.num_buckets() {
+            match store.verify_bucket(idx) {
+                Ok(()) => {}
+                Err(OramError::Integrity { .. }) | Err(OramError::Rollback { .. }) => {
+                    store.write_bucket(idx, self.tree.bucket(idx));
+                    self.ctrl_faults.recovered += 1;
+                }
+                Err(OramError::Transient { .. }) => {
+                    self.ctrl_faults.unrecovered += 1;
+                }
+                Err(err @ (OramError::StashOverflow { .. } | OramError::BlockMissing { .. })) => {
+                    return Err(err)
+                }
+            }
+        }
+        Ok(())
+    }
+}

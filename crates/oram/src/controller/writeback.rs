@@ -1,0 +1,98 @@
+//! Stages 4 & 5: path write-back and background eviction.
+//!
+//! Greedily writes stash blocks back onto the just-read path, keeps the
+//! encrypted image coherent, and drains the stash with background
+//! (dummy) evictions — paper Section 2.4 — bounded per access so an
+//! eviction storm degrades throughput instead of livelocking.
+
+use super::{PathOram, MAX_BACKGROUND_EVICTIONS_PER_ACCESS, MAX_EMERGENCY_EVICTIONS};
+use crate::addr::Leaf;
+use crate::error::OramError;
+use crate::eviction::write_path_with;
+
+impl PathOram {
+    /// Greedily writes stash blocks back to the path to `leaf` and
+    /// re-encrypts the touched buckets into the storage image.
+    pub fn write_path_from_stash(&mut self, leaf: Leaf) {
+        write_path_with(&mut self.tree, &mut self.stash, leaf, &mut self.scratch);
+        if let Some(store) = self.store.as_mut() {
+            for idx in self.tree.path_indices(leaf) {
+                store.write_bucket(idx, self.tree.bucket(idx));
+            }
+        }
+    }
+
+    /// Performs one background eviction (paper Section 2.4): read and
+    /// write a random path, remapping nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered faults from the path read.
+    pub fn try_background_evict(&mut self) -> Result<(), OramError> {
+        let leaf = self.random_leaf();
+        self.try_read_path_into_stash(leaf, super::PathKind::Dummy)?;
+        self.write_path_from_stash(leaf);
+        Ok(())
+    }
+
+    /// Issues background evictions until the stash is under its limit,
+    /// bounded per call so a persistent eviction storm degrades
+    /// throughput instead of livelocking the simulator; returns how many
+    /// evictions ran.
+    ///
+    /// With [`crate::OramConfig::stash_hard_capacity`] set, a stash still
+    /// above the hard capacity after the bounded drain enters **emergency
+    /// eviction**: a degraded mode (counted in
+    /// [`proram_mem::FaultStats::emergency_evictions`]) that keeps
+    /// evicting up to [`MAX_EMERGENCY_EVICTIONS`] more paths. Only if the
+    /// stash *still* exceeds capacity does the controller fail-stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::StashOverflow`] when emergency eviction cannot
+    /// bring occupancy under the hard capacity, or propagates unrecovered
+    /// path-read faults.
+    pub fn try_drain_background(&mut self) -> Result<u64, OramError> {
+        let mut n = 0;
+        while self.stash.over_limit() && n < MAX_BACKGROUND_EVICTIONS_PER_ACCESS {
+            self.try_background_evict()?;
+            n += 1;
+        }
+        if let Some(cap) = self.config.stash_hard_capacity {
+            let mut emergencies = 0;
+            while self.stash.len() > cap && emergencies < MAX_EMERGENCY_EVICTIONS {
+                self.try_background_evict()?;
+                self.ctrl_faults.emergency_evictions += 1;
+                emergencies += 1;
+                n += 1;
+            }
+            if self.stash.len() > cap {
+                return Err(OramError::StashOverflow {
+                    occupancy: self.stash.len(),
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(n)
+    }
+
+    /// The eviction stage of one access: bounded background drain plus
+    /// the periodic image scrub driven by
+    /// [`crate::OramConfig::scrub_interval`]. Returns the background
+    /// evictions run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates drain and scrub failures.
+    pub(crate) fn drain_and_periodic_scrub(&mut self) -> Result<u64, OramError> {
+        let background_evictions = self.try_drain_background()?;
+        if self.config.scrub_interval > 0 {
+            self.reads_since_scrub += 1;
+            if self.reads_since_scrub >= self.config.scrub_interval {
+                self.reads_since_scrub = 0;
+                self.scrub()?;
+            }
+        }
+        Ok(background_evictions)
+    }
+}

@@ -52,6 +52,17 @@ pub enum OramError {
         /// Read attempts performed (initial try + retries).
         attempts: u32,
     },
+    /// A block the position map maps to a path was found on neither that
+    /// path nor in the stash — the Path ORAM placement invariant is
+    /// broken. Unlike the storage faults above this is an internal
+    /// controller failure, but it is reported as a value so a simulation
+    /// harness can degrade instead of unwinding.
+    BlockMissing {
+        /// Address of the missing block.
+        addr: u64,
+        /// Leaf label of the path that was searched.
+        leaf: u32,
+    },
 }
 
 impl fmt::Display for OramError {
@@ -85,6 +96,10 @@ impl fmt::Display for OramError {
                 f,
                 "transient read failure on bucket {bucket} persisted through {attempts} attempts"
             ),
+            OramError::BlockMissing { addr, leaf } => write!(
+                f,
+                "placement invariant broken: block {addr} is on neither the path to leaf {leaf} nor in the stash"
+            ),
         }
     }
 }
@@ -98,7 +113,7 @@ impl OramError {
             OramError::Integrity { bucket, .. }
             | OramError::Rollback { bucket, .. }
             | OramError::Transient { bucket, .. } => Some(*bucket),
-            OramError::StashOverflow { .. } => None,
+            OramError::StashOverflow { .. } | OramError::BlockMissing { .. } => None,
         }
     }
 }
@@ -151,5 +166,14 @@ mod tests {
             .bucket(),
             None
         );
+    }
+
+    #[test]
+    fn block_missing_names_block_and_leaf() {
+        let e = OramError::BlockMissing { addr: 42, leaf: 7 };
+        let s = e.to_string();
+        assert!(s.contains("block 42"), "{s}");
+        assert!(s.contains("leaf 7"), "{s}");
+        assert_eq!(e.bucket(), None);
     }
 }

@@ -16,7 +16,11 @@
 //! * the **adversary-observable physical trace** ([`trace`]) used by the
 //!   obliviousness test-suite,
 //! * a first-principles **timing model** (path bytes / pin bandwidth,
-//!   [`timing`]).
+//!   [`timing`]),
+//! * the **staged access pipeline** ([`pipeline`]): a typed
+//!   request/completion state machine over the five access steps, with
+//!   per-stage cycle attribution and an optional bank-aware fetch cost
+//!   ([`config::OramConfig::pipeline`]).
 //!
 //! The high-level entry point is [`PathOram`]; it also implements
 //! [`proram_mem::MemoryBackend`] so it can serve as the `oram` baseline in
@@ -46,6 +50,7 @@ pub mod crypto;
 pub mod error;
 pub mod eviction;
 pub mod fault;
+pub mod pipeline;
 pub mod plb;
 pub mod posmap;
 pub mod shi;
@@ -65,6 +70,7 @@ pub use crypto::{Mac, StreamCipher};
 pub use error::OramError;
 pub use eviction::PathScratch;
 pub use fault::{FaultClass, FaultConfig, FaultyStore};
+pub use pipeline::{AccessCompletion, AccessMachine, AccessRequest, AccessStage, StageCycles};
 pub use plb::Plb;
 pub use posmap::PosEntry;
 pub use shi::{ShiOram, ShiOramConfig};

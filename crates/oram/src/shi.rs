@@ -287,11 +287,18 @@ impl ShiOram {
             .drain_background()
             .expect("shi backend has no encrypted image to fault");
         let tree_accesses = 1 + background_evictions;
+        let stages = crate::pipeline::StageCycles {
+            posmap: 0,
+            fetch: self.path_cycles,
+            evict: background_evictions * self.path_cycles,
+            backoff: 0,
+        };
         crate::controller::AccessReport {
-            latency: tree_accesses * self.path_cycles,
+            latency: stages.total(),
             tree_accesses,
             posmap_accesses: 0,
             background_evictions,
+            stages,
         }
     }
 

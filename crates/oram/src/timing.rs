@@ -51,6 +51,16 @@ impl OramTiming {
         2u64 * u64::from(levels) * z as u64 * u64::from(self.block_bytes + self.meta_bytes)
     }
 
+    /// Derate-adjusted wire bytes one bucket moves per path access (read
+    /// and write-back halves combined) — the per-bucket transfer size the
+    /// bank-aware fetch scheduler overlaps across banks. Summed over the
+    /// off-chip levels this reproduces the transfer term of
+    /// [`OramTiming::path_cycles`].
+    pub fn bucket_wire_bytes(&self, z: usize) -> u64 {
+        let bytes = 2u64 * z as u64 * u64::from(self.block_bytes + self.meta_bytes);
+        (bytes as f64 * self.bandwidth_derate).ceil() as u64
+    }
+
     /// Timing with the paper's Table 1 parameters and a derate calibrated
     /// so the full-scale (8 GB, 26-level, Z=3) access costs the paper's
     /// 2364 cycles.
@@ -111,6 +121,16 @@ mod tests {
             err < 0.02,
             "calibrated latency {cycles} not within 2% of 2364"
         );
+    }
+
+    #[test]
+    fn bucket_wire_bytes_matches_path_formula() {
+        let t = OramTiming::default();
+        // 2 * 3 * 144 = 864 bytes per bucket at derate 1.0.
+        assert_eq!(t.bucket_wire_bytes(3), 864);
+        assert_eq!(t.bucket_wire_bytes(3) * 20, t.path_bytes(20, 3));
+        let cal = OramTiming::paper_calibrated();
+        assert_eq!(cal.bucket_wire_bytes(3), (864.0f64 * 1.64).ceil() as u64);
     }
 
     #[test]

@@ -15,14 +15,21 @@ pub enum MemoryKind {
     /// [`SchemeConfig::baseline`] for plain ORAM, `static_scheme` for
     /// `stat`, `dynamic` for PrORAM.
     Oram(SchemeConfig),
+    /// `N` independent ORAM controllers behind one scheduler, blocks
+    /// statically address-partitioned over them
+    /// ([`crate::sharded::ShardedOram`]). `OramShards(s, 1)` reproduces
+    /// the serialized single controller of the paper's Section 2.6;
+    /// larger `N` relaxes it (the serialization ablation).
+    OramShards(SchemeConfig, usize),
 }
 
 impl MemoryKind {
     /// Short label for experiment output.
-    pub fn label(&self) -> &'static str {
+    pub fn label(&self) -> String {
         match self {
-            MemoryKind::Dram => "dram",
-            MemoryKind::Oram(s) => s.label(),
+            MemoryKind::Dram => "dram".to_owned(),
+            MemoryKind::Oram(s) => s.label().to_owned(),
+            MemoryKind::OramShards(s, n) => format!("{}_sh{n}", s.label()),
         }
     }
 }
@@ -167,6 +174,10 @@ mod tests {
         assert_eq!(MemoryKind::Dram.label(), "dram");
         assert_eq!(MemoryKind::Oram(SchemeConfig::dynamic(2)).label(), "dyn");
         assert_eq!(MemoryKind::Oram(SchemeConfig::baseline()).label(), "oram");
+        assert_eq!(
+            MemoryKind::OramShards(SchemeConfig::baseline(), 4).label(),
+            "oram_sh4"
+        );
     }
 
     #[test]

@@ -38,10 +38,12 @@ pub mod engine;
 pub mod metrics;
 pub mod multicore;
 pub mod runner;
+pub mod sharded;
 pub mod system;
 
 pub use config::{MemoryKind, SystemConfig};
 pub use engine::TileEngine;
 pub use metrics::{CoreMetrics, RunMetrics};
 pub use multicore::MultiCoreSystem;
+pub use sharded::ShardedOram;
 pub use system::System;

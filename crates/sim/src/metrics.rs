@@ -136,6 +136,13 @@ impl RunMetrics {
     pub fn llc_miss_rate(&self) -> f64 {
         self.caches.l2.miss_rate()
     }
+
+    /// Whether the backend's per-stage cycle attribution (data paths +
+    /// posmap/PLB paths + dummy paths) sums to its reported busy cycles.
+    /// The tile engine asserts this at the end of every run.
+    pub fn stage_cycles_consistent(&self) -> bool {
+        self.backend.stage_cycles_consistent()
+    }
 }
 
 #[cfg(test)]

@@ -259,6 +259,45 @@ mod tests {
         );
     }
 
+    /// `OramShards(s, 1)` is the serialized single controller with a
+    /// different label: timing and accounting must match exactly.
+    #[test]
+    fn one_shard_matches_single_controller() {
+        let run = |kind: MemoryKind| run_cores(kind, 2, 2500);
+        let single = run(MemoryKind::Oram(SchemeConfig::baseline()));
+        let sharded = run(MemoryKind::OramShards(SchemeConfig::baseline(), 1));
+        assert_eq!(sharded.label, "oram_sh1");
+        assert_eq!(single.cycles, sharded.cycles, "N=1 shard must serialize");
+        assert_eq!(
+            single.backend.physical_accesses,
+            sharded.backend.physical_accesses
+        );
+        assert_eq!(single.demand_fetches, sharded.demand_fetches);
+    }
+
+    /// The serialization ablation: the Section 2.6 scaling wall is (in
+    /// part) the single controller. Partitioning blocks over independent
+    /// controllers lets multi-core ORAM throughput scale again.
+    #[test]
+    fn sharding_relaxes_oram_serialization() {
+        let throughput = |kind: MemoryKind, cores: usize| {
+            let m = run_cores(kind, cores, 4000);
+            m.trace_ops as f64 / m.cycles as f64
+        };
+        let serial_scaling = throughput(MemoryKind::OramShards(SchemeConfig::baseline(), 1), 4)
+            / throughput(MemoryKind::OramShards(SchemeConfig::baseline(), 1), 1);
+        let sharded_scaling = throughput(MemoryKind::OramShards(SchemeConfig::baseline(), 4), 4)
+            / throughput(MemoryKind::OramShards(SchemeConfig::baseline(), 4), 1);
+        assert!(
+            serial_scaling < 1.5,
+            "one controller must reproduce the serialization cap: x{serial_scaling:.2}"
+        );
+        assert!(
+            sharded_scaling > serial_scaling + 0.3,
+            "4 shards should relax serialization: x{sharded_scaling:.2} vs x{serial_scaling:.2}"
+        );
+    }
+
     #[test]
     fn shards_are_disjoint() {
         let cfg = SystemConfig::quick_test(MemoryKind::Dram);

@@ -161,7 +161,7 @@ fn dummy_accesses_are_indistinguishable_from_real_ones() {
     let mut rng = Xoshiro256::seed_from(10);
     for _ in 0..4000 {
         oram.access_block(BlockAddr(rng.next_below(1 << 11)), AccessKind::Read);
-        oram.background_evict();
+        oram.try_background_evict().expect("healthy tree evicts");
     }
     use proram::oram::PhysEvent;
     let (mut real, mut dummy) = (Vec::new(), Vec::new());
