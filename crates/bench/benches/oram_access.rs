@@ -27,7 +27,7 @@ fn bench_baseline_access(c: &mut Harness) {
             let mut rng = Xoshiro256::seed_from(2);
             b.iter(|| {
                 let addr = BlockAddr(rng.next_below(1 << 14));
-                black_box(oram.access_block(addr, proram_mem::AccessKind::Read));
+                black_box(oram.try_access_block(addr, proram_mem::AccessKind::Read)).unwrap();
             });
         });
     }

@@ -35,9 +35,18 @@
 //! 100% of observable injected corruptions, and a zero-rate injector
 //! must be observationally identical to a fault-free run — the command
 //! exits nonzero (panics) if either robustness contract is violated.
+//!
+//! `proram-bench obs [--ms N] [--trace PATH] [--out PATH]` runs three
+//! instrumented workloads with a shared ring sink, dumps the event
+//! trace as JSONL to `--trace` (default `target/obs_trace.jsonl`),
+//! prints the per-stage and per-shard attribution tables, measures the
+//! hot-path overhead of the enabled sinks, and emits the
+//! `BENCH_obs.json` report (stdout unless `--out`). The command panics
+//! if the trace violates the bounded-retention or JSONL-schema
+//! contracts, so it doubles as a CI smoke gate.
 
 use proram_bench::exp::{self, RunCtx};
-use proram_bench::{hotpath, jobs, pipeline};
+use proram_bench::{hotpath, jobs, obs, pipeline};
 use proram_stats::{BarChart, Table};
 use proram_workloads::{suite, tracefile, Scale, Suite};
 use std::path::PathBuf;
@@ -70,6 +79,7 @@ fn usage() -> ExitCode {
     eprintln!("       proram-bench hotpath [--ms N] [--out PATH]");
     eprintln!("       proram-bench pipeline [--scale quick|standard] [--jobs N] [--out PATH]");
     eprintln!("       proram-bench fault [--scale quick|standard] [--jobs N]");
+    eprintln!("       proram-bench obs [--ms N] [--trace PATH] [--out PATH]");
     eprintln!("experiments:");
     for (name, _) in exp::EXPERIMENTS {
         eprintln!("  {name}");
@@ -162,6 +172,56 @@ fn run_pipeline(scale: Scale, njobs: usize, out: Option<&PathBuf>) -> ExitCode {
     }
 }
 
+fn run_obs(ms: u64, trace_path: &PathBuf, out: Option<&PathBuf>) -> ExitCode {
+    eprintln!("[running instrumented workloads and the sink-overhead microbench...]");
+    // measure() panics if the trace breaks the bounded-retention or
+    // JSONL-schema contracts — the CI smoke gate.
+    let report = obs::measure(ms);
+    if let Some(dir) = trace_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(trace_path, obs::to_jsonl(&report.events)) {
+        eprintln!("cannot write {}: {e}", trace_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[wrote {} ({} events, {} dropped by the ring)]",
+        trace_path.display(),
+        report.events.len(),
+        report.dropped
+    );
+    println!("{}", obs::kind_table(&report.events));
+    println!("{}", obs::stage_table(&report.profile));
+    println!("{}", obs::shard_table(&report.shards));
+    eprintln!(
+        "[sink overhead vs detached: noop {:.2}%, ring {:.2}%]",
+        report.noop_overhead() * 100.0,
+        report.ring_overhead() * 100.0
+    );
+    let json = obs::to_json(&report, ms);
+    match out {
+        Some(path) => match std::fs::write(path, &json) {
+            Ok(()) => {
+                eprintln!("[wrote {}]", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{json}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first().cloned() else {
@@ -172,8 +232,9 @@ fn main() -> ExitCode {
     let mut svg_dir: Option<PathBuf> = None;
     let mut trace_bench: Option<String> = None;
     let mut njobs: usize = 1;
-    let mut hotpath_ms: u64 = 3_000;
+    let mut hotpath_ms: Option<u64> = None;
     let mut hotpath_out: Option<PathBuf> = None;
+    let mut obs_trace = PathBuf::from("target/obs_trace.jsonl");
     let mut i = 1;
     if which == "trace" {
         match args.get(i) {
@@ -226,7 +287,7 @@ fn main() -> ExitCode {
             "--ms" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(n) if n >= 1 => hotpath_ms = n,
+                    Some(n) if n >= 1 => hotpath_ms = Some(n),
                     _ => return usage(),
                 }
             }
@@ -234,6 +295,13 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i) {
                     Some(path) => hotpath_out = Some(PathBuf::from(path)),
+                    None => return usage(),
+                }
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => obs_trace = PathBuf::from(path),
                     None => return usage(),
                 }
             }
@@ -262,7 +330,9 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "hotpath" => run_hotpath(hotpath_ms, hotpath_out.as_ref()),
+        "hotpath" => run_hotpath(hotpath_ms.unwrap_or(3_000), hotpath_out.as_ref()),
+        // Observability smoke: measure() asserts the trace contracts.
+        "obs" => run_obs(hotpath_ms.unwrap_or(500), &obs_trace, hotpath_out.as_ref()),
         // Regression smoke: measure() panics if the bank-overlap win or
         // shard scaling regresses.
         "pipeline" => run_pipeline(scale, njobs, hotpath_out.as_ref()),

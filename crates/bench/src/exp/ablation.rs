@@ -134,10 +134,12 @@ pub fn adaptive_interval(scale: Scale) -> Table {
     let blocks = (workload.footprint_bytes().div_ceil(128))
         .next_power_of_two()
         .max(1 << 14);
-    let oram_cfg = proram_oram::OramConfig {
-        num_data_blocks: blocks,
-        ..common::oram_config(SchemeConfig::baseline()).oram
-    };
+    let oram_cfg = common::oram_config(SchemeConfig::baseline())
+        .oram
+        .to_builder()
+        .num_data_blocks(blocks)
+        .build()
+        .expect("valid ablation configuration");
     let backend = SuperBlockOram::new(oram_cfg, SchemeConfig::baseline(), scale.seed);
     let mut adaptive = AdaptivePeriodic::new(backend, AdaptivePeriodicConfig::default());
     let mut now = 0u64;

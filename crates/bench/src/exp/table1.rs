@@ -63,10 +63,10 @@ pub fn run(_ctx: RunCtx) -> Vec<Table> {
         &format!("{} bytes", cfg.oram.timing.block_bytes),
     ]);
     // Full-scale latency check: 8 GB => 2^26 data blocks => 26-level tree.
-    let full = OramConfig {
-        num_data_blocks: 1 << 26,
-        ..OramConfig::default()
-    };
+    let full = OramConfig::builder()
+        .num_data_blocks(1 << 26)
+        .build()
+        .expect("valid full-scale configuration");
     let full_latency = OramTiming::paper_calibrated().path_cycles(full.tree_levels(), full.z);
     t.row(&[
         "Path ORAM latency",
@@ -97,10 +97,10 @@ mod tests {
 
     #[test]
     fn full_scale_latency_close_to_paper() {
-        let full = OramConfig {
-            num_data_blocks: 1 << 26,
-            ..OramConfig::default()
-        };
+        let full = OramConfig::builder()
+            .num_data_blocks(1 << 26)
+            .build()
+            .expect("valid full-scale configuration");
         assert_eq!(full.tree_levels(), 26);
         let latency = OramTiming::paper_calibrated().path_cycles(26, 3);
         assert!((latency as f64 - 2364.0).abs() / 2364.0 < 0.02);

@@ -14,11 +14,11 @@ use proram_stats::{Rng64, Xoshiro256};
 use std::time::Instant;
 
 /// Data blocks in the kernel tree (2^14 => 14 levels at Z=3).
-const NUM_BLOCKS: u64 = 1 << 14;
+pub(crate) const NUM_BLOCKS: u64 = 1 << 14;
 /// Accesses executed before timing starts.
-const WARMUP: u64 = 2_000;
+pub(crate) const WARMUP: u64 = 2_000;
 /// Accesses per timer check.
-const CHUNK: u64 = 256;
+pub(crate) const CHUNK: u64 = 256;
 
 /// A kernel's measurement next to the recorded pre-optimization
 /// baseline.
@@ -45,14 +45,14 @@ impl KernelReport {
     }
 }
 
-fn kernel_config(store_payloads: bool) -> OramConfig {
-    OramConfig {
-        num_data_blocks: NUM_BLOCKS,
-        entries_per_posmap_block: 8,
-        store_payloads,
-        trace_capacity: 0,
-        ..OramConfig::default()
-    }
+pub(crate) fn kernel_config(store_payloads: bool) -> OramConfig {
+    OramConfig::builder()
+        .num_data_blocks(NUM_BLOCKS)
+        .entries_per_posmap_block(8)
+        .store_payloads(store_payloads)
+        .trace_capacity(0)
+        .build()
+        .expect("kernel configuration is valid")
 }
 
 /// Runs one kernel for roughly `ms` milliseconds of timed accesses.
@@ -60,7 +60,8 @@ pub fn run_kernel(store_payloads: bool, ms: u64) -> Throughput {
     let mut oram = PathOram::new(kernel_config(store_payloads), 1);
     let mut rng = Xoshiro256::seed_from(2);
     for _ in 0..WARMUP {
-        oram.access_block(BlockAddr(rng.next_below(NUM_BLOCKS)), AccessKind::Read);
+        oram.try_access_block(BlockAddr(rng.next_below(NUM_BLOCKS)), AccessKind::Read)
+            .unwrap();
     }
     let bytes_before = oram.oram_stats().bytes_moved;
     let reuse_before = oram.allocs_avoided();
@@ -68,7 +69,8 @@ pub fn run_kernel(store_payloads: bool, ms: u64) -> Throughput {
     let mut accesses = 0u64;
     loop {
         for _ in 0..CHUNK {
-            oram.access_block(BlockAddr(rng.next_below(NUM_BLOCKS)), AccessKind::Read);
+            oram.try_access_block(BlockAddr(rng.next_below(NUM_BLOCKS)), AccessKind::Read)
+                .unwrap();
         }
         accesses += CHUNK;
         if start.elapsed().as_millis() >= u128::from(ms) {

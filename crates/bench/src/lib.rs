@@ -24,4 +24,5 @@ pub mod exp;
 pub mod hotpath;
 pub mod jobs;
 pub mod microbench;
+pub mod obs;
 pub mod pipeline;

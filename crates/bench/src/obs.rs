@@ -1,0 +1,538 @@
+//! The observability demo + smoke harness behind `proram-bench obs`.
+//!
+//! Three instrumented runs share one ring-buffered [`Obs`] handle so the
+//! resulting trace exercises every layer the obs layer hooks into:
+//!
+//! 1. a staged-pipeline kernel (`PathOram` demand reads) for the
+//!    per-stage attribution table,
+//! 2. a two-core sharded-ORAM simulation for tile issue/retire events
+//!    and the `Demand` round-trip profile,
+//! 3. a directly driven [`ShardedOram`] for the per-shard attribution
+//!    table.
+//!
+//! The collected events are emitted as one-line-per-event JSONL; the
+//! overhead microbench replays the hot-path kernel with the sink
+//! disabled, with a [`NoopSink`], and with a [`RingSink`]-backed handle
+//! and reports the throughput ratios in `BENCH_obs.json`. [`check`]
+//! panics when the trace violates the bounded-retention or JSONL-schema
+//! contracts, so running the subcommand doubles as a CI smoke gate.
+//!
+//! [`RingSink`]: proram_obs::RingSink
+
+use crate::hotpath;
+use proram_mem::{AccessKind, BlockAddr, MemRequest, MemoryBackend};
+use proram_obs::{NoopSink, Obs, ObsEvent, StageKind, StageProfile};
+use proram_oram::{OramConfig, PathOram};
+use proram_sim::{MemoryKind, MultiCoreSystem, ShardedOram, SystemConfig};
+use proram_stats::{Rng64, Table, Xoshiro256};
+use proram_workloads::synthetic::LocalityMix;
+use std::time::Instant;
+
+use proram_core::SchemeConfig;
+
+/// Ring capacity of each instrumented run's sink.
+pub const RING_CAPACITY: usize = 1 << 14;
+
+/// Upper bound on the emitted trace: one ring per instrumented run.
+pub const MAX_TRACE_EVENTS: usize = 3 * RING_CAPACITY;
+
+/// Accesses driven through the staged-pipeline kernel.
+const STAGE_KERNEL_ACCESSES: u64 = 2_000;
+/// Per-core trace ops in the multi-core run.
+const SIM_OPS: u64 = 4_000;
+/// Requests driven directly through the sharded controller.
+const SHARD_REQUESTS: u64 = 4_000;
+/// Shards in the direct sharded-controller run.
+const SHARDS: usize = 4;
+
+/// One shard's attribution row.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRow {
+    /// Shard index.
+    pub shard: usize,
+    /// Logical demand reads routed to this shard.
+    pub demand_reads: u64,
+    /// Super-block merges performed by this shard.
+    pub merges: u64,
+    /// Super-block breaks performed by this shard.
+    pub breaks: u64,
+    /// Prefetched blocks this shard delivered.
+    pub prefetches: u64,
+    /// All-time stash peak of this shard's ORAM.
+    pub stash_peak: usize,
+}
+
+/// Everything `proram-bench obs` collects.
+#[derive(Debug)]
+pub struct ObsReport {
+    /// The retained event trace (oldest-first, ring-bounded).
+    pub events: Vec<ObsEvent>,
+    /// Events the ring evicted once full.
+    pub dropped: u64,
+    /// Per-stage cycle attribution aggregated over every run.
+    pub profile: StageProfile,
+    /// Per-shard attribution from the direct sharded run.
+    pub shards: Vec<ShardRow>,
+    /// Hot-path throughput with observability detached.
+    pub disabled_accesses_per_sec: f64,
+    /// Hot-path throughput with an enabled no-op sink.
+    pub noop_accesses_per_sec: f64,
+    /// Hot-path throughput with a live ring sink.
+    pub ring_accesses_per_sec: f64,
+}
+
+impl ObsReport {
+    /// Fractional slowdown of the enabled no-op sink vs. detached.
+    pub fn noop_overhead(&self) -> f64 {
+        1.0 - self.noop_accesses_per_sec / self.disabled_accesses_per_sec
+    }
+
+    /// Fractional slowdown of the live ring sink vs. detached.
+    pub fn ring_overhead(&self) -> f64 {
+        1.0 - self.ring_accesses_per_sec / self.disabled_accesses_per_sec
+    }
+}
+
+fn stage_kernel_config() -> OramConfig {
+    OramConfig::builder()
+        .num_data_blocks(1 << 10)
+        .entries_per_posmap_block(8)
+        .store_payloads(false)
+        .trace_capacity(0)
+        .build()
+        .expect("valid stage-kernel configuration")
+}
+
+/// Run 1: demand reads through the staged access pipeline, populating
+/// the `ResolvePosmap..Backoff` rows of the stage profile.
+fn run_stage_kernel(obs: &Obs) {
+    let mut oram = PathOram::new(stage_kernel_config(), 17);
+    oram.attach_obs_handle(obs.clone());
+    let mut rng = Xoshiro256::seed_from(23);
+    for _ in 0..STAGE_KERNEL_ACCESSES {
+        oram.try_access_block(BlockAddr(rng.next_below(1 << 10)), AccessKind::Read)
+            .expect("no faults injected");
+    }
+}
+
+/// Run 2: a two-core system over a two-shard dynamic-scheme ORAM —
+/// tile issue/retire events plus the `Demand` round-trip profile.
+fn run_multicore(obs: &Obs) {
+    let cfg = SystemConfig::quick_test(MemoryKind::OramShards(SchemeConfig::dynamic(2), 2));
+    let mut sys = MultiCoreSystem::build(&cfg, 2, |id| {
+        Box::new(LocalityMix::with_stride(
+            1 << 18,
+            0.8,
+            SIM_OPS,
+            31 + id as u64,
+            64,
+        ))
+    });
+    sys.attach_obs(obs.clone());
+    sys.run();
+}
+
+/// A FIFO set standing in for the LLC: the super-block scheme only
+/// merges when a block's pair neighbor is cache-resident and only
+/// counts prefetch hits that the cache reports, so driving the sharded
+/// controller bare (with [`NoProbe`]) would leave both machines idle.
+#[derive(Default)]
+struct FifoLlc {
+    resident: std::cell::RefCell<std::collections::VecDeque<u64>>,
+}
+
+impl FifoLlc {
+    const CAPACITY: usize = 512;
+
+    /// Records a delivered block, evicting FIFO order past capacity;
+    /// returns any evicted block.
+    fn insert(&self, block: BlockAddr) -> Option<BlockAddr> {
+        let mut r = self.resident.borrow_mut();
+        if r.contains(&block.0) {
+            return None;
+        }
+        r.push_back(block.0);
+        if r.len() > Self::CAPACITY {
+            return r.pop_front().map(BlockAddr);
+        }
+        None
+    }
+}
+
+impl proram_mem::CacheProbe for FifoLlc {
+    fn contains(&self, block: BlockAddr) -> bool {
+        self.resident.borrow().contains(&block.0)
+    }
+}
+
+/// Run 3: drive a sharded controller directly and read back per-shard
+/// attribution through [`ShardedOram::shard`].
+fn run_sharded(obs: &Obs) -> Vec<ShardRow> {
+    let cfg = SystemConfig::quick_test(MemoryKind::OramShards(SchemeConfig::dynamic(2), SHARDS));
+    let mut sharded = ShardedOram::from_system(&cfg, &SchemeConfig::dynamic(2), SHARDS, 1 << 20);
+    sharded.attach_obs(obs.clone());
+    let llc = FifoLlc::default();
+    let mut rng = Xoshiro256::seed_from(41);
+    let mut now = 0;
+    for i in 0..SHARD_REQUESTS {
+        // Alternate a sequential walk (drives merging) with random
+        // probes (drives breaking) so the trace shows both decisions.
+        // Phases of sequential pairs (drives merging) alternating with
+        // random probes (evicts prefetches unused, driving breaking).
+        let sequential = (i / 500) % 2 == 0;
+        let addr = BlockAddr(if sequential {
+            i / 2
+        } else {
+            rng.next_below(1 << 12)
+        });
+        if proram_mem::CacheProbe::contains(&llc, addr) {
+            // LLC hit: the scheme learns about it (hit bits drive the
+            // break counters) and memory is not accessed.
+            sharded.note_llc_hit(addr);
+            continue;
+        }
+        let outcome = sharded.access(now, MemRequest::read(addr), &llc);
+        now = outcome.complete_at;
+        for fill in outcome.fills {
+            if let Some(evicted) = llc.insert(fill.block) {
+                sharded.note_llc_eviction(evicted);
+            }
+        }
+    }
+    (0..sharded.num_shards())
+        .map(|i| {
+            let shard = sharded.shard(i);
+            let stats = shard.scheme_stats();
+            ShardRow {
+                shard: i,
+                demand_reads: stats.demand_reads,
+                merges: stats.merges,
+                breaks: stats.breaks,
+                prefetches: stats.prefetches_issued,
+                stash_peak: shard.oram().stash().peak(),
+            }
+        })
+        .collect()
+}
+
+/// One mode's warmed hot-path kernel for the overhead microbench.
+struct OverheadKernel {
+    oram: PathOram,
+    rng: Xoshiro256,
+    slices: Vec<f64>,
+}
+
+impl OverheadKernel {
+    fn warmed(obs: Obs) -> Self {
+        let mut oram = PathOram::new(hotpath::kernel_config(false), 1);
+        oram.attach_obs_handle(obs);
+        let mut rng = Xoshiro256::seed_from(2);
+        for _ in 0..hotpath::WARMUP {
+            oram.try_access_block(
+                BlockAddr(rng.next_below(hotpath::NUM_BLOCKS)),
+                AccessKind::Read,
+            )
+            .expect("no faults injected");
+        }
+        OverheadKernel {
+            oram,
+            rng,
+            slices: Vec::new(),
+        }
+    }
+
+    /// Accesses per timed batch.
+    const BATCH: u64 = 4 * hotpath::CHUNK;
+
+    /// Runs one fixed-size batch and records its duration.
+    fn run_batch(&mut self) {
+        let start = Instant::now();
+        for _ in 0..Self::BATCH {
+            self.oram
+                .try_access_block(
+                    BlockAddr(self.rng.next_below(hotpath::NUM_BLOCKS)),
+                    AccessKind::Read,
+                )
+                .expect("no faults injected");
+        }
+        self.slices.push(start.elapsed().as_secs_f64());
+    }
+
+    /// Best-batch throughput. Scheduler preemption, frequency dips and
+    /// other machine noise only ever add time, so the fastest batch is
+    /// the least-contaminated estimate of the kernel's true speed.
+    fn accesses_per_sec(&self) -> f64 {
+        let best = self.slices.iter().copied().fold(f64::INFINITY, f64::min);
+        Self::BATCH as f64 / best
+    }
+}
+
+/// Measures the detached / no-op / ring kernels in interleaved
+/// fixed-size batches for roughly `ms` per mode, rotating the mode
+/// order every round and discarding a priming round, then reports each
+/// mode's best-batch throughput (see [`OverheadKernel::accesses_per_sec`]).
+fn measure_overhead(ms: u64) -> (f64, f64, f64) {
+    let mut kernels = [
+        OverheadKernel::warmed(Obs::disabled()),
+        OverheadKernel::warmed(Obs::with_sink(Box::new(NoopSink))),
+        OverheadKernel::warmed(Obs::ring(RING_CAPACITY)),
+    ];
+    let budget = std::time::Duration::from_millis(ms * 3);
+    let start = Instant::now();
+    let mut round = 0usize;
+    while round == 0 || (start.elapsed() < budget && round < 10_000) {
+        for k in 0..kernels.len() {
+            kernels[(round + k) % kernels.len()].run_batch();
+        }
+        if round == 0 {
+            // Priming round: every mode ran once; start measuring fresh.
+            for kernel in &mut kernels {
+                kernel.slices.clear();
+            }
+        }
+        round += 1;
+    }
+    let [disabled, noop, ring] = kernels;
+    (
+        disabled.accesses_per_sec(),
+        noop.accesses_per_sec(),
+        ring.accesses_per_sec(),
+    )
+}
+
+/// Runs the three instrumented workloads, each with its own ring so an
+/// event-heavy run cannot starve the others out of the trace, then the
+/// overhead microbench. Events are concatenated in run order; the stage
+/// profiles are merged.
+fn collect() -> (Vec<ObsEvent>, u64, StageProfile, Vec<ShardRow>) {
+    let rings = [
+        Obs::ring(RING_CAPACITY),
+        Obs::ring(RING_CAPACITY),
+        Obs::ring(RING_CAPACITY),
+    ];
+    run_stage_kernel(&rings[0]);
+    run_multicore(&rings[1]);
+    let shards = run_sharded(&rings[2]);
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    let mut profile = StageProfile::default();
+    for obs in &rings {
+        events.extend(obs.events());
+        dropped += obs.dropped();
+        profile.merge(&obs.profile_snapshot());
+    }
+    (events, dropped, profile, shards)
+}
+
+/// Runs all three instrumented workloads plus the overhead microbench.
+pub fn measure(overhead_ms: u64) -> ObsReport {
+    let (events, dropped, profile, shards) = collect();
+    let (disabled, noop, ring) = measure_overhead(overhead_ms);
+    let report = ObsReport {
+        events,
+        dropped,
+        profile,
+        shards,
+        disabled_accesses_per_sec: disabled,
+        noop_accesses_per_sec: noop,
+        ring_accesses_per_sec: ring,
+    };
+    check(&report);
+    report
+}
+
+/// The smoke-gate contracts: bounded retention and JSONL shape.
+///
+/// # Panics
+///
+/// Panics if the ring retained more events than its capacity, if the
+/// trace is empty, if any event renders to something other than a
+/// single-line flat JSON object, or if an event kind falls outside the
+/// published taxonomy.
+pub fn check(report: &ObsReport) {
+    assert!(
+        report.events.len() <= MAX_TRACE_EVENTS,
+        "trace retained {} events, bound {MAX_TRACE_EVENTS}",
+        report.events.len()
+    );
+    assert!(
+        !report.events.is_empty(),
+        "instrumented runs emitted no events"
+    );
+    for e in &report.events {
+        assert!(
+            ObsEvent::KINDS.contains(&e.kind()),
+            "unknown event kind {:?}",
+            e.kind()
+        );
+        let line = e.to_json();
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}') && !line.contains('\n'),
+            "event does not render as one-line JSON: {line}"
+        );
+        assert_eq!(
+            line.matches('{').count(),
+            1,
+            "event JSON must be flat: {line}"
+        );
+    }
+    // Both the machine stages and the sim's demand round trip were hit.
+    assert!(report.profile.entries(StageKind::ResolvePosmap) > 0);
+    assert!(report.profile.entries(StageKind::Demand) > 0);
+    assert!(report.shards.iter().any(|s| s.demand_reads > 0));
+}
+
+/// Renders the retained trace as JSON Lines (one event per line).
+pub fn to_jsonl(events: &[ObsEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// The per-stage cycle-attribution table.
+pub fn stage_table(profile: &StageProfile) -> Table {
+    let mut t = Table::new(&["stage", "entries", "cycles", "avg cycles"])
+        .with_title("per-stage attribution (pipeline kernel + demand round trips)");
+    for (stage, cycles, entries) in profile.iter() {
+        let avg = if entries == 0 {
+            0.0
+        } else {
+            cycles as f64 / entries as f64
+        };
+        t.row(&[
+            stage.name().to_string(),
+            entries.to_string(),
+            cycles.to_string(),
+            format!("{avg:.1}"),
+        ]);
+    }
+    t
+}
+
+/// The per-shard attribution table from the direct sharded run.
+pub fn shard_table(rows: &[ShardRow]) -> Table {
+    let mut t = Table::new(&[
+        "shard",
+        "demand reads",
+        "merges",
+        "breaks",
+        "prefetches",
+        "stash peak",
+    ])
+    .with_title("per-shard attribution (4-shard dynamic scheme)");
+    for r in rows {
+        t.row(&[
+            r.shard.to_string(),
+            r.demand_reads.to_string(),
+            r.merges.to_string(),
+            r.breaks.to_string(),
+            r.prefetches.to_string(),
+            r.stash_peak.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The event-count-by-kind table.
+pub fn kind_table(events: &[ObsEvent]) -> Table {
+    let mut t = Table::new(&["event kind", "count"]).with_title("retained trace by event kind");
+    for kind in ObsEvent::KINDS {
+        let n = events.iter().filter(|e| e.kind() == kind).count();
+        if n > 0 {
+            t.row(&[kind.to_string(), n.to_string()]);
+        }
+    }
+    t
+}
+
+/// Renders the report as the `BENCH_obs.json` document.
+pub fn to_json(report: &ObsReport, overhead_ms: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"observability layer\",\n");
+    out.push_str("  \"harness\": \"proram-bench obs\",\n");
+    out.push_str(&format!("  \"ring_capacity\": {RING_CAPACITY},\n"));
+    out.push_str(&format!(
+        "  \"trace\": {{\"events_retained\": {}, \"events_dropped\": {}}},\n",
+        report.events.len(),
+        report.dropped
+    ));
+    out.push_str("  \"stages\": [\n");
+    let stages: Vec<_> = report.profile.iter().collect();
+    for (i, (stage, cycles, entries)) in stages.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"entries\": {entries}, \"cycles\": {cycles}}}{}\n",
+            stage.name(),
+            if i + 1 == stages.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"overhead\": {{\"measure_ms\": {overhead_ms}, \"disabled_accesses_per_sec\": {:.1}, \"noop_accesses_per_sec\": {:.1}, \"ring_accesses_per_sec\": {:.1}, \"noop_overhead\": {:.4}, \"ring_overhead\": {:.4}}}\n",
+        report.disabled_accesses_per_sec,
+        report.noop_accesses_per_sec,
+        report.ring_accesses_per_sec,
+        report.noop_overhead(),
+        report.ring_overhead()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collected() -> ObsReport {
+        let (events, dropped, profile, shards) = collect();
+        ObsReport {
+            events,
+            dropped,
+            profile,
+            shards,
+            disabled_accesses_per_sec: 100.0,
+            noop_accesses_per_sec: 99.0,
+            ring_accesses_per_sec: 97.0,
+        }
+    }
+
+    #[test]
+    fn collected_trace_passes_the_smoke_contracts() {
+        let report = collected();
+        check(&report);
+        // The three runs cover tile, scheme and controller layers.
+        let kinds: std::collections::BTreeSet<_> = report.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains("access_issued"));
+        assert!(kinds.contains("tile_issue"));
+        assert!(kinds.contains("prefetch_window"));
+        assert!(kinds.contains("stash_watermark"));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let report = collected();
+        let jsonl = to_jsonl(&report.events);
+        assert_eq!(jsonl.lines().count(), report.events.len());
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"type\":\""));
+            assert!(line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn tables_and_json_render() {
+        let report = collected();
+        let json = to_json(&report, 100);
+        assert!(json.contains("\"ring_overhead\": 0.0300"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(stage_table(&report.profile)
+            .to_string()
+            .contains("resolve_posmap"));
+        assert!(shard_table(&report.shards)
+            .to_string()
+            .contains("demand reads"));
+        assert!(!kind_table(&report.events).is_empty());
+    }
+}

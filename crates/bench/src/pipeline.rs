@@ -121,23 +121,21 @@ fn sweep_configs() -> Vec<(String, Option<BankConfig>)> {
 }
 
 fn fetch_sweep() -> (u64, Vec<FetchPoint>) {
-    let base_cfg = OramConfig {
-        num_data_blocks: 1 << 12,
-        store_payloads: false,
-        trace_capacity: 0,
-        ..OramConfig::default()
-    };
+    let base_cfg = OramConfig::builder()
+        .num_data_blocks(1 << 12)
+        .store_payloads(false)
+        .trace_capacity(0)
+        .build()
+        .expect("valid sweep configuration");
     let lump_sum = PathOram::new(base_cfg.clone(), 1).path_cycles();
     let points = sweep_configs()
         .into_iter()
         .map(|(label, pipeline)| {
-            let oram = PathOram::new(
-                OramConfig {
-                    pipeline,
-                    ..base_cfg.clone()
-                },
-                1,
-            );
+            let mut builder = base_cfg.clone().to_builder();
+            if let Some(bank) = pipeline {
+                builder = builder.pipeline(bank);
+            }
+            let oram = PathOram::new(builder.build().expect("valid sweep configuration"), 1);
             FetchPoint {
                 label,
                 banks: pipeline.map_or(0, |b| b.banks),

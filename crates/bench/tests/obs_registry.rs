@@ -1,0 +1,70 @@
+//! Registry-vs-RunMetrics invariant on a real experiment workload.
+//!
+//! `RunMetrics::snapshot_into` publishes every run and per-core counter
+//! into a `MetricsRegistry`; `registry_consistent` re-aggregates the
+//! per-core entries and compares them against the run totals. These
+//! tests pin that invariant on the Table 1 configuration (paper-default
+//! ORAM system) driving a registered benchmark, both single- and
+//! multi-core, so the registry stays a faithful substitute for the
+//! `per_core` breakdown on the workloads the experiments actually run.
+
+use proram_bench::common;
+use proram_core::SchemeConfig;
+use proram_obs::MetricsRegistry;
+use proram_sim::runner;
+use proram_workloads::synthetic::LocalityMix;
+use proram_workloads::{suite, Scale, Suite};
+
+fn table1_scale() -> Scale {
+    Scale {
+        ops: 4_000,
+        warmup_ops: 500,
+        footprint_scale: 0.03,
+        seed: 3,
+    }
+}
+
+#[test]
+fn registry_reaggregates_table1_run() {
+    let spec = suite::specs(Suite::Splash2)[0];
+    let cfg = common::oram_config(SchemeConfig::dynamic(2));
+    let metrics = runner::run_spec(spec, table1_scale(), &cfg);
+    assert!(metrics.trace_ops > 0);
+
+    let mut registry = MetricsRegistry::default();
+    metrics.snapshot_into(&mut registry);
+    assert!(metrics.registry_consistent(&registry));
+
+    // The published totals equal the struct's fields verbatim.
+    assert_eq!(registry.counter("run.trace_ops"), metrics.trace_ops);
+    assert_eq!(registry.counter("run.cycles"), metrics.cycles);
+    assert_eq!(
+        registry.counter("run.demand_fetches"),
+        metrics.demand_fetches
+    );
+}
+
+#[test]
+fn registry_reaggregates_multicore_run() {
+    let cfg = common::oram_config(SchemeConfig::dynamic(2));
+    let metrics = runner::run_multicore(&cfg, 2, 0, |id| {
+        Box::new(LocalityMix::with_stride(
+            1 << 18,
+            0.8,
+            2_000,
+            11 + id as u64,
+            64,
+        ))
+    });
+    assert_eq!(metrics.per_core.len(), 2);
+
+    let mut registry = MetricsRegistry::default();
+    metrics.snapshot_into(&mut registry);
+    assert!(metrics.registry_consistent(&registry));
+
+    // Tampering with one per-core counter must break the cross-check.
+    let mut tampered = MetricsRegistry::default();
+    metrics.snapshot_into(&mut tampered);
+    tampered.counter_add("run.core0.trace_ops", 1);
+    assert!(!metrics.registry_consistent(&tampered));
+}

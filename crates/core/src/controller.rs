@@ -29,6 +29,7 @@ use proram_mem::{
     AccessKind, AccessOutcome, BackendStats, BlockAddr, CacheProbe, Cycle, FaultStats, Fill,
     MemRequest, MemoryBackend,
 };
+use proram_obs::{rate_to_ppm, Obs, ObsEvent};
 use proram_oram::{
     AccessReport, OramBackend, OramConfig, OramError, PathKind, PathOram, StageCycles,
 };
@@ -94,6 +95,8 @@ pub struct SuperBlockOram<O: OramBackend = PathOram> {
     busy_until: Cycle,
     last_complete: Cycle,
     label: String,
+    /// Observability handle shared with the backend (disabled by default).
+    obs: Obs,
 }
 
 impl SuperBlockOram<PathOram> {
@@ -158,7 +161,16 @@ impl<O: OramBackend> SuperBlockOram<O> {
             busy_until: 0,
             last_complete: 0,
             label,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle to the scheme layer *and* the
+    /// underlying ORAM backend, so one sink interleaves super-block
+    /// decisions with the backend's per-stage events.
+    pub fn attach_obs_handle(&mut self, obs: Obs) {
+        self.oram.attach_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The scheme configuration.
@@ -274,6 +286,12 @@ impl<O: OramBackend> SuperBlockOram<O> {
             // LLC) and B2 (written back): remap the halves to independent
             // fresh leaves.
             self.stats.breaks += 1;
+            self.obs.emit(|| ObsEvent::SuperBlockBreak {
+                base: sb.base().0,
+                size: sb.size() as u32,
+                counter: break_counter.max(0) as u32,
+                threshold: break_threshold.unwrap_or(0).max(0) as u32,
+            });
             let b1 = sb.half_containing(addr);
             let b2 = if b1.base() == sb.halves().0.base() {
                 sb.halves().1
@@ -316,6 +334,16 @@ impl<O: OramBackend> SuperBlockOram<O> {
             fills.extend(self.deliver(addr, sb, &found, llc));
             // Step 2 (Algorithm 1): merge bookkeeping.
             self.try_merge(sb, llc, rates);
+        }
+
+        if self.obs.is_enabled() {
+            let issued = fills.iter().filter(|f| f.prefetched).count() as u32;
+            self.obs.emit(|| ObsEvent::PrefetchWindow {
+                base: sb.base().0,
+                issued,
+                hit_rate_ppm: rate_to_ppm(rates.prefetch_hit_rate),
+                eviction_rate_ppm: rate_to_ppm(rates.eviction_rate),
+            });
         }
 
         self.oram.write_path_from_stash(old_leaf);
@@ -402,6 +430,12 @@ impl<O: OramBackend> SuperBlockOram<O> {
         // well defined.
         if neighbor_resident && counter >= threshold && self.colocated(neighbor) {
             self.stats.merges += 1;
+            self.obs.emit(|| ObsEvent::SuperBlockMerge {
+                base: pair_base.0,
+                size: (2 * sb.size()) as u32,
+                counter: counter.max(0) as u32,
+                threshold: threshold.max(0) as u32,
+            });
             let target = self.oram.entry(neighbor.base()).leaf;
             for m in sb.members() {
                 self.oram.entry_mut(m).leaf = target;
@@ -559,6 +593,10 @@ impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.attach_obs_handle(obs);
     }
 }
 
@@ -953,6 +991,53 @@ mod tests {
         let o = oram.access(0, MemRequest::read(BlockAddr(8)), &NoProbe);
         assert_eq!(o.fills.len(), 2, "static pair must deliver both members");
         oram.oram().check_invariants();
+    }
+
+    #[test]
+    fn obs_sink_sees_merge_break_and_window_decisions() {
+        let mut oram = small(SchemeConfig::dynamic(2));
+        oram.attach_obs_handle(Obs::ring(1 << 16));
+        let mut llc = SetProbe::default();
+        for round in 0..20 {
+            for a in [20u64, 21] {
+                let o = oram.access(round, MemRequest::read(BlockAddr(a)), &llc);
+                llc.insert_fills(&o.fills);
+            }
+        }
+        for i in 0..40 {
+            llc.0.clear();
+            let o = oram.access(1000 + i, MemRequest::read(BlockAddr(20)), &llc);
+            for f in &o.fills {
+                if f.prefetched {
+                    oram.note_llc_eviction(f.block);
+                }
+            }
+            if oram.scheme_stats().breaks > 0 {
+                break;
+            }
+        }
+        let events = oram.obs.events();
+        let merges = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::SuperBlockMerge { .. }))
+            .count() as u64;
+        let breaks = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::SuperBlockBreak { .. }))
+            .count() as u64;
+        let windows = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::PrefetchWindow { .. }))
+            .count() as u64;
+        assert_eq!(merges, oram.scheme_stats().merges);
+        assert_eq!(breaks, oram.scheme_stats().breaks);
+        assert_eq!(windows, oram.scheme_stats().demand_reads);
+        // The shared sink interleaves the backend's events too (the scheme
+        // drives stage primitives, so the backend contributes stash
+        // watermarks rather than whole-access lifecycles).
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::StashWatermark { .. })));
     }
 
     #[test]

@@ -184,6 +184,10 @@ impl<B: MemoryBackend> MemoryBackend for AdaptivePeriodic<B> {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn attach_obs(&mut self, obs: proram_obs::Obs) {
+        self.inner.attach_obs(obs);
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! memory, implemented by the DRAM model and by the ORAM controllers.
 
 use crate::request::{BlockAddr, Cycle, MemRequest};
+use proram_obs::{MetricsRegistry, Obs};
 
 /// Read-only view of the last-level cache's tag array.
 ///
@@ -143,6 +144,32 @@ impl FaultStats {
             let caught = obs - self.undetected;
             caught as f64 / obs as f64
         })
+    }
+
+    /// Adds every counter to `registry` under `prefix` (e.g.
+    /// `"backend.faults."`), so fault telemetry from any number of
+    /// backends lands in one namespace.
+    pub fn snapshot_into(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        let pairs = [
+            ("injected_bit_flips", self.injected_bit_flips),
+            ("injected_torn_writes", self.injected_torn_writes),
+            ("injected_rollbacks", self.injected_rollbacks),
+            ("injected_transients", self.injected_transients),
+            ("detected_integrity", self.detected_integrity),
+            ("detected_rollback", self.detected_rollback),
+            ("transient_retries", self.transient_retries),
+            ("backoff_cycles", self.backoff_cycles),
+            ("recovered", self.recovered),
+            ("unrecovered", self.unrecovered),
+            ("emergency_evictions", self.emergency_evictions),
+            ("scrub_runs", self.scrub_runs),
+            ("scrub_buckets", self.scrub_buckets),
+            ("masked_by_overwrite", self.masked_by_overwrite),
+            ("undetected", self.undetected),
+        ];
+        for (name, value) in pairs {
+            registry.counter_add(&format!("{prefix}{name}"), value);
+        }
     }
 }
 
@@ -317,6 +344,30 @@ impl BackendStats {
             self.dummy_accesses as f64 / self.physical_accesses as f64
         }
     }
+
+    /// Adds every counter to `registry` under `prefix` (e.g.
+    /// `"backend."`); fault counters land under `prefix + "faults."`.
+    pub fn snapshot_into(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        let pairs = [
+            ("demand_accesses", self.demand_accesses),
+            ("prefetch_requests", self.prefetch_requests),
+            ("physical_accesses", self.physical_accesses),
+            ("dummy_accesses", self.dummy_accesses),
+            ("posmap_accesses", self.posmap_accesses),
+            ("bytes_moved", self.bytes_moved),
+            ("prefetch_hits", self.prefetch_hits),
+            ("prefetch_misses", self.prefetch_misses),
+            ("busy_cycles", self.busy_cycles),
+            ("data_path_cycles", self.data_path_cycles),
+            ("posmap_path_cycles", self.posmap_path_cycles),
+            ("dummy_path_cycles", self.dummy_path_cycles),
+        ];
+        for (name, value) in pairs {
+            registry.counter_add(&format!("{prefix}{name}"), value);
+        }
+        self.faults
+            .snapshot_into(registry, &format!("{prefix}faults."));
+    }
 }
 
 /// A main-memory technology: DRAM, Path ORAM, or an ORAM with super
@@ -364,6 +415,12 @@ pub trait MemoryBackend {
 
     /// Short human-readable name used in experiment output.
     fn label(&self) -> &str;
+
+    /// Attaches an observability handle; the backend (and everything it
+    /// wraps) emits its events and per-stage profile there from now on.
+    /// The default implementation discards the handle, so backends with
+    /// nothing to report need not care.
+    fn attach_obs(&mut self, _obs: Obs) {}
 }
 
 #[cfg(test)]
@@ -451,5 +508,39 @@ mod tests {
         s.physical_accesses = 10;
         s.dummy_accesses = 4;
         assert!((s.dummy_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_covers_every_counter() {
+        let s = BackendStats {
+            demand_accesses: 1,
+            prefetch_requests: 2,
+            physical_accesses: 3,
+            dummy_accesses: 4,
+            posmap_accesses: 5,
+            bytes_moved: 6,
+            prefetch_hits: 7,
+            prefetch_misses: 8,
+            busy_cycles: 9,
+            data_path_cycles: 10,
+            posmap_path_cycles: 11,
+            dummy_path_cycles: 12,
+            faults: FaultStats {
+                injected_bit_flips: 13,
+                undetected: 14,
+                ..Default::default()
+            },
+        };
+        let mut reg = MetricsRegistry::new();
+        s.snapshot_into(&mut reg, "backend.");
+        assert_eq!(reg.counter("backend.demand_accesses"), 1);
+        assert_eq!(reg.counter("backend.dummy_path_cycles"), 12);
+        assert_eq!(reg.counter("backend.faults.injected_bit_flips"), 13);
+        assert_eq!(reg.counter("backend.faults.undetected"), 14);
+        // 12 backend counters + 15 fault counters, all registered.
+        assert_eq!(reg.counters_with_prefix("backend.").count(), 27);
+        // Snapshotting a second copy accumulates (shard aggregation).
+        s.snapshot_into(&mut reg, "backend.");
+        assert_eq!(reg.counter("backend.demand_accesses"), 2);
     }
 }

@@ -141,6 +141,10 @@ impl<B: MemoryBackend> MemoryBackend for Periodic<B> {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn attach_obs(&mut self, obs: proram_obs::Obs) {
+        self.inner.attach_obs(obs);
+    }
 }
 
 #[cfg(test)]

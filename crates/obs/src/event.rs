@@ -1,0 +1,521 @@
+//! The typed event taxonomy.
+//!
+//! Every observable state transition of the stack is one [`ObsEvent`]
+//! variant: logical accesses entering and retiring from the staged
+//! pipeline, bank-scheduler dispatches, stash high-water marks,
+//! super-block merge/break decisions, prefetch-window publications,
+//! fault/recovery transitions and tile-engine issue/retire. Events are
+//! `Copy` and carry only integers, so recording one into a sink is a
+//! bounds check and a memcpy — cheap enough for per-access use.
+
+use std::fmt;
+
+/// A pipeline stage (or stage-adjacent cost center) an event or profiled
+/// span is attributed to.
+///
+/// The first six variants mirror the `AccessMachine` stages of the ORAM
+/// controller; `Backoff` is the transient-retry cost charged by fault
+/// injection, and `Demand` is the tile engine's end-to-end demand-fetch
+/// span (issue to retire), which subsumes the controller stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StageKind {
+    /// Position-map walk and remap.
+    ResolvePosmap,
+    /// The data path's bucket-read batch.
+    PathFetch,
+    /// Decrypt and authenticate the fetched buckets.
+    DecryptVerify,
+    /// Move path blocks into the stash, claim the target.
+    StashUpdate,
+    /// Write the path back from the stash.
+    WriteBack,
+    /// Background eviction (dummy) paths after the access.
+    Evict,
+    /// Transient-retry backoff from fault injection.
+    Backoff,
+    /// Tile-engine demand fetch, issue to retire.
+    Demand,
+}
+
+impl StageKind {
+    /// Every stage, in pipeline order; indexes agree with
+    /// [`StageKind::index`].
+    pub const ALL: [StageKind; 8] = [
+        StageKind::ResolvePosmap,
+        StageKind::PathFetch,
+        StageKind::DecryptVerify,
+        StageKind::StashUpdate,
+        StageKind::WriteBack,
+        StageKind::Evict,
+        StageKind::Backoff,
+        StageKind::Demand,
+    ];
+
+    /// Number of stages ([`StageKind::ALL`]'s length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this stage into [`StageKind::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in JSONL traces and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::ResolvePosmap => "resolve_posmap",
+            StageKind::PathFetch => "path_fetch",
+            StageKind::DecryptVerify => "decrypt_verify",
+            StageKind::StashUpdate => "stash_update",
+            StageKind::WriteBack => "write_back",
+            StageKind::Evict => "evict",
+            StageKind::Backoff => "backoff",
+            StageKind::Demand => "demand",
+        }
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The class of a detected (or recovered) fault, mirroring the ORAM
+/// error taxonomy without depending on the ORAM crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// MAC mismatch: the stored image was modified.
+    Integrity,
+    /// Authentic but stale bucket replayed (version counter regressed).
+    Rollback,
+    /// Transient read failure that exhausted its retry budget.
+    Transient,
+    /// Stash occupancy crossed the soft limit; emergency eviction ran.
+    StashPressure,
+    /// Path ORAM placement invariant broken (block on neither path nor
+    /// stash).
+    BlockMissing,
+}
+
+impl FaultKind {
+    /// Stable snake_case name used in JSONL traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Integrity => "integrity",
+            FaultKind::Rollback => "rollback",
+            FaultKind::Transient => "transient",
+            FaultKind::StashPressure => "stash_pressure",
+            FaultKind::BlockMissing => "block_missing",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observable state transition of the PrORAM stack.
+///
+/// All payloads are plain integers (rates are scaled to parts-per-million)
+/// so events stay `Copy + Eq` and serialize to one JSONL line with no
+/// string escaping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A logical access entered the pipeline (`ResolvePosmap`).
+    AccessIssued {
+        /// Logical block address.
+        addr: u64,
+        /// `true` for writes (identical on the wire; kept for attribution).
+        write: bool,
+    },
+    /// An in-flight access entered a stage.
+    StageEnter {
+        /// Logical block address of the access.
+        addr: u64,
+        /// The stage being entered.
+        stage: StageKind,
+    },
+    /// A logical access retired with its per-stage cycle attribution.
+    AccessRetired {
+        /// Logical block address.
+        addr: u64,
+        /// Total latency in cycles (sum of the stage fields).
+        latency: u64,
+        /// Cycles fetching position-map paths.
+        posmap: u64,
+        /// Cycles fetching the data path.
+        fetch: u64,
+        /// Cycles on background-eviction paths.
+        evict: u64,
+        /// Transient-retry backoff cycles.
+        backoff: u64,
+    },
+    /// The bank scheduler dispatched one bucket read to a bank.
+    BankDispatch {
+        /// Bank the read was steered to.
+        bank: u32,
+        /// Cycle the bank starts the read.
+        start: u64,
+        /// Cycle the read's bus transfer completes.
+        complete: u64,
+    },
+    /// The bank scheduler drained a whole path batch.
+    BankDrain {
+        /// Bucket reads in the batch.
+        buckets: u32,
+        /// Bytes the batch moved over the bus.
+        bytes: u64,
+        /// Cycle the last transfer completed.
+        complete: u64,
+    },
+    /// The stash reached a new occupancy high-water mark.
+    StashWatermark {
+        /// Occupancy that set the mark.
+        occupancy: u64,
+        /// The new peak (equals `occupancy` at the moment it is set).
+        peak: u64,
+    },
+    /// The dynamic scheme merged two super blocks (paper Algorithm 1).
+    SuperBlockMerge {
+        /// Base address of the merged (larger) super block.
+        base: u64,
+        /// Size of the merged super block in blocks.
+        size: u32,
+        /// Merge counter value that crossed the threshold.
+        counter: u32,
+        /// Threshold it crossed.
+        threshold: u32,
+    },
+    /// The dynamic scheme broke a super block (paper Algorithm 2).
+    SuperBlockBreak {
+        /// Base address of the super block that was halved.
+        base: u64,
+        /// Its size before the break, in blocks.
+        size: u32,
+        /// Break counter value that fell below the threshold.
+        counter: u32,
+        /// Threshold it fell below.
+        threshold: u32,
+    },
+    /// A demand read delivered a super block; its siblings were issued as
+    /// prefetches under the current adaptive window rates.
+    PrefetchWindow {
+        /// Base address of the super block served.
+        base: u64,
+        /// Sibling blocks issued as prefetches.
+        issued: u32,
+        /// Window's prefetch hit rate in parts-per-million.
+        hit_rate_ppm: u32,
+        /// Window's background-eviction rate in parts-per-million.
+        eviction_rate_ppm: u32,
+    },
+    /// A storage fault (or stash-pressure condition) was detected.
+    FaultDetected {
+        /// What was detected.
+        kind: FaultKind,
+        /// Bucket concerned (0 for non-bucket-local faults).
+        bucket: u64,
+    },
+    /// A previously detected fault was repaired or relieved.
+    FaultRecovered {
+        /// What was recovered.
+        kind: FaultKind,
+        /// Bucket concerned (0 for non-bucket-local faults).
+        bucket: u64,
+    },
+    /// The tile engine issued a demand fetch to the memory backend.
+    TileIssue {
+        /// Core that missed.
+        core: u32,
+        /// Block address of the miss.
+        addr: u64,
+        /// Cycle the request was issued.
+        at: u64,
+    },
+    /// A demand fetch completed and its fills were installed.
+    TileRetire {
+        /// Core that waited on it.
+        core: u32,
+        /// Block address of the miss.
+        addr: u64,
+        /// Cycle the request completed.
+        at: u64,
+    },
+}
+
+impl ObsEvent {
+    /// Stable snake_case discriminant name (the JSONL `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::AccessIssued { .. } => "access_issued",
+            ObsEvent::StageEnter { .. } => "stage_enter",
+            ObsEvent::AccessRetired { .. } => "access_retired",
+            ObsEvent::BankDispatch { .. } => "bank_dispatch",
+            ObsEvent::BankDrain { .. } => "bank_drain",
+            ObsEvent::StashWatermark { .. } => "stash_watermark",
+            ObsEvent::SuperBlockMerge { .. } => "super_block_merge",
+            ObsEvent::SuperBlockBreak { .. } => "super_block_break",
+            ObsEvent::PrefetchWindow { .. } => "prefetch_window",
+            ObsEvent::FaultDetected { .. } => "fault_detected",
+            ObsEvent::FaultRecovered { .. } => "fault_recovered",
+            ObsEvent::TileIssue { .. } => "tile_issue",
+            ObsEvent::TileRetire { .. } => "tile_retire",
+        }
+    }
+
+    /// Every discriminant name, for schema checks of JSONL traces.
+    pub const KINDS: [&'static str; 13] = [
+        "access_issued",
+        "stage_enter",
+        "access_retired",
+        "bank_dispatch",
+        "bank_drain",
+        "stash_watermark",
+        "super_block_merge",
+        "super_block_break",
+        "prefetch_window",
+        "fault_detected",
+        "fault_recovered",
+        "tile_issue",
+        "tile_retire",
+    ];
+
+    /// Serializes the event as one JSONL line (no trailing newline).
+    ///
+    /// Every value is a JSON number, boolean or fixed identifier string,
+    /// so the output needs no escaping and parses as one flat object with
+    /// a `type` discriminant.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"type\":\"{}\"", self.kind());
+        match *self {
+            ObsEvent::AccessIssued { addr, write } => {
+                push_num(&mut s, "addr", addr);
+                s.push_str(&format!(",\"write\":{write}"));
+            }
+            ObsEvent::StageEnter { addr, stage } => {
+                push_num(&mut s, "addr", addr);
+                s.push_str(&format!(",\"stage\":\"{}\"", stage.name()));
+            }
+            ObsEvent::AccessRetired {
+                addr,
+                latency,
+                posmap,
+                fetch,
+                evict,
+                backoff,
+            } => {
+                push_num(&mut s, "addr", addr);
+                push_num(&mut s, "latency", latency);
+                push_num(&mut s, "posmap", posmap);
+                push_num(&mut s, "fetch", fetch);
+                push_num(&mut s, "evict", evict);
+                push_num(&mut s, "backoff", backoff);
+            }
+            ObsEvent::BankDispatch {
+                bank,
+                start,
+                complete,
+            } => {
+                push_num(&mut s, "bank", u64::from(bank));
+                push_num(&mut s, "start", start);
+                push_num(&mut s, "complete", complete);
+            }
+            ObsEvent::BankDrain {
+                buckets,
+                bytes,
+                complete,
+            } => {
+                push_num(&mut s, "buckets", u64::from(buckets));
+                push_num(&mut s, "bytes", bytes);
+                push_num(&mut s, "complete", complete);
+            }
+            ObsEvent::StashWatermark { occupancy, peak } => {
+                push_num(&mut s, "occupancy", occupancy);
+                push_num(&mut s, "peak", peak);
+            }
+            ObsEvent::SuperBlockMerge {
+                base,
+                size,
+                counter,
+                threshold,
+            }
+            | ObsEvent::SuperBlockBreak {
+                base,
+                size,
+                counter,
+                threshold,
+            } => {
+                push_num(&mut s, "base", base);
+                push_num(&mut s, "size", u64::from(size));
+                push_num(&mut s, "counter", u64::from(counter));
+                push_num(&mut s, "threshold", u64::from(threshold));
+            }
+            ObsEvent::PrefetchWindow {
+                base,
+                issued,
+                hit_rate_ppm,
+                eviction_rate_ppm,
+            } => {
+                push_num(&mut s, "base", base);
+                push_num(&mut s, "issued", u64::from(issued));
+                push_num(&mut s, "hit_rate_ppm", u64::from(hit_rate_ppm));
+                push_num(&mut s, "eviction_rate_ppm", u64::from(eviction_rate_ppm));
+            }
+            ObsEvent::FaultDetected { kind, bucket }
+            | ObsEvent::FaultRecovered { kind, bucket } => {
+                s.push_str(&format!(",\"kind\":\"{}\"", kind.name()));
+                push_num(&mut s, "bucket", bucket);
+            }
+            ObsEvent::TileIssue { core, addr, at } | ObsEvent::TileRetire { core, addr, at } => {
+                push_num(&mut s, "core", u64::from(core));
+                push_num(&mut s, "addr", addr);
+                push_num(&mut s, "at", at);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_num(s: &mut String, key: &str, value: u64) {
+    s.push_str(&format!(",\"{key}\":{value}"));
+}
+
+/// Converts a rate in `[0, 1]` to parts-per-million, saturating.
+pub fn rate_to_ppm(rate: f64) -> u32 {
+    if rate.is_finite() && rate > 0.0 {
+        (rate * 1_000_000.0).min(1_000_000.0) as u32
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indexes_agree_with_all() {
+        for (i, s) in StageKind::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(StageKind::COUNT, StageKind::ALL.len());
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_objects_with_known_types() {
+        let events = [
+            ObsEvent::AccessIssued {
+                addr: 5,
+                write: true,
+            },
+            ObsEvent::StageEnter {
+                addr: 5,
+                stage: StageKind::PathFetch,
+            },
+            ObsEvent::AccessRetired {
+                addr: 5,
+                latency: 10,
+                posmap: 4,
+                fetch: 3,
+                evict: 2,
+                backoff: 1,
+            },
+            ObsEvent::BankDispatch {
+                bank: 1,
+                start: 0,
+                complete: 7,
+            },
+            ObsEvent::BankDrain {
+                buckets: 8,
+                bytes: 1024,
+                complete: 99,
+            },
+            ObsEvent::StashWatermark {
+                occupancy: 12,
+                peak: 12,
+            },
+            ObsEvent::SuperBlockMerge {
+                base: 16,
+                size: 4,
+                counter: 3,
+                threshold: 2,
+            },
+            ObsEvent::SuperBlockBreak {
+                base: 16,
+                size: 4,
+                counter: 0,
+                threshold: 1,
+            },
+            ObsEvent::PrefetchWindow {
+                base: 16,
+                issued: 3,
+                hit_rate_ppm: 500_000,
+                eviction_rate_ppm: 0,
+            },
+            ObsEvent::FaultDetected {
+                kind: FaultKind::Rollback,
+                bucket: 9,
+            },
+            ObsEvent::FaultRecovered {
+                kind: FaultKind::Integrity,
+                bucket: 9,
+            },
+            ObsEvent::TileIssue {
+                core: 0,
+                addr: 77,
+                at: 1000,
+            },
+            ObsEvent::TileRetire {
+                core: 0,
+                addr: 77,
+                at: 2000,
+            },
+        ];
+        assert_eq!(events.len(), ObsEvent::KINDS.len());
+        for e in &events {
+            let line = e.to_json();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(
+                line.starts_with(&format!("{{\"type\":\"{}\"", e.kind())),
+                "{line}"
+            );
+            assert!(ObsEvent::KINDS.contains(&e.kind()));
+            assert_eq!(line.matches('{').count(), 1, "flat object: {line}");
+            assert_eq!(line.matches('}').count(), 1, "flat object: {line}");
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn retired_latency_fields_serialize() {
+        let e = ObsEvent::AccessRetired {
+            addr: 1,
+            latency: 65,
+            posmap: 10,
+            fetch: 20,
+            evict: 30,
+            backoff: 5,
+        };
+        let j = e.to_json();
+        for part in [
+            "\"latency\":65",
+            "\"posmap\":10",
+            "\"fetch\":20",
+            "\"evict\":30",
+            "\"backoff\":5",
+        ] {
+            assert!(j.contains(part), "{j}");
+        }
+    }
+
+    #[test]
+    fn ppm_conversion_saturates_and_handles_nan() {
+        assert_eq!(rate_to_ppm(0.5), 500_000);
+        assert_eq!(rate_to_ppm(2.0), 1_000_000);
+        assert_eq!(rate_to_ppm(-1.0), 0);
+        assert_eq!(rate_to_ppm(f64::NAN), 0);
+    }
+}

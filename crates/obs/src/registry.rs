@@ -1,0 +1,231 @@
+//! The unified metrics registry.
+//!
+//! One flat, deterministic namespace for everything the stack counts.
+//! The existing metric structs (`BackendStats`, `FaultStats`,
+//! `RunMetrics`, ...) stay the in-band carriers; at the end of a run each
+//! *snapshots into* a registry under a prefix (`"backend."`,
+//! `"core0."`, ...), so cross-crate invariants — per-core counters
+//! summing to run totals, registry-reconstructed metrics matching the
+//! structs — become table lookups instead of bespoke bench code.
+
+use proram_stats::Histogram;
+use std::collections::BTreeMap;
+
+/// Counters, gauges and log-scaled histograms under dotted string names.
+///
+/// Backed by `BTreeMap`s so iteration (and therefore JSON rendering) is
+/// in deterministic name order regardless of insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use proram_obs::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter_add("backend.demand_accesses", 10);
+/// reg.counter_add("backend.demand_accesses", 5);
+/// reg.gauge_set("run.cpi", 3.25);
+/// reg.observe_log2("latency", 1000); // falls in the 2^9..2^10 bucket
+/// assert_eq!(reg.counter("backend.demand_accesses"), 15);
+/// assert_eq!(reg.histogram("latency").unwrap().count(10), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The log2 bucket a value falls into: 0 for 0, otherwise
+/// `floor(log2(v)) + 1` (so bucket `b` covers `2^(b-1) ..= 2^b - 1`).
+pub fn log2_bucket(value: u64) -> u64 {
+    match value {
+        0 => 0,
+        v => u64::from(v.ilog2()) + 1,
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (created at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records `value` into the log-scaled histogram `name`: the
+    /// histogram counts [`log2_bucket`] indices, keeping huge dynamic
+    /// ranges (cycle latencies) dense.
+    pub fn observe_log2(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(log2_bucket(value));
+    }
+
+    /// The counter's value (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if anything was observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Counters whose name starts with `prefix`, in name order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters()
+            .filter(move |(name, _)| name.starts_with(prefix))
+    }
+
+    /// Sum of all counters matching `prefix + "." + suffix` for any
+    /// middle segment — e.g. `sum_over_cores("core", "demand_fetches")`
+    /// adds up `core0.demand_fetches`, `core1.demand_fetches`, ...
+    pub fn sum_matching(&self, prefix: &str, suffix: &str) -> u64 {
+        self.counters()
+            .filter(|(name, _)| {
+                name.starts_with(prefix) && name.ends_with(suffix) && name.contains('.')
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Total number of registered metrics (counters + gauges +
+    /// histograms).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// `true` when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the registry as one JSON object (deterministic key
+    /// order); histograms report bucket → count maps plus totals.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{k}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{k}\": {v:.6}"));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    \"{k}\": {{\"total\": {}, \"buckets\": {{",
+                h.total()
+            ));
+            for (j, (bucket, count)) in h.iter().enumerate() {
+                let bsep = if j == 0 { "" } else { ", " };
+                out.push_str(&format!("{bsep}\"{bucket}\": {count}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_partition_the_range() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1023), 10);
+        assert_eq!(log2_bucket(1024), 11);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("a.x", 3);
+        r.counter_add("a.x", 4);
+        assert_eq!(r.counter("a.x"), 7);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered_regardless_of_insertion() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        r.counter_add("m", 1);
+        let names: Vec<_> = r.counters().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn sum_matching_adds_per_core_counters() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("core0.demand_fetches", 10);
+        r.counter_add("core1.demand_fetches", 20);
+        r.counter_add("core1.writebacks", 5);
+        r.counter_add("corelike_but_not.demand_fetches", 99);
+        assert_eq!(r.sum_matching("core", "demand_fetches"), 129);
+        assert_eq!(r.sum_matching("core0", "demand_fetches"), 10);
+        assert_eq!(r.sum_matching("core", "writebacks"), 5);
+    }
+
+    #[test]
+    fn json_is_balanced_and_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("b", 2);
+        r.counter_add("a", 1);
+        r.gauge_set("g", 1.5);
+        r.observe_log2("h", 100);
+        r.observe_log2("h", 3);
+        let j = r.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.find("\"a\": 1").unwrap() < j.find("\"b\": 2").unwrap());
+        let again = r.to_json();
+        assert_eq!(j, again);
+    }
+
+    #[test]
+    fn prefix_filter_matches_only_prefix() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("backend.x", 1);
+        r.counter_add("run.x", 1);
+        assert_eq!(r.counters_with_prefix("backend.").count(), 1);
+    }
+}

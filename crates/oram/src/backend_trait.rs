@@ -19,6 +19,7 @@ use crate::controller::{OramStats, PathKind};
 use crate::error::OramError;
 use crate::posmap::PosEntry;
 use proram_mem::{BlockAddr, FaultStats};
+use proram_obs::Obs;
 
 /// A tree-based ORAM offering the primitives super-block schemes need.
 ///
@@ -104,4 +105,8 @@ pub trait OramBackend {
 
     /// Short name of the underlying ORAM ("path", "shi", ...).
     fn backend_name(&self) -> &'static str;
+
+    /// Attaches an observability handle; backends without instrumentation
+    /// ignore it (the default).
+    fn attach_obs(&mut self, _obs: Obs) {}
 }

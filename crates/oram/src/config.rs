@@ -1,8 +1,43 @@
-//! ORAM configuration.
+//! ORAM configuration: the [`OramConfig`] struct, its validating
+//! [`OramConfigBuilder`] and the typed [`ConfigError`].
 
 use crate::addr::AddressSpace;
 use crate::fault::FaultConfig;
 use crate::timing::OramTiming;
+use std::fmt;
+
+/// A rejected [`OramConfig`]: which field is inconsistent and why.
+///
+/// Returned by [`OramConfig::check`] and [`OramConfigBuilder::build`];
+/// the [`fmt::Display`] text is the same message the panicking
+/// [`OramConfig::validate`] uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: &'static str,
+    message: String,
+}
+
+impl ConfigError {
+    fn new(field: &'static str, message: impl Into<String>) -> Self {
+        ConfigError {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// Name of the [`OramConfig`] field the error concerns.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Full configuration of a [`crate::PathOram`] instance.
 ///
@@ -187,73 +222,338 @@ impl OramConfig {
         self.timing.path_cycles(self.off_chip_levels(), self.z)
     }
 
-    /// Checks internal consistency.
+    /// Checks internal consistency, reporting the first inconsistency as
+    /// a typed [`ConfigError`].
+    ///
+    /// This is the canonical validation path; the panicking
+    /// [`OramConfig::validate`] and [`OramConfigBuilder::build`] both
+    /// delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a field is out of range on its own
+    /// (zero blocks, zero `z`, non-power-of-two pipeline banks, ...) or
+    /// the fields are jointly inconsistent (tree too small for the
+    /// blocks, treetop cache covering the whole tree, fault injection
+    /// without a stored image, ...).
     ///
     /// # Panics
     ///
-    /// Panics when the tree cannot hold the blocks, or payload storage is
-    /// requested with a posmap fanout too large to serialize into one
-    /// block.
-    pub fn validate(&self) {
-        assert!(self.z > 0, "Z must be positive");
-        assert!(
-            self.entries_per_posmap_block >= 2,
-            "posmap fanout must be >= 2"
-        );
-        assert!(self.stash_limit > 0, "stash limit must be positive");
-        assert!(self.plb_blocks > 0, "PLB must hold at least one block");
-        assert!(
-            self.init_group_size.is_power_of_two()
-                && self.init_group_size <= self.entries_per_posmap_block,
-            "init_group_size must be a power of two no larger than the posmap fanout"
-        );
+    /// Panics if an attached [`FaultConfig`] is itself invalid (its rates
+    /// are probabilities validated by [`FaultConfig::validate`]).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.num_data_blocks == 0 {
+            return Err(ConfigError::new(
+                "num_data_blocks",
+                "ORAM needs at least one data block",
+            ));
+        }
+        if self.z == 0 {
+            return Err(ConfigError::new("z", "Z must be positive"));
+        }
+        if self.entries_per_posmap_block < 2 {
+            return Err(ConfigError::new(
+                "entries_per_posmap_block",
+                "posmap fanout must be >= 2",
+            ));
+        }
+        if self.stash_limit == 0 {
+            return Err(ConfigError::new(
+                "stash_limit",
+                "stash limit must be positive",
+            ));
+        }
+        if self.plb_blocks == 0 {
+            return Err(ConfigError::new(
+                "plb_blocks",
+                "PLB must hold at least one block",
+            ));
+        }
+        if !self.init_group_size.is_power_of_two()
+            || self.init_group_size > self.entries_per_posmap_block
+        {
+            return Err(ConfigError::new(
+                "init_group_size",
+                "init_group_size must be a power of two no larger than the posmap fanout",
+            ));
+        }
         let space = self.address_space();
         let levels = self.tree_levels();
         let slots = (1u64 << levels).saturating_sub(1) * self.z as u64;
-        assert!(
-            space.total_tree_blocks() <= slots,
-            "tree too small: {} blocks, {} slots",
-            space.total_tree_blocks(),
-            slots
-        );
+        if space.total_tree_blocks() > slots {
+            return Err(ConfigError::new(
+                "num_data_blocks",
+                format!(
+                    "tree too small: {} blocks, {} slots",
+                    space.total_tree_blocks(),
+                    slots
+                ),
+            ));
+        }
         let leaves = 1u64 << (levels - 1);
-        assert!(leaves <= u64::from(u32::MAX), "leaf labels overflow u32");
-        assert!(
-            self.treetop_levels < levels,
-            "treetop cache ({}) must leave at least one off-chip level (tree has {levels})",
-            self.treetop_levels
-        );
-        assert!(
-            self.treetop_levels <= 16,
-            "treetop cache of {} levels needs 2^{} on-chip buckets",
-            self.treetop_levels,
-            self.treetop_levels
-        );
+        if leaves > u64::from(u32::MAX) {
+            return Err(ConfigError::new(
+                "levels_override",
+                "leaf labels overflow u32",
+            ));
+        }
+        if self.treetop_levels >= levels {
+            return Err(ConfigError::new(
+                "treetop_levels",
+                format!(
+                    "treetop cache ({}) must leave at least one off-chip level (tree has {levels})",
+                    self.treetop_levels
+                ),
+            ));
+        }
+        if self.treetop_levels > 16 {
+            return Err(ConfigError::new(
+                "treetop_levels",
+                format!(
+                    "treetop cache of {} levels needs 2^{} on-chip buckets",
+                    self.treetop_levels, self.treetop_levels
+                ),
+            ));
+        }
         if self.store_payloads {
             let entry_bytes = crate::storage::ENTRY_BYTES as u64;
-            assert!(
-                self.entries_per_posmap_block * entry_bytes <= u64::from(self.timing.block_bytes),
-                "posmap entries do not fit a serialized block; reduce entries_per_posmap_block"
-            );
+            if self.entries_per_posmap_block * entry_bytes > u64::from(self.timing.block_bytes) {
+                return Err(ConfigError::new(
+                    "entries_per_posmap_block",
+                    "posmap entries do not fit a serialized block; reduce entries_per_posmap_block",
+                ));
+            }
         }
         if let Some(fault) = &self.fault {
-            assert!(
-                self.store_payloads,
-                "fault injection requires store_payloads (there is no image to corrupt otherwise)"
-            );
+            if !self.store_payloads {
+                return Err(ConfigError::new(
+                    "fault",
+                    "fault injection requires store_payloads (there is no image to corrupt otherwise)",
+                ));
+            }
             fault.validate();
         }
         if let Some(cap) = self.stash_hard_capacity {
-            assert!(
-                cap >= self.stash_limit,
-                "stash_hard_capacity ({cap}) below stash_limit ({})",
-                self.stash_limit
-            );
+            if cap < self.stash_limit {
+                return Err(ConfigError::new(
+                    "stash_hard_capacity",
+                    format!(
+                        "stash_hard_capacity ({cap}) below stash_limit ({})",
+                        self.stash_limit
+                    ),
+                ));
+            }
         }
-        assert!(
-            self.scrub_interval == 0 || self.store_payloads,
-            "scrubbing requires store_payloads (there is no image to verify otherwise)"
-        );
+        if self.scrub_interval != 0 && !self.store_payloads {
+            return Err(ConfigError::new(
+                "scrub_interval",
+                "scrubbing requires store_payloads (there is no image to verify otherwise)",
+            ));
+        }
+        if let Some(bank) = &self.pipeline {
+            if bank.banks == 0 {
+                return Err(ConfigError::new(
+                    "pipeline",
+                    "pipeline needs at least one bank",
+                ));
+            }
+            if !bank.banks.is_power_of_two() {
+                return Err(ConfigError::new(
+                    "pipeline",
+                    format!(
+                        "pipeline bank count must be a power of two (got {})",
+                        bank.banks
+                    ),
+                ));
+            }
+            if bank.bytes_per_cycle == 0 {
+                return Err(ConfigError::new(
+                    "pipeline",
+                    "pipeline bus bandwidth must be positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks internal consistency, panicking on the first inconsistency.
+    ///
+    /// Thin wrapper over [`OramConfig::check`] for construction paths
+    /// that treat a bad configuration as a programming error (the
+    /// constructors call this).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`]'s message when the tree cannot
+    /// hold the blocks, payload storage is requested with a posmap fanout
+    /// too large to serialize into one block, or any other field is
+    /// inconsistent.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// A validating builder seeded with [`OramConfig::default`].
+    pub fn builder() -> OramConfigBuilder {
+        OramConfigBuilder::default()
+    }
+
+    /// A builder seeded with this configuration, for deriving variants.
+    pub fn to_builder(&self) -> OramConfigBuilder {
+        OramConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Builder for [`OramConfig`] whose [`OramConfigBuilder::build`]
+/// validates the whole configuration before handing it out.
+///
+/// Struct-literal construction stays possible (all fields are public and
+/// `Default` works), but the builder is the canonical public surface: it
+/// cannot hand back a configuration that a constructor would reject.
+///
+/// # Examples
+///
+/// ```
+/// use proram_oram::OramConfig;
+///
+/// let cfg = OramConfig::builder()
+///     .num_data_blocks(1 << 14)
+///     .stash_limit(80)
+///     .treetop_levels(2)
+///     .build()
+///     .expect("consistent configuration");
+/// assert_eq!(cfg.num_data_blocks, 1 << 14);
+///
+/// let err = OramConfig::builder().num_data_blocks(0).build().unwrap_err();
+/// assert_eq!(err.field(), "num_data_blocks");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OramConfigBuilder {
+    cfg: OramConfig,
+}
+
+impl OramConfigBuilder {
+    /// Sets the number of data blocks stored.
+    pub fn num_data_blocks(mut self, n: u64) -> Self {
+        self.cfg.num_data_blocks = n;
+        self
+    }
+
+    /// Sets the blocks-per-bucket parameter `Z`.
+    pub fn z(mut self, z: usize) -> Self {
+        self.cfg.z = z;
+        self
+    }
+
+    /// Sets the position-map fanout (entries per posmap block).
+    pub fn entries_per_posmap_block(mut self, entries: u64) -> Self {
+        self.cfg.entries_per_posmap_block = entries;
+        self
+    }
+
+    /// Sets the number of posmap hierarchies stored in the tree.
+    pub fn on_tree_hierarchies(mut self, h: u8) -> Self {
+        self.cfg.on_tree_hierarchies = h;
+        self
+    }
+
+    /// Sets the soft stash limit that triggers background eviction.
+    pub fn stash_limit(mut self, limit: usize) -> Self {
+        self.cfg.stash_limit = limit;
+        self
+    }
+
+    /// Sets the PLB capacity in posmap blocks.
+    pub fn plb_blocks(mut self, blocks: usize) -> Self {
+        self.cfg.plb_blocks = blocks;
+        self
+    }
+
+    /// Overrides the number of tree levels.
+    pub fn levels_override(mut self, levels: u32) -> Self {
+        self.cfg.levels_override = Some(levels);
+        self
+    }
+
+    /// Uses a tree one level shorter than the default sizing.
+    pub fn dense_tree(mut self, dense: bool) -> Self {
+        self.cfg.dense_tree = dense;
+        self
+    }
+
+    /// Caches the top `levels` tree levels on-chip.
+    pub fn treetop_levels(mut self, levels: u32) -> Self {
+        self.cfg.treetop_levels = levels;
+        self
+    }
+
+    /// Sets the timing model.
+    pub fn timing(mut self, timing: OramTiming) -> Self {
+        self.cfg.timing = timing;
+        self
+    }
+
+    /// Keeps and verifies real payload bytes and an encrypted image.
+    pub fn store_payloads(mut self, on: bool) -> Self {
+        self.cfg.store_payloads = on;
+        self
+    }
+
+    /// Re-authenticates the encrypted image on every path read.
+    pub fn verify_image(mut self, on: bool) -> Self {
+        self.cfg.verify_image = on;
+        self
+    }
+
+    /// Sets the adversary-trace recorder capacity (0 disables it).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capacity = capacity;
+        self
+    }
+
+    /// Sets the initial super-block grouping size.
+    pub fn init_group_size(mut self, size: u64) -> Self {
+        self.cfg.init_group_size = size;
+        self
+    }
+
+    /// Installs seeded fault injection on the encrypted image.
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.cfg.fault = Some(fault);
+        self
+    }
+
+    /// Sets the hard stash capacity (emergency eviction, then fail-stop).
+    pub fn stash_hard_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.stash_hard_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the scrub period in path accesses (0 disables scrubbing).
+    pub fn scrub_interval(mut self, interval: u64) -> Self {
+        self.cfg.scrub_interval = interval;
+        self
+    }
+
+    /// Enables the bank-aware fetch pipeline with this bank layout.
+    pub fn pipeline(mut self, bank: proram_mem::BankConfig) -> Self {
+        self.cfg.pipeline = Some(bank);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by [`OramConfig::check`]
+    /// — zero-block trees, bank counts that are not powers of two,
+    /// treetop caches covering the whole tree, fault injection or
+    /// scrubbing without a stored image, and the other field
+    /// inconsistencies documented there.
+    pub fn build(self) -> Result<OramConfig, ConfigError> {
+        self.cfg.check()?;
+        Ok(self.cfg)
     }
 }
 
@@ -404,5 +704,120 @@ mod tests {
         assert_eq!(cfg.num_data_blocks, 1 << 16);
         assert_eq!(cfg.z, 3);
         cfg.validate();
+    }
+
+    #[test]
+    fn builder_round_trips_the_default() {
+        let built = OramConfig::builder().build().expect("default is valid");
+        assert_eq!(built, OramConfig::default());
+    }
+
+    #[test]
+    fn builder_sets_every_field_it_names() {
+        let cfg = OramConfig::builder()
+            .num_data_blocks(1 << 12)
+            .z(4)
+            .entries_per_posmap_block(8)
+            .on_tree_hierarchies(2)
+            .stash_limit(50)
+            .plb_blocks(8)
+            .dense_tree(false)
+            .treetop_levels(1)
+            .store_payloads(true)
+            .verify_image(true)
+            .trace_capacity(1 << 10)
+            .init_group_size(4)
+            .stash_hard_capacity(200)
+            .scrub_interval(64)
+            .build()
+            .expect("consistent configuration");
+        assert_eq!(cfg.num_data_blocks, 1 << 12);
+        assert_eq!(cfg.init_group_size, 4);
+        assert_eq!(cfg.stash_hard_capacity, Some(200));
+        assert_eq!(cfg.scrub_interval, 64);
+    }
+
+    #[test]
+    fn builder_rejects_zero_block_trees() {
+        let err = OramConfig::builder()
+            .num_data_blocks(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "num_data_blocks");
+        assert!(err.to_string().contains("at least one data block"));
+    }
+
+    #[test]
+    fn builder_rejects_non_power_of_two_banks() {
+        let err = OramConfig::builder()
+            .pipeline(proram_mem::BankConfig {
+                banks: 3,
+                ..proram_mem::BankConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "pipeline");
+        assert!(err.to_string().contains("power of two"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_bandwidth_pipeline() {
+        let err = OramConfig::builder()
+            .pipeline(proram_mem::BankConfig {
+                bytes_per_cycle: 0,
+                ..proram_mem::BankConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "pipeline");
+        assert!(err.to_string().contains("bandwidth"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_incompatible_options_with_legacy_messages() {
+        // check() must report the exact strings validate() panicked with,
+        // so Result- and panic-based callers see one vocabulary.
+        let err = OramConfig::builder()
+            .fault(FaultConfig::silent(1))
+            .build()
+            .unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("fault injection requires store_payloads"));
+        let err = OramConfig::builder()
+            .num_data_blocks(256)
+            .scrub_interval(10)
+            .build()
+            .unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("scrubbing requires store_payloads"));
+        let err = OramConfig::builder().stash_limit(0).build().unwrap_err();
+        assert!(err.to_string().contains("stash limit must be positive"));
+    }
+
+    #[test]
+    fn to_builder_derives_variants() {
+        let base = OramConfig::small_for_tests(256);
+        let derived = base
+            .to_builder()
+            .store_payloads(false)
+            .verify_image(false)
+            .build()
+            .expect("still consistent");
+        assert_eq!(derived.num_data_blocks, base.num_data_blocks);
+        assert!(!derived.store_payloads);
+    }
+
+    #[test]
+    fn check_matches_validate_on_valid_configs() {
+        for cfg in [
+            OramConfig::default(),
+            OramConfig::small_for_tests(64),
+            OramConfig::scaled(1 << 10),
+        ] {
+            assert!(cfg.check().is_ok());
+            cfg.validate();
+        }
     }
 }

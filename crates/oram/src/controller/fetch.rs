@@ -15,6 +15,7 @@ use crate::error::OramError;
 use crate::eviction::read_path;
 use crate::trace::PhysEvent;
 use proram_mem::BucketRead;
+use proram_obs::ObsEvent;
 
 impl PathOram {
     /// Reads every bucket on the path to `leaf` into the stash, recording
@@ -55,6 +56,7 @@ impl PathOram {
     /// The stash-update half of a path fetch: moves the (verified) path's
     /// blocks into the stash and records stats, trace and occupancy.
     pub(crate) fn fill_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) {
+        let peak_before = self.stash.peak();
         read_path(&mut self.tree, &mut self.stash, leaf);
         match kind {
             PathKind::Data => {
@@ -72,6 +74,16 @@ impl PathOram {
         }
         self.stats.bytes_moved += self.path_bytes;
         self.stash.sample_occupancy();
+        // Watermark events fire only when the all-time peak moves, so an
+        // attached sink sees the (rare) growth edges, not every access.
+        let peak = self.stash.peak();
+        if peak > peak_before {
+            let occupancy = self.stash.len() as u64;
+            self.obs.emit(|| ObsEvent::StashWatermark {
+                occupancy,
+                peak: peak as u64,
+            });
+        }
     }
 
     /// Claims a just-fetched block for the access: finds `addr` in the

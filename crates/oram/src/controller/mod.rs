@@ -7,10 +7,10 @@
 //! [`crate::pipeline::AccessMachine`] state machine instead of one deep
 //! call chain:
 //!
-//! * [`posmap`] — position-map resolve and remap (PLB, top table),
-//! * [`fetch`] — path fetch: bucket-read batches, stash fill, block claim,
-//! * [`verify`] — decrypt/authenticate/repair of the encrypted image,
-//! * [`writeback`] — path write-back, background and emergency eviction.
+//! * `posmap` — position-map resolve and remap (PLB, top table),
+//! * `fetch` — path fetch: bucket-read batches, stash fill, block claim,
+//! * `verify` — decrypt/authenticate/repair of the encrypted image,
+//! * `writeback` — path write-back, background and emergency eviction.
 //!
 //! [`PathOram::try_access_block`] is a thin driver that steps the machine
 //! to completion; the super-block schemes in `proram-core` compose the
@@ -21,8 +21,9 @@
 //!
 //! # Fault handling
 //!
-//! Every fallible primitive returns [`Result<_, OramError>`]; the one
-//! remaining panicking convenience is [`PathOram::access_block`]. With
+//! Every fallible primitive returns [`Result<_, OramError>`]; the
+//! panicking wrappers ([`PathOram::access_block`] and friends) are
+//! deprecated in favor of the `try_` forms. With
 //! [`OramConfig::fault`] set, the controller recovers in place: corrupted
 //! or rolled-back buckets flagged by per-path verification (or the
 //! periodic scrub) are re-encrypted from the trusted logical tree,
@@ -52,6 +53,7 @@ use proram_mem::{
     AccessKind, AccessOutcome, BackendStats, BankScheduler, BlockAddr, CacheProbe, Cycle,
     FaultStats, Fill, MemRequest, MemoryBackend,
 };
+use proram_obs::Obs;
 use proram_stats::{Rng64, Xoshiro256};
 
 /// Bound on background evictions after one access. A dense tree with a
@@ -125,7 +127,9 @@ pub struct AccessReport {
 /// use proram_mem::{AccessKind, BlockAddr};
 ///
 /// let mut oram = PathOram::new(OramConfig::small_for_tests(512), 1);
-/// let r1 = oram.access_block(BlockAddr(7), AccessKind::Read);
+/// let r1 = oram
+///     .try_access_block(BlockAddr(7), AccessKind::Read)
+///     .expect("no faults injected");
 /// assert!(r1.tree_accesses >= 1);
 /// oram.check_invariants();
 /// ```
@@ -165,6 +169,9 @@ pub struct PathOram {
     pub(crate) ctrl_faults: FaultStats,
     /// Data-path reads since the last scrub pass.
     pub(crate) reads_since_scrub: u64,
+    /// Observability handle (events + per-stage profile); disabled by
+    /// default so the hot path stays allocation- and branch-free.
+    pub(crate) obs: Obs,
 }
 
 impl PathOram {
@@ -303,6 +310,7 @@ impl PathOram {
             verify_tree_addrs: Vec::new(),
             ctrl_faults: FaultStats::default(),
             reads_since_scrub: 0,
+            obs: Obs::disabled(),
         }
     }
 
@@ -491,12 +499,16 @@ impl PathOram {
     }
 
     /// Panicking form of [`PathOram::try_access_block`] — the historical
-    /// API, kept for tests, benchmarks and fault-free callers.
+    /// API, kept for old callers.
     ///
     /// # Panics
     ///
     /// Panics if `addr` is not a data block or on any unrecovered
     /// [`OramError`] (e.g. tampering detected with recovery disabled).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_access_block` and handle the `OramError`"
+    )]
     pub fn access_block(&mut self, addr: BlockAddr, kind: AccessKind) -> AccessReport {
         self.try_access_block(addr, kind)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -504,27 +516,81 @@ impl PathOram {
 
     /// Reads the data payload of `addr` (a full ORAM access).
     ///
-    /// Returns `None` if payload storage is disabled.
-    pub fn read_block(&mut self, addr: BlockAddr) -> Option<Vec<u8>> {
-        self.access_block(addr, AccessKind::Read);
-        self.with_data_block(addr, |bytes| bytes.to_vec())
+    /// Returns `Ok(None)` if payload storage is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any unrecovered [`OramError`] from the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block.
+    pub fn try_read_block(&mut self, addr: BlockAddr) -> Result<Option<Vec<u8>>, OramError> {
+        self.try_access_block(addr, AccessKind::Read)?;
+        Ok(self.with_data_block(addr, |bytes| bytes.to_vec()))
     }
 
     /// Writes the data payload of `addr` (a full ORAM access).
     ///
+    /// # Errors
+    ///
+    /// Propagates any unrecovered [`OramError`] from the access.
+    ///
     /// # Panics
     ///
-    /// Panics if payload storage is disabled or `bytes` is not exactly one
-    /// block.
-    pub fn write_block(&mut self, addr: BlockAddr, bytes: &[u8]) {
+    /// Panics if payload storage is disabled, `bytes` is not exactly one
+    /// block, or `addr` is not a data block.
+    pub fn try_write_block(&mut self, addr: BlockAddr, bytes: &[u8]) -> Result<(), OramError> {
         assert_eq!(
             bytes.len(),
             self.config.timing.block_bytes as usize,
             "payload must be exactly one block"
         );
-        self.access_block(addr, AccessKind::Write);
+        self.try_access_block(addr, AccessKind::Write)?;
         let found = self.update_data_block(addr, bytes);
         assert!(found, "payload storage disabled; enable store_payloads");
+        Ok(())
+    }
+
+    /// Panicking form of [`PathOram::try_read_block`].
+    ///
+    /// Returns `None` if payload storage is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any unrecovered [`OramError`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_read_block` and handle the `OramError`"
+    )]
+    pub fn read_block(&mut self, addr: BlockAddr) -> Option<Vec<u8>> {
+        self.try_read_block(addr).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking form of [`PathOram::try_write_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if payload storage is disabled, `bytes` is not exactly one
+    /// block, or on any unrecovered [`OramError`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_write_block` and handle the `OramError`"
+    )]
+    pub fn write_block(&mut self, addr: BlockAddr, bytes: &[u8]) {
+        self.try_write_block(addr, bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The observability handle currently attached (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Attaches an observability handle: subsequent accesses emit typed
+    /// [`proram_obs::ObsEvent`]s and per-stage cycle profiles into it.
+    pub fn attach_obs_handle(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Applies `f` to the payload bytes of a data block wherever it
@@ -722,6 +788,10 @@ impl crate::backend_trait::OramBackend for PathOram {
     fn backend_name(&self) -> &'static str {
         "path"
     }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.attach_obs_handle(obs);
+    }
 }
 
 impl MemoryBackend for PathOram {
@@ -780,6 +850,10 @@ impl MemoryBackend for PathOram {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.attach_obs_handle(obs);
+    }
 }
 
 #[cfg(test)]
@@ -800,7 +874,9 @@ mod tests {
     fn every_data_block_is_accessible() {
         let mut oram = PathOram::new(OramConfig::small_for_tests(64), 7);
         for a in 0..64 {
-            let r = oram.access_block(BlockAddr(a), AccessKind::Read);
+            let r = oram
+                .try_access_block(BlockAddr(a), AccessKind::Read)
+                .unwrap();
             assert!(r.tree_accesses >= 1);
         }
         oram.check_invariants();
@@ -816,7 +892,7 @@ mod tests {
         // 20 draws from >=128 leaves is negligible at this seed).
         let mut changed = false;
         for _ in 0..20 {
-            oram.access_block(addr, AccessKind::Read);
+            oram.try_access_block(addr, AccessKind::Read).unwrap();
             oram.try_resolve_posmap(addr).unwrap();
             if oram.entry(addr).leaf != before {
                 changed = true;
@@ -831,7 +907,7 @@ mod tests {
         let mut rng = Xoshiro256::seed_from(3);
         for _ in 0..300 {
             let a = BlockAddr(rng.next_below(256));
-            oram.access_block(a, AccessKind::Read);
+            oram.try_access_block(a, AccessKind::Read).unwrap();
         }
         oram.check_invariants();
         let s = oram.oram_stats();
@@ -843,19 +919,26 @@ mod tests {
     fn posmap_recursion_costs_extra_accesses() {
         let mut oram = small();
         // First touch of a cold region must miss the PLB.
-        let r = oram.access_block(BlockAddr(100), AccessKind::Read);
+        let r = oram
+            .try_access_block(BlockAddr(100), AccessKind::Read)
+            .unwrap();
         assert!(r.posmap_accesses >= 1, "cold access should walk the posmap");
         // Immediately repeated access hits the PLB.
-        let r2 = oram.access_block(BlockAddr(100), AccessKind::Read);
+        let r2 = oram
+            .try_access_block(BlockAddr(100), AccessKind::Read)
+            .unwrap();
         assert_eq!(r2.posmap_accesses, 0);
     }
 
     #[test]
     fn plb_locality_for_neighbors() {
         let mut oram = small();
-        oram.access_block(BlockAddr(8), AccessKind::Read);
+        oram.try_access_block(BlockAddr(8), AccessKind::Read)
+            .unwrap();
         // Same posmap group (entries_per_block = 8): no extra posmap walk.
-        let r = oram.access_block(BlockAddr(9), AccessKind::Read);
+        let r = oram
+            .try_access_block(BlockAddr(9), AccessKind::Read)
+            .unwrap();
         assert_eq!(r.posmap_accesses, 0);
     }
 
@@ -863,17 +946,22 @@ mod tests {
     fn trace_records_accesses() {
         let mut oram = small();
         oram.clear_trace();
-        oram.access_block(BlockAddr(0), AccessKind::Read);
+        oram.try_access_block(BlockAddr(0), AccessKind::Read)
+            .unwrap();
         assert!(!oram.trace().events().is_empty());
     }
 
+    // Exercises the deprecated panicking wrappers on purpose: they must
+    // keep behaving exactly like their `try_` forms.
     #[test]
-    fn payload_round_trip() {
+    #[allow(deprecated)]
+    fn payload_round_trip_via_deprecated_wrappers() {
         let mut oram = PathOram::new(OramConfig::small_for_tests(64), 5);
         let data = vec![0xAB; 128];
         oram.write_block(BlockAddr(3), &data);
         let read = oram.read_block(BlockAddr(3)).expect("payloads enabled");
         assert_eq!(read, data);
+        oram.access_block(BlockAddr(3), AccessKind::Read);
         oram.check_invariants();
     }
 
@@ -881,15 +969,16 @@ mod tests {
     fn payloads_survive_many_interleaved_accesses() {
         let mut oram = PathOram::new(OramConfig::small_for_tests(64), 6);
         for a in 0..16u64 {
-            oram.write_block(BlockAddr(a), &[a as u8; 128]);
+            oram.try_write_block(BlockAddr(a), &[a as u8; 128]).unwrap();
         }
         let mut rng = Xoshiro256::seed_from(9);
         for _ in 0..100 {
-            oram.access_block(BlockAddr(rng.next_below(64)), AccessKind::Read);
+            oram.try_access_block(BlockAddr(rng.next_below(64)), AccessKind::Read)
+                .unwrap();
         }
         for a in 0..16u64 {
             assert_eq!(
-                oram.read_block(BlockAddr(a)).unwrap(),
+                oram.try_read_block(BlockAddr(a)).unwrap().unwrap(),
                 vec![a as u8; 128],
                 "payload of block {a} corrupted"
             );
@@ -900,7 +989,7 @@ mod tests {
     #[should_panic(expected = "payload must be exactly one block")]
     fn wrong_payload_size_panics() {
         let mut oram = small();
-        oram.write_block(BlockAddr(0), &[1, 2, 3]);
+        oram.try_write_block(BlockAddr(0), &[1, 2, 3]).unwrap();
     }
 
     #[test]
@@ -908,7 +997,8 @@ mod tests {
     fn posmap_address_rejected() {
         let mut oram = small();
         // First posmap block lives right after the data region.
-        oram.access_block(BlockAddr(256), AccessKind::Read);
+        oram.try_access_block(BlockAddr(256), AccessKind::Read)
+            .unwrap();
     }
 
     #[test]
@@ -925,7 +1015,8 @@ mod tests {
         let mut oram = PathOram::new(cfg, 11);
         let mut rng = Xoshiro256::seed_from(1);
         for _ in 0..200 {
-            oram.access_block(BlockAddr(rng.next_below(400)), AccessKind::Read);
+            oram.try_access_block(BlockAddr(rng.next_below(400)), AccessKind::Read)
+                .unwrap();
         }
         assert!(oram.oram_stats().background_evictions > 0);
         assert!(
@@ -983,7 +1074,8 @@ mod tests {
         oram.clear_trace();
         let mut rng = Xoshiro256::seed_from(2);
         for _ in 0..400 {
-            oram.access_block(BlockAddr(rng.next_below(512)), AccessKind::Read);
+            oram.try_access_block(BlockAddr(rng.next_below(512)), AccessKind::Read)
+                .unwrap();
         }
         let leaves = oram.trace().observed_leaves();
         assert!(leaves.len() >= 400);
@@ -1001,7 +1093,8 @@ mod tests {
     #[test]
     fn stats_accumulate_bytes() {
         let mut oram = small();
-        oram.access_block(BlockAddr(0), AccessKind::Read);
+        oram.try_access_block(BlockAddr(0), AccessKind::Read)
+            .unwrap();
         let s = oram.oram_stats();
         assert_eq!(s.bytes_moved, s.total_path_accesses() * oram.path_bytes);
     }
@@ -1011,7 +1104,9 @@ mod tests {
         let mut oram = small();
         let mut rng = Xoshiro256::seed_from(5);
         for _ in 0..50 {
-            let r = oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+            let r = oram
+                .try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+                .unwrap();
             assert_eq!(r.latency, r.stages.total(), "stage attribution broken");
             assert_eq!(r.stages.fetch, oram.fetch_cycles());
             assert_eq!(r.stages.posmap, r.posmap_accesses * oram.fetch_cycles());
@@ -1038,7 +1133,8 @@ mod tests {
             let mut oram = PathOram::new(cfg, 42);
             let mut rng = Xoshiro256::seed_from(3);
             for _ in 0..200 {
-                oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+                oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+                    .unwrap();
             }
             (
                 oram.oram_stats(),
@@ -1102,7 +1198,8 @@ mod tests {
             let mut oram = PathOram::new(cfg, 42);
             let mut rng = Xoshiro256::seed_from(3);
             for _ in 0..200 {
-                oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+                oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+                    .unwrap();
             }
             (
                 oram.oram_stats(),
@@ -1116,10 +1213,12 @@ mod tests {
     #[test]
     fn write_backs_reuse_the_scratch() {
         let mut oram = small();
-        oram.access_block(BlockAddr(1), AccessKind::Read);
+        oram.try_access_block(BlockAddr(1), AccessKind::Read)
+            .unwrap();
         let after_one = oram.allocs_avoided();
         assert!(after_one > 0, "each write-back counts a scratch reuse");
-        oram.access_block(BlockAddr(2), AccessKind::Read);
+        oram.try_access_block(BlockAddr(2), AccessKind::Read)
+            .unwrap();
         assert!(oram.allocs_avoided() > after_one);
     }
 
@@ -1132,7 +1231,9 @@ mod tests {
         };
         let mut oram = PathOram::new(cfg, 3);
         for a in 0..128 {
-            let r = oram.access_block(BlockAddr(a), AccessKind::Read);
+            let r = oram
+                .try_access_block(BlockAddr(a), AccessKind::Read)
+                .unwrap();
             assert_eq!(r.posmap_accesses, 0);
         }
         oram.check_invariants();
@@ -1163,7 +1264,8 @@ mod fault_tests {
             let mut oram = PathOram::new(cfg, 42);
             let mut rng = Xoshiro256::seed_from(3);
             for _ in 0..200 {
-                oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+                oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+                    .unwrap();
             }
             (
                 oram.oram_stats(),
@@ -1208,15 +1310,16 @@ mod fault_tests {
         };
         let mut oram = PathOram::new(faulty_cfg(fault), 5);
         for a in 0..16u64 {
-            oram.write_block(BlockAddr(a), &[a as u8; 128]);
+            oram.try_write_block(BlockAddr(a), &[a as u8; 128]).unwrap();
         }
         let mut rng = Xoshiro256::seed_from(9);
         for _ in 0..100 {
-            oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+            oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+                .unwrap();
         }
         for a in 0..16u64 {
             assert_eq!(
-                oram.read_block(BlockAddr(a)).unwrap(),
+                oram.try_read_block(BlockAddr(a)).unwrap().unwrap(),
                 vec![a as u8; 128],
                 "payload of block {a} lost through recovery"
             );
@@ -1265,7 +1368,8 @@ mod fault_tests {
             .corrupt_byte(nb - 1, 30, 0x08);
         let mut rng = Xoshiro256::seed_from(6);
         for _ in 0..10 {
-            oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+            oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+                .unwrap();
         }
         let stats = oram.fault_stats();
         assert!(stats.scrub_runs >= 1, "scrub never ran");
@@ -1361,7 +1465,8 @@ mod init_group_tests {
         };
         let mut oram = PathOram::new(cfg, 18);
         for a in 0..64 {
-            oram.access_block(BlockAddr(a), AccessKind::Read);
+            oram.try_access_block(BlockAddr(a), AccessKind::Read)
+                .unwrap();
         }
         oram.check_invariants();
     }

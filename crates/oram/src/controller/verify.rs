@@ -9,6 +9,19 @@
 use super::PathOram;
 use crate::addr::Leaf;
 use crate::error::OramError;
+use proram_obs::{FaultKind, ObsEvent};
+
+/// The event-taxonomy class of a detected fault (for observability; the
+/// typed error itself keeps the full payload).
+fn fault_kind(err: &OramError) -> FaultKind {
+    match err {
+        OramError::Integrity { .. } => FaultKind::Integrity,
+        OramError::Rollback { .. } => FaultKind::Rollback,
+        OramError::Transient { .. } => FaultKind::Transient,
+        OramError::StashOverflow { .. } => FaultKind::StashPressure,
+        OramError::BlockMissing { .. } => FaultKind::BlockMissing,
+    }
+}
 
 impl PathOram {
     /// Decrypts, authenticates and cross-checks every bucket on the path
@@ -36,23 +49,34 @@ impl PathOram {
                         "encrypted image diverged at bucket {idx}"
                     );
                 }
-                Err(err) if recover => match err {
-                    OramError::Integrity { .. } | OramError::Rollback { .. } => {
-                        // The logical tree is trusted on-chip state:
-                        // restore the bucket by re-encrypting it under a
-                        // fresh nonce and version.
-                        store.write_bucket(idx, self.tree.bucket(idx));
-                        self.ctrl_faults.recovered += 1;
+                Err(err) if recover => {
+                    let kind = fault_kind(&err);
+                    self.obs.emit(|| ObsEvent::FaultDetected {
+                        kind,
+                        bucket: idx as u64,
+                    });
+                    match err {
+                        OramError::Integrity { .. } | OramError::Rollback { .. } => {
+                            // The logical tree is trusted on-chip state:
+                            // restore the bucket by re-encrypting it under a
+                            // fresh nonce and version.
+                            store.write_bucket(idx, self.tree.bucket(idx));
+                            self.ctrl_faults.recovered += 1;
+                            self.obs.emit(|| ObsEvent::FaultRecovered {
+                                kind,
+                                bucket: idx as u64,
+                            });
+                        }
+                        OramError::Transient { .. } => {
+                            // Retries exhausted; the logical copy still serves
+                            // the access, but the bucket went unread.
+                            self.ctrl_faults.unrecovered += 1;
+                        }
+                        OramError::StashOverflow { .. } | OramError::BlockMissing { .. } => {
+                            return Err(err)
+                        }
                     }
-                    OramError::Transient { .. } => {
-                        // Retries exhausted; the logical copy still serves
-                        // the access, but the bucket went unread.
-                        self.ctrl_faults.unrecovered += 1;
-                    }
-                    OramError::StashOverflow { .. } | OramError::BlockMissing { .. } => {
-                        return Err(err)
-                    }
-                },
+                }
                 Err(err) => return Err(err),
             }
         }
@@ -85,11 +109,25 @@ impl PathOram {
         for idx in 0..store.num_buckets() {
             match store.verify_bucket(idx) {
                 Ok(()) => {}
-                Err(OramError::Integrity { .. }) | Err(OramError::Rollback { .. }) => {
+                Err(err @ (OramError::Integrity { .. } | OramError::Rollback { .. })) => {
+                    let kind = fault_kind(&err);
+                    self.obs.emit(|| ObsEvent::FaultDetected {
+                        kind,
+                        bucket: idx as u64,
+                    });
                     store.write_bucket(idx, self.tree.bucket(idx));
                     self.ctrl_faults.recovered += 1;
+                    self.obs.emit(|| ObsEvent::FaultRecovered {
+                        kind,
+                        bucket: idx as u64,
+                    });
                 }
-                Err(OramError::Transient { .. }) => {
+                Err(err @ OramError::Transient { .. }) => {
+                    let kind = fault_kind(&err);
+                    self.obs.emit(|| ObsEvent::FaultDetected {
+                        kind,
+                        bucket: idx as u64,
+                    });
                     self.ctrl_faults.unrecovered += 1;
                 }
                 Err(err @ (OramError::StashOverflow { .. } | OramError::BlockMissing { .. })) => {

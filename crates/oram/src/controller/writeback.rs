@@ -9,6 +9,7 @@ use super::{PathOram, MAX_BACKGROUND_EVICTIONS_PER_ACCESS, MAX_EMERGENCY_EVICTIO
 use crate::addr::Leaf;
 use crate::error::OramError;
 use crate::eviction::write_path_with;
+use proram_obs::{FaultKind, ObsEvent};
 
 impl PathOram {
     /// Greedily writes stash blocks back to the path to `leaf` and
@@ -44,7 +45,7 @@ impl PathOram {
     /// above the hard capacity after the bounded drain enters **emergency
     /// eviction**: a degraded mode (counted in
     /// [`proram_mem::FaultStats::emergency_evictions`]) that keeps
-    /// evicting up to [`MAX_EMERGENCY_EVICTIONS`] more paths. Only if the
+    /// evicting up to `MAX_EMERGENCY_EVICTIONS` more paths. Only if the
     /// stash *still* exceeds capacity does the controller fail-stop.
     ///
     /// # Errors
@@ -60,6 +61,13 @@ impl PathOram {
         }
         if let Some(cap) = self.config.stash_hard_capacity {
             let mut emergencies = 0;
+            if self.stash.len() > cap {
+                let occupancy = self.stash.len() as u64;
+                self.obs.emit(|| ObsEvent::FaultDetected {
+                    kind: FaultKind::StashPressure,
+                    bucket: occupancy,
+                });
+            }
             while self.stash.len() > cap && emergencies < MAX_EMERGENCY_EVICTIONS {
                 self.try_background_evict()?;
                 self.ctrl_faults.emergency_evictions += 1;
@@ -70,6 +78,13 @@ impl PathOram {
                 return Err(OramError::StashOverflow {
                     occupancy: self.stash.len(),
                     capacity: cap,
+                });
+            }
+            if emergencies > 0 {
+                let occupancy = self.stash.len() as u64;
+                self.obs.emit(|| ObsEvent::FaultRecovered {
+                    kind: FaultKind::StashPressure,
+                    bucket: occupancy,
                 });
             }
         }

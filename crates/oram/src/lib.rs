@@ -30,10 +30,13 @@
 //! # Examples
 //!
 //! ```
-//! use proram_oram::{OramConfig, PathOram};
+//! use proram_oram::prelude::*;
 //!
-//! let mut oram = PathOram::new(OramConfig::small_for_tests(1 << 10), 7);
-//! let report = oram.access_block(proram_mem::BlockAddr(42), proram_mem::AccessKind::Read);
+//! let cfg = OramConfig::small_for_tests(1 << 10);
+//! let mut oram = PathOram::new(cfg, 7);
+//! let report = oram
+//!     .try_access_block(proram_mem::BlockAddr(42), proram_mem::AccessKind::Read)
+//!     .expect("no faults injected");
 //! assert!(report.tree_accesses >= 1);
 //! ```
 
@@ -64,7 +67,7 @@ pub use addr::{AddressSpace, Leaf};
 pub use backend_trait::OramBackend;
 pub use block::{Block, Payload};
 pub use bucket::Bucket;
-pub use config::OramConfig;
+pub use config::{ConfigError, OramConfig, OramConfigBuilder};
 pub use controller::{AccessReport, OramStats, PathKind, PathOram};
 pub use crypto::{Mac, StreamCipher};
 pub use error::OramError;
@@ -79,3 +82,17 @@ pub use storage::EncryptedStore;
 pub use timing::OramTiming;
 pub use trace::{PhysEvent, TraceRecorder};
 pub use tree::OramTree;
+
+/// The canonical public surface in one import.
+///
+/// Downstream crates should `use proram_oram::prelude::*` instead of
+/// deep-importing module paths: it re-exports the controller, its
+/// configuration (builder and typed error included), the Result-based
+/// access API's types and the observability handle/sink traits.
+pub mod prelude {
+    pub use crate::backend_trait::OramBackend;
+    pub use crate::config::{ConfigError, OramConfig, OramConfigBuilder};
+    pub use crate::controller::{AccessReport, PathOram};
+    pub use crate::error::OramError;
+    pub use proram_obs::{NoopSink, Obs, ObsEvent, ObsSink, RingSink};
+}

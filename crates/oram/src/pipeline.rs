@@ -24,6 +24,7 @@ use crate::addr::Leaf;
 use crate::controller::{AccessReport, PathKind, PathOram};
 use crate::error::OramError;
 use proram_mem::{AccessKind, BlockAddr};
+use proram_obs::{ObsEvent, StageKind};
 
 /// One logical block request entering the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +153,15 @@ impl AccessMachine {
     pub fn step(&mut self, oram: &mut PathOram) -> Result<Option<AccessCompletion>, OramError> {
         match self.stage {
             AccessStage::ResolvePosmap => {
+                let addr = self.request.addr.0;
+                oram.obs().emit(|| ObsEvent::AccessIssued {
+                    addr,
+                    write: self.request.kind == AccessKind::Write,
+                });
+                oram.obs().emit(|| ObsEvent::StageEnter {
+                    addr,
+                    stage: StageKind::ResolvePosmap,
+                });
                 oram.note_logical_access();
                 self.backoff_before = oram.backoff_cycles();
                 self.posmap_accesses = oram.try_resolve_posmap(self.request.addr)?;
@@ -162,6 +172,7 @@ impl AccessMachine {
                 Ok(None)
             }
             AccessStage::PathFetch => {
+                self.emit_stage(oram, StageKind::PathFetch);
                 // The fetch is one batch of bucket reads, one per off-chip
                 // level; recording its size here keeps the hot path
                 // allocation-free (an explicit batch is available via
@@ -171,22 +182,26 @@ impl AccessMachine {
                 Ok(None)
             }
             AccessStage::DecryptVerify => {
+                self.emit_stage(oram, StageKind::DecryptVerify);
                 oram.verify_gate(self.old_leaf)?;
                 self.stage = AccessStage::StashUpdate;
                 Ok(None)
             }
             AccessStage::StashUpdate => {
+                self.emit_stage(oram, StageKind::StashUpdate);
                 oram.fill_path_into_stash(self.old_leaf, PathKind::Data);
                 oram.claim_block(self.request.addr, self.old_leaf, self.new_leaf)?;
                 self.stage = AccessStage::WriteBack;
                 Ok(None)
             }
             AccessStage::WriteBack => {
+                self.emit_stage(oram, StageKind::WriteBack);
                 oram.write_path_from_stash(self.old_leaf);
                 self.stage = AccessStage::Evict;
                 Ok(None)
             }
             AccessStage::Evict => {
+                self.emit_stage(oram, StageKind::Evict);
                 let background_evictions = oram.drain_and_periodic_scrub()?;
                 let backoff = oram.backoff_cycles() - self.backoff_before;
                 let fetch_cycles = oram.fetch_cycles();
@@ -197,6 +212,22 @@ impl AccessMachine {
                     backoff,
                 };
                 let tree_accesses = 1 + self.posmap_accesses + background_evictions;
+                let obs = oram.obs();
+                if obs.is_enabled() {
+                    obs.profile(StageKind::ResolvePosmap, stages.posmap);
+                    obs.profile(StageKind::PathFetch, stages.fetch);
+                    obs.profile(StageKind::Evict, stages.evict);
+                    obs.profile(StageKind::Backoff, stages.backoff);
+                    let addr = self.request.addr.0;
+                    obs.emit(|| ObsEvent::AccessRetired {
+                        addr,
+                        latency: stages.total(),
+                        posmap: stages.posmap,
+                        fetch: stages.fetch,
+                        evict: stages.evict,
+                        backoff: stages.backoff,
+                    });
+                }
                 self.stage = AccessStage::Done;
                 Ok(Some(AccessCompletion {
                     request: self.request,
@@ -216,6 +247,12 @@ impl AccessMachine {
     /// Off-chip buckets the fetch stage batched (0 before `PathFetch`).
     pub fn batch_len(&self) -> u32 {
         self.batch_len
+    }
+
+    #[inline]
+    fn emit_stage(&self, oram: &PathOram, stage: StageKind) {
+        let addr = self.request.addr.0;
+        oram.obs().emit(|| ObsEvent::StageEnter { addr, stage });
     }
 }
 
@@ -282,6 +319,68 @@ mod tests {
         });
         while machine.step(&mut oram).unwrap().is_none() {}
         let _ = machine.step(&mut oram);
+    }
+
+    #[test]
+    fn attached_sink_sees_the_access_lifecycle() {
+        use proram_obs::Obs;
+
+        let mut oram = PathOram::new(OramConfig::small_for_tests(64), 9);
+        oram.attach_obs_handle(Obs::ring(1024));
+        let report = oram
+            .try_access_block(BlockAddr(3), AccessKind::Read)
+            .unwrap();
+        let events = oram.obs().events();
+        assert!(matches!(
+            events.first(),
+            Some(ObsEvent::AccessIssued {
+                addr: 3,
+                write: false
+            })
+        ));
+        // One StageEnter per pipeline stage, in order.
+        let stages: Vec<StageKind> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::StageEnter { stage, .. } => Some(*stage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            stages,
+            vec![
+                StageKind::ResolvePosmap,
+                StageKind::PathFetch,
+                StageKind::DecryptVerify,
+                StageKind::StashUpdate,
+                StageKind::WriteBack,
+                StageKind::Evict,
+            ]
+        );
+        let retired = events
+            .iter()
+            .find_map(|e| match *e {
+                ObsEvent::AccessRetired { latency, .. } => Some(latency),
+                _ => None,
+            })
+            .expect("access retired");
+        assert_eq!(retired, report.latency);
+        // The per-stage profile mirrors the report's attribution.
+        let profile = oram.obs().profile_snapshot();
+        assert_eq!(profile.cycles(StageKind::PathFetch), report.stages.fetch);
+        assert_eq!(
+            profile.cycles(StageKind::ResolvePosmap),
+            report.stages.posmap
+        );
+    }
+
+    #[test]
+    fn detached_oram_emits_nothing() {
+        let mut oram = PathOram::new(OramConfig::small_for_tests(64), 9);
+        oram.try_access_block(BlockAddr(3), AccessKind::Read)
+            .unwrap();
+        assert!(!oram.obs().is_enabled());
+        assert_eq!(oram.obs().event_count(), 0);
     }
 
     #[test]

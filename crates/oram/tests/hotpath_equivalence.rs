@@ -10,6 +10,7 @@
 //! or byte accounting shows up as a hash mismatch here.
 
 use proram_mem::{AccessKind, BlockAddr};
+use proram_obs::{NoopSink, Obs};
 use proram_oram::{FaultConfig, OramConfig, PathOram};
 use proram_stats::{Rng64, Xoshiro256};
 
@@ -38,18 +39,28 @@ struct RunDigest {
 /// Replays the golden workload: 256-block tree, ORAM seed 42, 2000
 /// uniform reads from a Xoshiro stream seeded with 7.
 fn replay(store_payloads: bool) -> RunDigest {
-    let cfg = OramConfig {
-        store_payloads,
-        ..OramConfig::small_for_tests(256)
-    };
-    replay_cfg(cfg)
+    replay_cfg(golden_config(store_payloads))
+}
+
+fn golden_config(store_payloads: bool) -> OramConfig {
+    OramConfig::small_for_tests(256)
+        .to_builder()
+        .store_payloads(store_payloads)
+        .build()
+        .expect("valid golden configuration")
 }
 
 fn replay_cfg(cfg: OramConfig) -> RunDigest {
+    replay_observed(cfg, Obs::disabled())
+}
+
+fn replay_observed(cfg: OramConfig, obs: Obs) -> RunDigest {
     let mut oram = PathOram::new(cfg, 42);
+    oram.attach_obs_handle(obs);
     let mut rng = Xoshiro256::seed_from(7);
     for _ in 0..2000 {
-        oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+        oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+            .unwrap();
     }
     let s = oram.oram_stats();
     let h = oram.stash().occupancy_histogram();
@@ -116,11 +127,12 @@ fn golden_run_without_payloads() {
 /// accounting, or the adversary-visible trace.
 #[test]
 fn golden_run_with_silent_fault_injector() {
-    let cfg = OramConfig {
-        store_payloads: true,
-        fault: Some(FaultConfig::silent(0xDEAD)),
-        ..OramConfig::small_for_tests(256)
-    };
+    let cfg = OramConfig::small_for_tests(256)
+        .to_builder()
+        .store_payloads(true)
+        .fault(FaultConfig::silent(0xDEAD))
+        .build()
+        .expect("valid golden configuration");
     let d = replay_cfg(cfg);
     assert_common(&d);
     assert_eq!(d.hist_hash, 0x7e34_7ba1_61c4_bef3);
@@ -128,20 +140,49 @@ fn golden_run_with_silent_fault_injector() {
     assert_eq!(d.stash_peak, 19);
 }
 
+/// Attaching an enabled-but-retaining-nothing observability sink must
+/// leave every golden byte-identical: the obs layer reads controller
+/// state but never feeds back into path selection, eviction, or byte
+/// accounting.
+#[test]
+fn goldens_unchanged_with_noop_sink_attached() {
+    let d = replay_observed(golden_config(true), Obs::with_sink(Box::new(NoopSink)));
+    assert_common(&d);
+    assert_eq!(d.hist_hash, 0x7e34_7ba1_61c4_bef3);
+    assert_eq!(d.trace_hash, 0xb5a0_c950_fe1e_8801);
+    assert_eq!(d.stash_peak, 19);
+}
+
+/// Same property with the retaining ring sink: events accumulate on the
+/// side, and the run itself still matches the disabled-path goldens.
+#[test]
+fn goldens_unchanged_with_ring_sink_attached() {
+    let obs = Obs::ring(1 << 12);
+    let d = replay_observed(golden_config(false), obs.clone());
+    assert_common(&d);
+    assert_eq!(d.hist_hash, 0x06db_69e5_5d8e_25fe);
+    assert_eq!(d.trace_hash, 0xd4fb_1582_f412_add7);
+    assert_eq!(d.stash_peak, 21);
+    // The sink really was live for the whole replay.
+    assert!(obs.event_count() > 0 || obs.dropped() > 0);
+}
+
 /// The gated per-read image verification must not change behavior when
 /// enabled — it re-derives what the opaque path already computed.
 #[test]
 fn verify_image_is_observationally_silent() {
     let run = |verify_image: bool| {
-        let cfg = OramConfig {
-            store_payloads: true,
-            verify_image,
-            ..OramConfig::small_for_tests(256)
-        };
+        let cfg = OramConfig::small_for_tests(256)
+            .to_builder()
+            .store_payloads(true)
+            .verify_image(verify_image)
+            .build()
+            .expect("valid golden configuration");
         let mut oram = PathOram::new(cfg, 42);
         let mut rng = Xoshiro256::seed_from(7);
         for _ in 0..500 {
-            oram.access_block(BlockAddr(rng.next_below(256)), AccessKind::Read);
+            oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
+                .unwrap();
         }
         let leaves = oram.trace().observed_leaves();
         let mut h = FNV_INIT;

@@ -98,6 +98,16 @@ impl MultiCoreSystem {
         self.engine.memory()
     }
 
+    /// Attaches an observability handle to every tile and the shared
+    /// backend.
+    ///
+    /// Attach before running; the caller's clone of the handle keeps
+    /// seeing events and stage profiles after the run consumes the
+    /// system.
+    pub fn attach_obs(&mut self, obs: proram_obs::Obs) {
+        self.engine.attach_obs(obs);
+    }
+
     /// Runs every core to completion; returns the aggregate metrics
     /// (cycles = the slowest core's completion time) with the per-core
     /// breakdown in [`RunMetrics::per_core`].

@@ -19,6 +19,7 @@ use proram_core::{SchemeConfig, SuperBlockOram};
 use proram_mem::{
     AccessOutcome, BackendStats, BlockAddr, CacheProbe, Cycle, MemRequest, MemoryBackend,
 };
+use proram_obs::Obs;
 use proram_oram::{OramConfig, PathOram};
 
 /// Translates a shard's local block addresses back to global ones before
@@ -108,6 +109,16 @@ impl ShardedOram {
         self.shards.len()
     }
 
+    /// Borrows shard `i`'s controller (per-shard attribution in
+    /// `proram-bench obs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> &SuperBlockOram<PathOram> {
+        &self.shards[i]
+    }
+
     /// The shard owning a global block and that block's local address.
     fn route(&self, block: BlockAddr) -> (usize, BlockAddr) {
         let n = self.shards.len() as u64;
@@ -176,6 +187,14 @@ impl MemoryBackend for ShardedOram {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        // Every shard shares the one sink; shard identity is recoverable
+        // from each shard's own statistics (`ShardedOram::shard`).
+        for shard in &mut self.shards {
+            shard.attach_obs(obs.clone());
+        }
     }
 }
 

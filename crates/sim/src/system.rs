@@ -50,6 +50,15 @@ impl System {
         self.engine.memory()
     }
 
+    /// Attaches an observability handle to the tile and its backend.
+    ///
+    /// Attach before running; the caller's clone of the handle keeps
+    /// seeing events and stage profiles after the run consumes the
+    /// system.
+    pub fn attach_obs(&mut self, obs: proram_obs::Obs) {
+        self.engine.attach_obs(obs);
+    }
+
     /// Executes one trace op.
     pub fn step(&mut self, op: TraceOp) {
         self.engine.step(0, op);

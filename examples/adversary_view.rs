@@ -16,12 +16,12 @@ use proram_stats::{Rng64, Xoshiro256};
 /// Runs `n` accesses with the given address generator and returns the
 /// observed leaf sequence.
 fn observe(mut next_addr: impl FnMut(u64) -> u64, n: u64) -> (Vec<u64>, u64) {
-    let config = OramConfig {
-        num_data_blocks: 1 << 12,
-        trace_capacity: 1 << 18,
-        store_payloads: false,
-        ..OramConfig::default()
-    };
+    let config = OramConfig::builder()
+        .num_data_blocks(1 << 12)
+        .trace_capacity(1 << 18)
+        .store_payloads(false)
+        .build()
+        .expect("valid ORAM configuration");
     let mut oram = SuperBlockOram::new(config, SchemeConfig::dynamic(2), 99);
     let leaves = 1u64 << (oram.oram().config().tree_levels() - 1);
     for i in 0..n {

@@ -11,7 +11,7 @@
 //! cargo run --release --example secure_kv_store
 //! ```
 
-use proram::oram::{OramConfig, PathOram};
+use proram::oram::prelude::*;
 use proram::stats::chi2_uniform;
 use proram_mem::BlockAddr;
 use std::collections::HashMap;
@@ -28,11 +28,12 @@ struct SecureKvStore {
 
 impl SecureKvStore {
     fn new(capacity: u64) -> Self {
-        let config = OramConfig {
-            store_payloads: true,
-            trace_capacity: 1 << 16,
-            ..OramConfig::small_for_tests(capacity)
-        };
+        let config = OramConfig::small_for_tests(capacity)
+            .to_builder()
+            .store_payloads(true)
+            .trace_capacity(1 << 16)
+            .build()
+            .expect("valid ORAM configuration");
         let value_bytes = config.timing.block_bytes as usize;
         SecureKvStore {
             oram: PathOram::new(config, 0xC0FFEE),
@@ -57,12 +58,17 @@ impl SecureKvStore {
         let mut block = vec![0u8; self.value_bytes];
         block[0] = value.len() as u8;
         block[1..1 + value.len()].copy_from_slice(value);
-        self.oram.write_block(BlockAddr(slot), &block);
+        self.oram
+            .try_write_block(BlockAddr(slot), &block)
+            .expect("no faults injected");
     }
 
     fn get(&mut self, key: &str) -> Option<Vec<u8>> {
         let slot = *self.directory.get(key)?;
-        let block = self.oram.read_block(BlockAddr(slot))?;
+        let block = self
+            .oram
+            .try_read_block(BlockAddr(slot))
+            .expect("no faults injected")?;
         let len = block[0] as usize;
         Some(block[1..1 + len].to_vec())
     }

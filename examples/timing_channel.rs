@@ -34,10 +34,10 @@ fn drive(backend: &mut dyn MemoryBackend, seed: u64) -> (u64, u64) {
 }
 
 fn oram() -> SuperBlockOram {
-    let cfg = OramConfig {
-        num_data_blocks: 1 << 12,
-        ..OramConfig::default()
-    };
+    let cfg = OramConfig::builder()
+        .num_data_blocks(1 << 12)
+        .build()
+        .expect("valid ORAM configuration");
     SuperBlockOram::new(cfg, SchemeConfig::baseline(), 33)
 }
 

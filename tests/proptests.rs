@@ -173,7 +173,7 @@ fn path_oram_invariants_hold_under_random_accesses() {
             } else {
                 AccessKind::Read
             };
-            oram.access_block(addr, kind);
+            oram.try_access_block(addr, kind).unwrap();
         }
         oram.check_invariants();
     }
@@ -182,10 +182,11 @@ fn path_oram_invariants_hold_under_random_accesses() {
 #[test]
 fn super_block_oram_invariants_hold_under_mixed_traffic() {
     for seed in 0..48u64 {
-        let cfg = OramConfig {
-            store_payloads: false,
-            ..OramConfig::small_for_tests(256)
-        };
+        let cfg = OramConfig::small_for_tests(256)
+            .to_builder()
+            .store_payloads(false)
+            .build()
+            .expect("valid property-test configuration");
         let mut oram = SuperBlockOram::new(cfg, SchemeConfig::dynamic(4), seed);
         let mut rng = Xoshiro256::seed_from(seed.wrapping_mul(31));
         let mut llc_model: HashSet<u64> = HashSet::new();
@@ -224,10 +225,13 @@ fn payloads_survive_arbitrary_interleavings() {
             let addr = rng.next_below(64);
             if rng.next_bool(0.5) {
                 let fill = rng.next_below(256) as u8;
-                oram.write_block(BlockAddr(addr), &[fill; 128]);
+                oram.try_write_block(BlockAddr(addr), &[fill; 128]).unwrap();
                 shadow[addr as usize] = Some(fill);
             } else if let Some(expected) = shadow[addr as usize] {
-                let got = oram.read_block(BlockAddr(addr)).expect("payloads on");
+                let got = oram
+                    .try_read_block(BlockAddr(addr))
+                    .unwrap()
+                    .expect("payloads on");
                 assert!(
                     got.iter().all(|&b| b == expected),
                     "payload corrupted (seed {seed})"
