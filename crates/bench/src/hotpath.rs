@@ -45,19 +45,29 @@ impl KernelReport {
     }
 }
 
-pub(crate) fn kernel_config(store_payloads: bool) -> OramConfig {
+pub(crate) fn kernel_config(store_payloads: bool, crypto_threads: usize) -> OramConfig {
     OramConfig::builder()
         .num_data_blocks(NUM_BLOCKS)
         .entries_per_posmap_block(8)
         .store_payloads(store_payloads)
         .trace_capacity(0)
+        .crypto_threads(crypto_threads)
         .build()
         .expect("kernel configuration is valid")
 }
 
 /// Runs one kernel for roughly `ms` milliseconds of timed accesses.
 pub fn run_kernel(store_payloads: bool, ms: u64) -> Throughput {
-    let mut oram = PathOram::new(kernel_config(store_payloads), 1);
+    run_kernel_threads(store_payloads, ms, 0)
+}
+
+/// [`run_kernel`] with the crypto pool armed: `threads` cooperating
+/// threads re-encrypt each written path's buckets in parallel
+/// (`0` disables the pool — the serial baseline). Statistics and the
+/// encrypted image are byte-identical at any thread count; only
+/// wall-clock time changes.
+pub fn run_kernel_threads(store_payloads: bool, ms: u64, threads: usize) -> Throughput {
+    let mut oram = PathOram::new(kernel_config(store_payloads, threads), 1);
     let mut rng = Xoshiro256::seed_from(2);
     for _ in 0..WARMUP {
         oram.try_access_block(BlockAddr(rng.next_below(NUM_BLOCKS)), AccessKind::Read)
@@ -90,20 +100,22 @@ pub fn run_kernel(store_payloads: bool, ms: u64) -> Throughput {
 /// The baseline numbers were captured on the seed implementation (PR 1)
 /// with this exact harness — same tree, seeds, warmup and chunking —
 /// immediately before the hot-path optimization, on the same class of
-/// machine CI uses.
-pub fn measure(ms: u64) -> Vec<KernelReport> {
+/// machine CI uses. `crypto_threads` arms the crypto pool
+/// (`proram-bench hotpath --threads N`); the opaque kernel has no
+/// encrypted image, so only the encrypted kernel's wall-clock moves.
+pub fn measure(ms: u64, crypto_threads: usize) -> Vec<KernelReport> {
     vec![
         KernelReport {
             name: "oram-access/opaque",
             before_accesses_per_sec: 177_859.3,
             before_bytes_per_sec: 6.158e9,
-            after: run_kernel(false, ms),
+            after: run_kernel_threads(false, ms, crypto_threads),
         },
         KernelReport {
             name: "oram-access/encrypted",
             before_accesses_per_sec: 22_760.3,
             before_bytes_per_sec: 7.878e8,
-            after: run_kernel(true, ms),
+            after: run_kernel_threads(true, ms, crypto_threads),
         },
     ]
 }

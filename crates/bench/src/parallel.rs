@@ -1,0 +1,262 @@
+//! The crypto-thread sweep behind `proram-bench parallel`.
+//!
+//! Runs the encrypted hot-path kernel at several `crypto_threads`
+//! settings — `0` is the serial baseline, the pool path otherwise — and
+//! measures the widened keystream against the retained scalar reference
+//! ([`proram_oram::StreamCipher::apply_scalar_reference`]). Emits the
+//! `BENCH_parallel.json` report.
+//!
+//! Two contracts ride along:
+//!
+//! * the widened cipher must beat the scalar loop: the soft target is
+//!   [`CIPHER_SPEEDUP_FLOOR`] (typically met — the widening is pure
+//!   instruction-level parallelism), and [`measure`] *asserts* the
+//!   noise-tolerant [`CIPHER_SPEEDUP_HARD_FLOOR`] so a real regression
+//!   fails the run while a noisy shared-core runner does not;
+//! * thread-count *speedups* are reported, not asserted: wall-clock
+//!   scaling needs real cores, and the report records how many the
+//!   machine had so a single-core CI box doesn't fail the build.
+
+use crate::hotpath::{run_kernel_threads, NUM_BLOCKS, WARMUP};
+use crate::microbench::Throughput;
+use proram_oram::StreamCipher;
+use std::time::Instant;
+
+/// Target widened-over-scalar cipher throughput ratio. The 8-wide
+/// keystream is pure ILP, so this is machine-independent and typically
+/// measures ~1.55x; [`measure`] retries a trial that misses it (shared
+/// runners dip under co-tenant load) and records the achieved ratio in
+/// the report.
+pub const CIPHER_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Hard assertion floor for the cipher ratio: [`measure`] panics when
+/// even the best retry lands below this. Set with enough margin below
+/// [`CIPHER_SPEEDUP_FLOOR`] that sustained interference on a shared
+/// single-core runner (observed compressing the measured ratio to
+/// ~1.2x) does not fail the build, while a genuine loss of the widened
+/// path's ILP (ratio ~1.0x) still does.
+pub const CIPHER_SPEEDUP_HARD_FLOOR: f64 = 1.1;
+
+/// Thread counts swept by `proram-bench parallel` (0 = pool disabled).
+pub const SWEEP: [usize; 4] = [0, 1, 2, 4];
+
+/// Cipher-microbench buffer size: one plausible bucket body (Z = 3 slots
+/// of a little over 1 KiB each).
+const CIPHER_BUF_BYTES: usize = 4096;
+
+/// One point of the thread sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelPoint {
+    /// `crypto_threads` the kernel ran with (0 = serial baseline).
+    pub threads: usize,
+    /// The measured throughput.
+    pub after: Throughput,
+}
+
+/// The full `proram-bench parallel` result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// Encrypted-kernel throughput per swept thread count.
+    pub points: Vec<ParallelPoint>,
+    /// Widened-keystream cipher throughput, bytes/sec.
+    pub cipher_wide_bps: f64,
+    /// Scalar-reference cipher throughput, bytes/sec.
+    pub cipher_scalar_bps: f64,
+    /// Cores the machine reported (context for the thread speedups).
+    pub cores: usize,
+}
+
+impl ParallelReport {
+    /// Widened-over-scalar cipher throughput ratio.
+    pub fn cipher_speedup(&self) -> f64 {
+        self.cipher_wide_bps / self.cipher_scalar_bps
+    }
+
+    /// Accesses/sec of the serial (`threads == 0`) baseline point.
+    pub fn baseline_accesses_per_sec(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.threads == 0)
+            .map(|p| p.after.units_per_sec())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// `point / serial-baseline` accesses-per-second ratio.
+    pub fn speedup_at(&self, threads: usize) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.threads == threads)
+            .map(|p| p.after.units_per_sec() / self.baseline_accesses_per_sec())
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Interleaved slices per cipher trial: both variants run many short
+/// alternating timed slices and keep their best slice, so transient
+/// interference (a noisy co-tenant, a frequency dip) hits individual
+/// slices instead of biasing one whole side of the comparison.
+const CIPHER_SLICES: usize = 8;
+
+/// Measures both cipher formulations over alternating timed slices of
+/// roughly `ms` milliseconds each; returns `(wide, scalar)` best-slice
+/// throughput in bytes/sec.
+fn cipher_rates(ms: u64) -> (f64, f64) {
+    let cipher = StreamCipher::new(0x5EED_CAFE_F00D_D00D);
+    let mut best = [0.0f64; 2];
+    let mut buf = vec![0u8; CIPHER_BUF_BYTES];
+    let mut nonce = 1u64;
+    for _ in 0..CIPHER_SLICES {
+        for (side, best_side) in best.iter_mut().enumerate() {
+            let start = Instant::now();
+            let mut bytes = 0u64;
+            while start.elapsed().as_millis() < u128::from(ms) {
+                for _ in 0..16 {
+                    nonce = nonce.wrapping_add(1);
+                    if side == 0 {
+                        cipher.apply(nonce, &mut buf);
+                    } else {
+                        cipher.apply_scalar_reference(nonce, &mut buf);
+                    }
+                }
+                bytes += 16 * CIPHER_BUF_BYTES as u64;
+            }
+            std::hint::black_box(&buf);
+            *best_side = best_side.max(bytes as f64 / start.elapsed().as_secs_f64());
+        }
+    }
+    (best[0], best[1])
+}
+
+/// Runs the cipher microbench and the thread sweep (roughly `ms`
+/// milliseconds per timed region).
+///
+/// # Panics
+///
+/// Panics if the widened cipher fails to beat the scalar reference by
+/// [`CIPHER_SPEEDUP_HARD_FLOOR`] on three consecutive trials — that
+/// regression would mean the widened keystream lost its
+/// instruction-level parallelism. Trials below the soft
+/// [`CIPHER_SPEEDUP_FLOOR`] are retried and the best ratio is kept.
+pub fn measure(ms: u64) -> ParallelReport {
+    // Per-slice budget: the trial runs 2 * CIPHER_SLICES slices.
+    let slice_ms = (ms / (2 * CIPHER_SLICES as u64)).clamp(10, 50);
+    // The soft target is a floor on a wall-clock ratio; on a loaded
+    // shared runner even best-of-slices can dip, so retry the whole
+    // trial and keep the best ratio seen. Only a best ratio below the
+    // hard floor — the widened path essentially tying the scalar loop —
+    // is a regression worth failing on.
+    let mut cipher_wide_bps = 0.0;
+    let mut cipher_scalar_bps = 0.0;
+    let mut best_ratio = 0.0f64;
+    for _ in 0..3 {
+        let (wide, scalar) = cipher_rates(slice_ms);
+        let ratio = wide / scalar;
+        if ratio > best_ratio {
+            best_ratio = ratio;
+            cipher_wide_bps = wide;
+            cipher_scalar_bps = scalar;
+        }
+        if best_ratio >= CIPHER_SPEEDUP_FLOOR {
+            break;
+        }
+    }
+    assert!(
+        best_ratio >= CIPHER_SPEEDUP_HARD_FLOOR,
+        "widened keystream must be >= {CIPHER_SPEEDUP_HARD_FLOOR}x the scalar reference \
+         (soft target {CIPHER_SPEEDUP_FLOOR}x), got {best_ratio:.2}x \
+         ({cipher_wide_bps:.3e} vs {cipher_scalar_bps:.3e} bytes/sec) after 3 attempts"
+    );
+    let points = SWEEP
+        .iter()
+        .map(|&threads| ParallelPoint {
+            threads,
+            after: run_kernel_threads(true, ms, threads),
+        })
+        .collect();
+    ParallelReport {
+        points,
+        cipher_wide_bps,
+        cipher_scalar_bps,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Renders the report as the `BENCH_parallel.json` document.
+pub fn to_json(report: &ParallelReport, ms: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"oram-access encrypted kernel, crypto-thread sweep\",\n");
+    out.push_str("  \"harness\": \"proram-bench parallel\",\n");
+    out.push_str(&format!("  \"measure_ms\": {ms},\n"));
+    out.push_str(&format!("  \"cores\": {},\n", report.cores));
+    out.push_str(&format!(
+        "  \"config\": {{\"num_data_blocks\": {NUM_BLOCKS}, \"entries_per_posmap_block\": 8, \"warmup_accesses\": {WARMUP}, \"store_payloads\": true}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"cipher\": {{\"wide_bytes_per_sec\": {:.4e}, \"scalar_bytes_per_sec\": {:.4e}, \"speedup\": {:.3}, \"floor\": {CIPHER_SPEEDUP_FLOOR}, \"hard_floor\": {CIPHER_SPEEDUP_HARD_FLOOR}}},\n",
+        report.cipher_wide_bps,
+        report.cipher_scalar_bps,
+        report.cipher_speedup()
+    ));
+    out.push_str("  \"threads\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"crypto_threads\": {}, \"accesses_per_sec\": {:.1}, \"bytes_per_sec\": {:.4e}, \"timed_accesses\": {}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            p.threads,
+            p.after.units_per_sec(),
+            p.after.bytes_per_sec(),
+            p.after.units,
+            p.after.units_per_sec() / report.baseline_accesses_per_sec(),
+            if i + 1 == report.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_shaped_like_a_report() {
+        let report = ParallelReport {
+            points: vec![
+                ParallelPoint {
+                    threads: 0,
+                    after: Throughput {
+                        units: 1000,
+                        bytes: 1 << 20,
+                        allocations_avoided: 2000,
+                        secs: 1.0,
+                    },
+                },
+                ParallelPoint {
+                    threads: 4,
+                    after: Throughput {
+                        units: 2500,
+                        bytes: 1 << 20,
+                        allocations_avoided: 5000,
+                        secs: 1.0,
+                    },
+                },
+            ],
+            cipher_wide_bps: 2.0e9,
+            cipher_scalar_bps: 1.0e9,
+            cores: 8,
+        };
+        assert!((report.cipher_speedup() - 2.0).abs() < 1e-9);
+        assert!((report.speedup_at(4) - 2.5).abs() < 1e-9);
+        let json = to_json(&report, 500);
+        assert!(json.contains("\"crypto_threads\": 4"));
+        assert!(json.contains("\"speedup_vs_serial\": 2.500"));
+        assert!(json.contains("\"cores\": 8"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn cipher_rates_report_positive_throughput() {
+        let (wide, scalar) = cipher_rates(2);
+        assert!(wide > 0.0);
+        assert!(scalar > 0.0);
+    }
+}

@@ -12,9 +12,8 @@
 
 use crate::event::{ObsEvent, StageKind};
 use crate::profile::StageProfile;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Receives events from instrumented components.
 ///
@@ -100,7 +99,7 @@ impl ObsSink for RingSink {
 
 #[derive(Debug)]
 struct ObsCore {
-    sink: Box<dyn ObsSink>,
+    sink: Box<dyn ObsSink + Send>,
     profile: StageProfile,
 }
 
@@ -113,9 +112,12 @@ struct ObsCore {
 /// controller, scheduler and engine and they interleave into a single
 /// trace.
 ///
-/// Handles are deliberately *not* `Send`: the simulator's parallelism is
-/// one independent system per worker thread, and each worker builds its
-/// own stack (and its own `Obs`) locally.
+/// Handles are `Send + Sync` (the core sits behind a `Mutex`), so a
+/// controller holding one can be stepped on a `proram-par` worker thread.
+/// The mutex is uncontended in practice — each shard owns its own `Obs`,
+/// and the crypto pool's workers never emit (they run pure crypto; the
+/// caller thread emits batch events after the join) — so the cost over
+/// the old `RefCell` is one uncontended lock per emission.
 ///
 /// # Examples
 ///
@@ -132,7 +134,14 @@ struct ObsCore {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
-    inner: Option<Rc<RefCell<ObsCore>>>,
+    inner: Option<Arc<Mutex<ObsCore>>>,
+}
+
+/// Locks an obs core, ignoring poisoning: a panicked emitter leaves
+/// counters in a sane (if partial) state, and observability must not turn
+/// one panic into a cascade.
+fn lock(core: &Mutex<ObsCore>) -> MutexGuard<'_, ObsCore> {
+    core.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Obs {
@@ -147,9 +156,9 @@ impl Obs {
     }
 
     /// An enabled handle over an arbitrary sink.
-    pub fn with_sink(sink: Box<dyn ObsSink>) -> Self {
+    pub fn with_sink(sink: Box<dyn ObsSink + Send>) -> Self {
         Obs {
-            inner: Some(Rc::new(RefCell::new(ObsCore {
+            inner: Some(Arc::new(Mutex::new(ObsCore {
                 sink,
                 profile: StageProfile::default(),
             }))),
@@ -167,7 +176,7 @@ impl Obs {
     pub fn emit(&self, event: impl FnOnce() -> ObsEvent) {
         if let Some(core) = &self.inner {
             let e = event();
-            core.borrow_mut().sink.record(&e);
+            lock(core).sink.record(&e);
         }
     }
 
@@ -176,7 +185,7 @@ impl Obs {
     #[inline]
     pub fn profile(&self, stage: StageKind, cycles: u64) {
         if let Some(core) = &self.inner {
-            core.borrow_mut().profile.record(stage, cycles);
+            lock(core).profile.record(stage, cycles);
         }
     }
 
@@ -194,7 +203,7 @@ impl Obs {
     /// sink retains nothing).
     pub fn events(&self) -> Vec<ObsEvent> {
         match &self.inner {
-            Some(core) => core.borrow().sink.events().to_vec(),
+            Some(core) => lock(core).sink.events().to_vec(),
             None => Vec::new(),
         }
     }
@@ -202,7 +211,7 @@ impl Obs {
     /// Number of retained events.
     pub fn event_count(&self) -> usize {
         match &self.inner {
-            Some(core) => core.borrow().sink.events().len(),
+            Some(core) => lock(core).sink.events().len(),
             None => 0,
         }
     }
@@ -210,7 +219,7 @@ impl Obs {
     /// Events offered to the sink but not retained.
     pub fn dropped(&self) -> u64 {
         match &self.inner {
-            Some(core) => core.borrow().sink.dropped(),
+            Some(core) => lock(core).sink.dropped(),
             None => 0,
         }
     }
@@ -218,7 +227,7 @@ impl Obs {
     /// A copy of the accumulated per-stage profile.
     pub fn profile_snapshot(&self) -> StageProfile {
         match &self.inner {
-            Some(core) => core.borrow().profile.clone(),
+            Some(core) => lock(core).profile.clone(),
             None => StageProfile::default(),
         }
     }
@@ -301,6 +310,20 @@ mod tests {
         // Time moving backwards clamps to zero rather than wrapping.
         obs.scope(StageKind::Demand, 50).finish(10);
         assert_eq!(obs.profile_snapshot().cycles(StageKind::Demand), 75);
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+        // A shared handle actually works across a thread boundary.
+        let obs = Obs::ring(8);
+        let clone = obs.clone();
+        std::thread::spawn(move || clone.emit(|| ev(1)))
+            .join()
+            .unwrap();
+        obs.emit(|| ev(2));
+        assert_eq!(obs.event_count(), 2);
     }
 
     #[test]

@@ -137,6 +137,15 @@ pub struct OramConfig {
     /// pre-pipeline controller. Purely a timing-model choice: the access
     /// trace, stash behavior and statistics are unaffected.
     pub pipeline: Option<proram_mem::BankConfig>,
+    /// Threads applied to per-bucket crypto (slot MACs + encryption) on
+    /// the encrypted image's path reads and write-backs: `0` (and `1`)
+    /// run serially; `n >= 2` attaches a persistent worker pool of
+    /// `n - 1` threads that the controller thread joins. The image,
+    /// statistics and adversary trace are **byte-identical at every
+    /// setting** — results merge in bucket order and workers are pure
+    /// (DESIGN.md section 14). Requires `store_payloads` to matter;
+    /// without an image there is no crypto to parallelize.
+    pub crypto_threads: usize,
 }
 
 impl OramConfig {
@@ -175,6 +184,7 @@ impl OramConfig {
             stash_hard_capacity: None,
             scrub_interval: 0,
             pipeline: None,
+            crypto_threads: 0,
         }
     }
 
@@ -348,6 +358,15 @@ impl OramConfig {
             return Err(ConfigError::new(
                 "scrub_interval",
                 "scrubbing requires store_payloads (there is no image to verify otherwise)",
+            ));
+        }
+        if self.crypto_threads > 256 {
+            return Err(ConfigError::new(
+                "crypto_threads",
+                format!(
+                    "crypto_threads ({}) exceeds the 256-thread cap",
+                    self.crypto_threads
+                ),
             ));
         }
         if let Some(bank) = &self.pipeline {
@@ -542,6 +561,13 @@ impl OramConfigBuilder {
         self
     }
 
+    /// Applies `n` threads to per-bucket crypto on the encrypted image
+    /// (`0` = serial; results are byte-identical at every setting).
+    pub fn crypto_threads(mut self, n: usize) -> Self {
+        self.cfg.crypto_threads = n;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -578,6 +604,7 @@ impl Default for OramConfig {
             stash_hard_capacity: None,
             scrub_interval: 0,
             pipeline: None,
+            crypto_threads: 0,
         }
     }
 }
@@ -729,12 +756,24 @@ mod tests {
             .init_group_size(4)
             .stash_hard_capacity(200)
             .scrub_interval(64)
+            .crypto_threads(3)
             .build()
             .expect("consistent configuration");
         assert_eq!(cfg.num_data_blocks, 1 << 12);
         assert_eq!(cfg.init_group_size, 4);
         assert_eq!(cfg.stash_hard_capacity, Some(200));
         assert_eq!(cfg.scrub_interval, 64);
+        assert_eq!(cfg.crypto_threads, 3);
+    }
+
+    #[test]
+    fn builder_rejects_absurd_crypto_threads() {
+        let err = OramConfig::builder()
+            .crypto_threads(1000)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "crypto_threads");
+        assert!(err.to_string().contains("256-thread cap"), "{err}");
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //!
 //! # Fault handling
 //!
-//! Every fallible primitive returns [`Result<_, OramError>`]; the
-//! panicking wrappers ([`PathOram::access_block`] and friends) are
-//! deprecated in favor of the `try_` forms. With
+//! Every fallible primitive returns [`Result<_, OramError>`] — the
+//! `try_` forms ([`PathOram::try_access_block`],
+//! [`PathOram::try_read_block`], [`PathOram::try_write_block`]) are the
+//! only access API; the old panicking wrappers are gone. With
 //! [`OramConfig::fault`] set, the controller recovers in place: corrupted
 //! or rolled-back buckets flagged by per-path verification (or the
 //! periodic scrub) are re-encrypted from the trusted logical tree,
@@ -163,6 +164,11 @@ pub struct PathOram {
     pub(crate) verify_plain: Vec<u8>,
     pub(crate) verify_store_addrs: Vec<u64>,
     pub(crate) verify_tree_addrs: Vec<u64>,
+    /// Reusable buffers for the pooled verification path: the path's
+    /// bucket indices and one address vector per bucket
+    /// ([`EncryptedStore::bucket_addrs_batch`]).
+    pub(crate) verify_batch_indices: Vec<usize>,
+    pub(crate) verify_batch_addrs: Vec<Vec<u64>>,
     /// Recovery counters owned by the controller (repairs, emergency
     /// evictions, scrub passes); the injector's own counters live in the
     /// store and the two are summed by [`PathOram::fault_stats`].
@@ -264,6 +270,14 @@ impl PathOram {
             for idx in 0..tree.num_buckets() {
                 store.write_bucket(idx, tree.bucket(idx));
             }
+            // Crypto worker pool for the hot paths. `< 2` means serial:
+            // a "pool" of one thread is the caller itself. The store's
+            // batch entry points keep the image byte-identical either way.
+            if config.crypto_threads >= 2 {
+                store.attach_pool(std::sync::Arc::new(proram_par::WorkerPool::new(
+                    config.crypto_threads,
+                )));
+            }
         }
 
         let trace = if config.trace_capacity > 0 {
@@ -308,6 +322,8 @@ impl PathOram {
             verify_plain: Vec::new(),
             verify_store_addrs: Vec::new(),
             verify_tree_addrs: Vec::new(),
+            verify_batch_indices: Vec::new(),
+            verify_batch_addrs: Vec::new(),
             ctrl_faults: FaultStats::default(),
             reads_since_scrub: 0,
             obs: Obs::disabled(),
@@ -498,22 +514,6 @@ impl PathOram {
             .map_or(0, |s| s.fault_stats().backoff_cycles)
     }
 
-    /// Panicking form of [`PathOram::try_access_block`] — the historical
-    /// API, kept for old callers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr` is not a data block or on any unrecovered
-    /// [`OramError`] (e.g. tampering detected with recovery disabled).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_access_block` and handle the `OramError`"
-    )]
-    pub fn access_block(&mut self, addr: BlockAddr, kind: AccessKind) -> AccessReport {
-        self.try_access_block(addr, kind)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Reads the data payload of `addr` (a full ORAM access).
     ///
     /// Returns `Ok(None)` if payload storage is disabled.
@@ -552,34 +552,41 @@ impl PathOram {
         Ok(())
     }
 
-    /// Panicking form of [`PathOram::try_read_block`].
-    ///
-    /// Returns `None` if payload storage is disabled.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any unrecovered [`OramError`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_read_block` and handle the `OramError`"
-    )]
-    pub fn read_block(&mut self, addr: BlockAddr) -> Option<Vec<u8>> {
-        self.try_read_block(addr).unwrap_or_else(|e| panic!("{e}"))
+    /// The crypto worker pool's cumulative dispatch counters, when
+    /// [`OramConfig::crypto_threads`] attached one (`None` otherwise).
+    pub fn pool_stats(&self) -> Option<proram_par::PoolStats> {
+        self.store.as_ref().and_then(EncryptedStore::pool_stats)
     }
 
-    /// Panicking form of [`PathOram::try_write_block`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if payload storage is disabled, `bytes` is not exactly one
-    /// block, or on any unrecovered [`OramError`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_write_block` and handle the `OramError`"
-    )]
-    pub fn write_block(&mut self, addr: BlockAddr, bytes: &[u8]) {
-        self.try_write_block(addr, bytes)
-            .unwrap_or_else(|e| panic!("{e}"))
+    /// Emits the observability record of one pooled crypto batch: an
+    /// entries-only lane tick plus a deterministic
+    /// [`proram_obs::ObsEvent::PoolDispatch`], and — when the batch
+    /// actually moved work — wall-clock-dependent steal/idle deltas.
+    /// Associated function (no `&self`) so call sites holding a mutable
+    /// borrow of the store can still pass their own `obs` handle.
+    pub(crate) fn emit_pool_batch(
+        obs: &Obs,
+        stage: proram_obs::StageKind,
+        jobs: usize,
+        workers: usize,
+        before: proram_par::PoolStats,
+        after: proram_par::PoolStats,
+    ) {
+        obs.profile(stage, 0);
+        obs.emit(|| proram_obs::ObsEvent::PoolDispatch {
+            jobs: jobs as u32,
+            workers: workers as u32,
+        });
+        let stolen = after.jobs_caller_executed - before.jobs_caller_executed;
+        if stolen > 0 {
+            obs.emit(|| proram_obs::ObsEvent::PoolSteal {
+                jobs: stolen as u32,
+            });
+        }
+        let parks = after.worker_parks - before.worker_parks;
+        if parks > 0 {
+            obs.emit(|| proram_obs::ObsEvent::PoolIdle { parks });
+        }
     }
 
     /// The observability handle currently attached (disabled by default).
@@ -951,17 +958,18 @@ mod tests {
         assert!(!oram.trace().events().is_empty());
     }
 
-    // Exercises the deprecated panicking wrappers on purpose: they must
-    // keep behaving exactly like their `try_` forms.
     #[test]
-    #[allow(deprecated)]
-    fn payload_round_trip_via_deprecated_wrappers() {
+    fn payload_round_trip_via_try_api() {
         let mut oram = PathOram::new(OramConfig::small_for_tests(64), 5);
         let data = vec![0xAB; 128];
-        oram.write_block(BlockAddr(3), &data);
-        let read = oram.read_block(BlockAddr(3)).expect("payloads enabled");
+        oram.try_write_block(BlockAddr(3), &data).expect("write");
+        let read = oram
+            .try_read_block(BlockAddr(3))
+            .expect("read")
+            .expect("payloads enabled");
         assert_eq!(read, data);
-        oram.access_block(BlockAddr(3), AccessKind::Read);
+        oram.try_access_block(BlockAddr(3), AccessKind::Read)
+            .expect("access");
         oram.check_invariants();
     }
 

@@ -17,8 +17,38 @@ impl PathOram {
     pub fn write_path_from_stash(&mut self, leaf: Leaf) {
         write_path_with(&mut self.tree, &mut self.stash, leaf, &mut self.scratch);
         if let Some(store) = self.store.as_mut() {
-            for idx in self.tree.path_indices(leaf) {
-                store.write_bucket(idx, self.tree.bucket(idx));
+            if store.parallel_active() {
+                // Pooled path: serialize + seal + encrypt fan across the
+                // crypto workers; commits happen in path order on this
+                // thread, so the image is byte-identical to the serial
+                // loop below (nonces are assigned in path order before
+                // dispatch — DESIGN.md section 14).
+                let before = if self.obs.is_enabled() {
+                    store.pool_stats()
+                } else {
+                    None
+                };
+                let buckets: Vec<(usize, &crate::bucket::Bucket)> = self
+                    .tree
+                    .path_indices(leaf)
+                    .map(|idx| (idx, self.tree.bucket(idx)))
+                    .collect();
+                store.write_buckets(&buckets);
+                if let Some(before) = before {
+                    Self::emit_pool_batch(
+                        &self.obs,
+                        proram_obs::StageKind::PoolEncrypt,
+                        buckets.len(),
+                        store.pool_workers(),
+                        before,
+                        store.pool_stats().unwrap_or_default(),
+                    );
+                }
+            } else {
+                // Serial path stays allocation-free.
+                for idx in self.tree.path_indices(leaf) {
+                    store.write_bucket(idx, self.tree.bucket(idx));
+                }
             }
         }
     }

@@ -41,16 +41,66 @@ impl StreamCipher {
         StreamCipher { key }
     }
 
+    /// The SplitMix seed mixing `key` and `nonce`.
+    #[inline]
+    fn seed(&self, nonce: u64) -> u64 {
+        self.key.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ nonce.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+    }
+
     /// XORs the keystream for `nonce` into `buf` (encrypts or decrypts).
+    ///
+    /// The keystream is generated eight 64-bit words per round (two
+    /// [`SplitMix64::next4`] calls) and applied as four 16-byte XORs, so
+    /// a bucket-sized buffer moves 64 bytes per iteration instead of 8.
+    /// The keystream byte sequence is *identical* to the
+    /// one-word-at-a-time formulation (kept as
+    /// [`Self::apply_scalar_reference`]), so ciphertexts and the storage
+    /// image are unchanged.
     pub fn apply(&self, nonce: u64, buf: &mut [u8]) {
-        // Key and nonce are mixed into the SplitMix seed; each 8-byte
-        // chunk consumes one generator step.
-        let seed = self.key.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ nonce.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
-        let mut ks = SplitMix64::new(seed);
+        let mut ks = SplitMix64::new(self.seed(nonce));
+        // 64-byte blocks: two next4() calls feed four u128 XORs. All
+        // eight mixes are data-independent, so they schedule in parallel
+        // ahead of the wide loads/stores.
+        let mut blocks = buf.chunks_exact_mut(64);
+        for block in &mut blocks {
+            let [k0, k1, k2, k3] = ks.next4();
+            let [k4, k5, k6, k7] = ks.next4();
+            let m = [
+                u128::from(k0) | (u128::from(k1) << 64),
+                u128::from(k2) | (u128::from(k3) << 64),
+                u128::from(k4) | (u128::from(k5) << 64),
+                u128::from(k6) | (u128::from(k7) << 64),
+            ];
+            for (lane, mi) in block.chunks_exact_mut(16).zip(m) {
+                let v = u128::from_le_bytes(lane.as_ref().try_into().expect("16-byte lane"));
+                lane.copy_from_slice(&(v ^ mi).to_le_bytes());
+            }
+        }
         // Whole words XOR 8 bytes at a time; the tail (if any) falls back
         // to byte-wise XOR of the same keystream word, so the keystream
         // byte sequence is independent of the chunking.
+        let mut chunks = blocks.into_remainder().chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.as_ref().try_into().expect("8-byte chunk"));
+            chunk.copy_from_slice(&(word ^ ks.next_u64()).to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = ks.next_u64().to_le_bytes();
+            for (b, k) in rem.iter_mut().zip(word.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// The pre-widening implementation of [`Self::apply`]: one keystream
+    /// word per iteration. Retained verbatim as the baseline for the
+    /// cipher microbench (`proram-bench hotpath` asserts the widened path
+    /// beats it) and as an equality oracle in tests. Output is
+    /// byte-identical to [`Self::apply`].
+    pub fn apply_scalar_reference(&self, nonce: u64, buf: &mut [u8]) {
+        let mut ks = SplitMix64::new(self.seed(nonce));
         let mut chunks = buf.chunks_exact_mut(8);
         for chunk in &mut chunks {
             let word = u64::from_le_bytes(chunk.as_ref().try_into().expect("8-byte chunk"));
@@ -234,6 +284,24 @@ mod tests {
     fn mac_distinguishes_length_extension() {
         let mac = Mac::new(4);
         assert_ne!(mac.tag(&[], b"ab"), mac.tag(&[], b"ab\0"));
+    }
+
+    #[test]
+    fn widened_apply_matches_scalar_reference_at_every_length() {
+        // The 4-wide keystream must be byte-identical to the retained
+        // one-word-per-iteration reference for every chunking regime:
+        // empty, sub-word, sub-block, block-aligned, and ragged tails.
+        let c = StreamCipher::new(0xFEED_F00D_1234_5678);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 257] {
+            for nonce in [0u64, 1, 99, u64::MAX] {
+                let plain: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+                let mut wide = plain.clone();
+                let mut scalar = plain.clone();
+                c.apply(nonce, &mut wide);
+                c.apply_scalar_reference(nonce, &mut scalar);
+                assert_eq!(wide, scalar, "len={len} nonce={nonce}");
+            }
+        }
     }
 
     #[test]

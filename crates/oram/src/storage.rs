@@ -36,6 +36,8 @@ use crate::error::OramError;
 use crate::fault::{FaultConfig, FaultyStore};
 use crate::posmap::PosEntry;
 use proram_mem::{BlockAddr, FaultStats};
+use proram_par::WorkerPool;
+use std::sync::Arc;
 
 /// Authenticated slot header: `(addr, leaf, hit, kind, payload_len)`.
 type SlotHeader = (BlockAddr, Leaf, bool, u8, usize);
@@ -105,6 +107,39 @@ pub struct EncryptedStore {
     z: usize,
     payload_bytes: usize,
     num_buckets: usize,
+    /// Optional crypto worker pool. When attached (and the backing is
+    /// plain), path-batch writes and reads fan per-bucket seal/encrypt
+    /// and decrypt/verify work across its threads with an ordered merge,
+    /// keeping the image byte-identical to the serial path.
+    pool: Option<Arc<WorkerPool>>,
+    /// Recycled bucket-body buffers for the parallel batch paths.
+    body_scratch: Vec<Vec<u8>>,
+    /// Recycled per-bucket address vectors for the parallel read path.
+    addr_scratch: Vec<Vec<u64>>,
+}
+
+/// One bucket's worth of parallel write work: the caller has already
+/// assigned `nonce`/`version` (in path order, on its own thread) and
+/// serialized the slot fields into `body`; a worker seals the slot MACs
+/// and encrypts.
+struct SealJob {
+    index: usize,
+    nonce: u64,
+    version: u64,
+    body: Vec<u8>,
+}
+
+/// One bucket's worth of parallel read work: the caller authenticated
+/// the header and copied the ciphertext body out; a worker decrypts and
+/// address-verifies every slot. `bad_slot` reports the first slot that
+/// failed authentication.
+struct VerifyJob {
+    index: usize,
+    nonce: u64,
+    version: u64,
+    body: Vec<u8>,
+    addrs: Vec<u64>,
+    bad_slot: Option<usize>,
 }
 
 impl EncryptedStore {
@@ -131,7 +166,38 @@ impl EncryptedStore {
             z,
             payload_bytes,
             num_buckets,
+            pool: None,
+            body_scratch: Vec::new(),
+            addr_scratch: Vec::new(),
         }
+    }
+
+    /// Attaches a crypto worker pool; subsequent
+    /// [`EncryptedStore::write_buckets`] and
+    /// [`EncryptedStore::bucket_addrs_batch`] calls fan their per-bucket
+    /// crypto across it. The image stays byte-identical to the serial
+    /// path (see DESIGN.md section 14 for the determinism contract).
+    pub fn attach_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Whether batch calls actually execute in parallel: a pool with at
+    /// least one worker is attached and fault injection is off (the
+    /// injector's RNG draws and bookkeeping depend on strict per-bucket
+    /// read/write order, so a faulty backing always runs serially).
+    pub fn parallel_active(&self) -> bool {
+        self.pool.as_ref().is_some_and(|p| p.workers() > 0) && !self.faults_enabled()
+    }
+
+    /// The attached pool's cumulative dispatch counters, if any.
+    pub fn pool_stats(&self) -> Option<proram_par::PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
+    /// Worker threads the attached pool owns (0 without a pool; the
+    /// calling thread participates in batches on top of these).
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.workers())
     }
 
     /// Swaps the plain byte backing for a seeded fault injector.
@@ -228,10 +294,87 @@ impl EncryptedStore {
         plain.fill(0);
         for (i, block) in bucket.iter().enumerate() {
             let slot = &mut plain[i * slot_bytes..(i + 1) * slot_bytes];
-            Self::serialize_block(block, slot, payload_bytes, &mac, index as u64, version);
+            Self::serialize_fields(block, slot, payload_bytes);
+            Self::seal_slot(slot, &mac, index as u64, version);
         }
         cipher.encrypt(nonce, plain);
         self.backing.commit_write(index);
+    }
+
+    /// Serializes, encrypts and stores a whole path's buckets, exactly as
+    /// if [`EncryptedStore::write_bucket`] were called once per pair in
+    /// slice order — same nonce sequence, same version counters, same
+    /// bytes. With a pool attached ([`EncryptedStore::attach_pool`]) and
+    /// no fault injection, the expensive per-bucket work (slot MACs +
+    /// encryption) runs on the pool while this thread serializes fields
+    /// and commits results in bucket order, so the image is byte-identical
+    /// to the serial path at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bucket exceeds `z` blocks or a payload exceeds the
+    /// payload area.
+    pub fn write_buckets(&mut self, buckets: &[(usize, &Bucket)]) {
+        if !self.parallel_active() || buckets.len() < 2 {
+            for &(index, bucket) in buckets {
+                self.write_bucket(index, bucket);
+            }
+            return;
+        }
+        let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
+        let body_bytes = self.z * slot_bytes;
+        let payload_bytes = self.payload_bytes;
+        // Fork: assign nonces/versions and serialize slot fields in path
+        // order on this thread — the sequenced, cheap part — so workers
+        // receive pure, owned seal/encrypt jobs.
+        let mut jobs = Vec::with_capacity(buckets.len());
+        for &(index, bucket) in buckets {
+            assert!(bucket.len() <= self.z, "bucket exceeds Z");
+            let nonce = self.next_nonce;
+            self.next_nonce += 1;
+            let version = self.versions[index] + 1;
+            self.versions[index] = version;
+            let mut body = self.body_scratch.pop().unwrap_or_default();
+            body.clear();
+            body.resize(body_bytes, 0);
+            for (i, block) in bucket.iter().enumerate() {
+                let slot = &mut body[i * slot_bytes..(i + 1) * slot_bytes];
+                Self::serialize_fields(block, slot, payload_bytes);
+            }
+            jobs.push(SealJob {
+                index,
+                nonce,
+                version,
+                body,
+            });
+        }
+        let (mac, cipher) = (self.mac, self.cipher);
+        let pool = Arc::clone(self.pool.as_ref().expect("parallel_active implies pool"));
+        let sealed = pool.run(jobs, move |mut job: SealJob| {
+            for i in 0..job.body.len() / slot_bytes {
+                let slot = &mut job.body[i * slot_bytes..(i + 1) * slot_bytes];
+                if slot[0] == 1 {
+                    Self::seal_slot(slot, &mac, job.index as u64, job.version);
+                }
+            }
+            cipher.encrypt(job.nonce, &mut job.body);
+            job
+        });
+        // Join: commit results in bucket order, recycling the buffers.
+        let bb = self.bucket_bytes();
+        for job in sealed {
+            let out = self.backing.begin_write(job.index, bb);
+            Self::write_header(
+                &mut out[..BUCKET_HEADER_BYTES],
+                &self.mac,
+                job.index as u64,
+                job.nonce,
+                job.version,
+            );
+            out[BUCKET_HEADER_BYTES..].copy_from_slice(&job.body);
+            self.backing.commit_write(job.index);
+            self.body_scratch.push(job.body);
+        }
     }
 
     /// Reads, decrypts, authenticates and deserializes bucket `index`.
@@ -265,6 +408,44 @@ impl EncryptedStore {
         Ok(blocks)
     }
 
+    /// Authenticates bucket `index`'s cleartext header against the trusted
+    /// version counter; returns the stored `(nonce, version)` on success.
+    /// Pure with respect to the store (no fault bookkeeping) so the
+    /// parallel read path can pre-authenticate a whole path.
+    fn check_header(&self, index: usize) -> Result<(u64, u64), OramError> {
+        let bb = self.bucket_bytes();
+        let raw = &self.backing.bytes()[index * bb..(index + 1) * bb];
+        let nonce = u64::from_le_bytes(raw[0..8].try_into().expect("nonce"));
+        let version = u64::from_le_bytes(raw[8..16].try_into().expect("version"));
+        let stored_tag = u64::from_le_bytes(raw[16..24].try_into().expect("header tag"));
+        if stored_tag != self.mac.tag(&[index as u64, nonce, version], &[]) {
+            return Err(OramError::Integrity {
+                bucket: index,
+                slot: None,
+            });
+        }
+        let expected = self.versions[index];
+        if version != expected {
+            // The header authenticates, so (nonce, version) was once valid
+            // for this bucket: an old version is a replayed stale image.
+            // (A version ahead of the trusted counter cannot be produced
+            // by replay; classify it as corruption defensively.)
+            return Err(if version < expected {
+                OramError::Rollback {
+                    bucket: index,
+                    stored_version: version,
+                    expected_version: expected,
+                }
+            } else {
+                OramError::Integrity {
+                    bucket: index,
+                    slot: None,
+                }
+            });
+        }
+        Ok((nonce, version))
+    }
+
     /// Runs the transient-read gate, authenticates bucket `index`'s header
     /// against the trusted version counter, and decrypts the body into the
     /// caller's reusable buffer. Returns the authenticated version.
@@ -277,40 +458,15 @@ impl EncryptedStore {
                 });
             }
         }
+        let (nonce, version) = match self.check_header(index) {
+            Ok(hv) => hv,
+            Err(err) => {
+                self.note_detected(index, &err);
+                return Err(err);
+            }
+        };
         let bb = self.bucket_bytes();
         let raw = &self.backing.bytes()[index * bb..(index + 1) * bb];
-        let nonce = u64::from_le_bytes(raw[0..8].try_into().expect("nonce"));
-        let version = u64::from_le_bytes(raw[8..16].try_into().expect("version"));
-        let stored_tag = u64::from_le_bytes(raw[16..24].try_into().expect("header tag"));
-        if stored_tag != self.mac.tag(&[index as u64, nonce, version], &[]) {
-            let err = OramError::Integrity {
-                bucket: index,
-                slot: None,
-            };
-            self.note_detected(index, &err);
-            return Err(err);
-        }
-        let expected = self.versions[index];
-        if version != expected {
-            // The header authenticates, so (nonce, version) was once valid
-            // for this bucket: an old version is a replayed stale image.
-            // (A version ahead of the trusted counter cannot be produced
-            // by replay; classify it as corruption defensively.)
-            let err = if version < expected {
-                OramError::Rollback {
-                    bucket: index,
-                    stored_version: version,
-                    expected_version: expected,
-                }
-            } else {
-                OramError::Integrity {
-                    bucket: index,
-                    slot: None,
-                }
-            };
-            self.note_detected(index, &err);
-            return Err(err);
-        }
         plain.clear();
         plain.extend_from_slice(&raw[BUCKET_HEADER_BYTES..]);
         if nonce != 0 {
@@ -369,6 +525,132 @@ impl EncryptedStore {
         Ok(())
     }
 
+    /// Batch analogue of [`EncryptedStore::bucket_addrs_into`] over a
+    /// whole path: fills `out` with one address vector per entry of
+    /// `indices` (same order). With a pool attached and fault injection
+    /// off, header authentication stays on this thread while per-bucket
+    /// decryption and slot verification fan across the workers; results
+    /// merge in path order, so the first error reported is the same one
+    /// the serial loop would hit. Vectors already in `out` are recycled.
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`EncryptedStore::try_read_bucket`]; on
+    /// error `out` holds the address vectors of the buckets preceding the
+    /// failing one.
+    pub fn bucket_addrs_batch(
+        &mut self,
+        indices: &[usize],
+        out: &mut Vec<Vec<u64>>,
+    ) -> Result<(), OramError> {
+        for mut v in out.drain(..) {
+            v.clear();
+            self.addr_scratch.push(v);
+        }
+        if !self.parallel_active() || indices.len() < 2 {
+            return self.bucket_addrs_batch_serial(indices, out);
+        }
+        // Fork: authenticate every header in path order first. A header
+        // failure here bails to the serial loop so the error reported is
+        // the first one *in path order* (a later bucket's slots might
+        // also be corrupt; the serial loop arbitrates).
+        let bb = self.bucket_bytes();
+        let mut jobs: Vec<VerifyJob> = Vec::with_capacity(indices.len());
+        for &index in indices {
+            let (nonce, version) = match self.check_header(index) {
+                Ok(hv) => hv,
+                Err(_) => {
+                    for job in jobs {
+                        self.body_scratch.push(job.body);
+                        self.addr_scratch.push(job.addrs);
+                    }
+                    return self.bucket_addrs_batch_serial(indices, out);
+                }
+            };
+            let raw = &self.backing.bytes()[index * bb..(index + 1) * bb];
+            let mut body = self.body_scratch.pop().unwrap_or_default();
+            body.clear();
+            body.extend_from_slice(&raw[BUCKET_HEADER_BYTES..]);
+            let mut addrs = self.addr_scratch.pop().unwrap_or_default();
+            addrs.clear();
+            jobs.push(VerifyJob {
+                index,
+                nonce,
+                version,
+                body,
+                addrs,
+                bad_slot: None,
+            });
+        }
+        let (mac, cipher) = (self.mac, self.cipher);
+        let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
+        let z = self.z;
+        let pool = Arc::clone(self.pool.as_ref().expect("parallel_active implies pool"));
+        let done = pool.run(jobs, move |mut job: VerifyJob| {
+            if job.nonce != 0 {
+                cipher.decrypt(job.nonce, &mut job.body);
+            }
+            for i in 0..z {
+                let slot = &job.body[i * slot_bytes..(i + 1) * slot_bytes];
+                match Self::check_slot(slot, &mac, job.index as u64, job.version) {
+                    Ok(Some((addr, ..))) => job.addrs.push(addr.0),
+                    Ok(None) => {}
+                    Err(()) => {
+                        job.bad_slot = Some(i);
+                        break;
+                    }
+                }
+            }
+            job
+        });
+        // Join: merge in path order; the first bad slot wins.
+        let mut first_err = None;
+        for job in done {
+            if first_err.is_none() {
+                if let Some(slot) = job.bad_slot {
+                    first_err = Some(OramError::Integrity {
+                        bucket: job.index,
+                        slot: Some(slot),
+                    });
+                    self.addr_scratch.push(job.addrs);
+                } else {
+                    out.push(job.addrs);
+                }
+            } else {
+                self.addr_scratch.push(job.addrs);
+            }
+            self.body_scratch.push(job.body);
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// The serial body of [`EncryptedStore::bucket_addrs_batch`]: one
+    /// [`EncryptedStore::bucket_addrs_into`] call per bucket, in order.
+    fn bucket_addrs_batch_serial(
+        &mut self,
+        indices: &[usize],
+        out: &mut Vec<Vec<u64>>,
+    ) -> Result<(), OramError> {
+        let mut plain = self.body_scratch.pop().unwrap_or_default();
+        for &index in indices {
+            let mut addrs = self.addr_scratch.pop().unwrap_or_default();
+            addrs.clear();
+            match self.bucket_addrs_into(index, &mut plain, &mut addrs) {
+                Ok(()) => out.push(addrs),
+                Err(err) => {
+                    self.addr_scratch.push(addrs);
+                    self.body_scratch.push(plain);
+                    return Err(err);
+                }
+            }
+        }
+        self.body_scratch.push(plain);
+        Ok(())
+    }
+
     /// Verifies one bucket's header and slot authentication tags.
     ///
     /// # Errors
@@ -404,14 +686,12 @@ impl EncryptedStore {
         self.backing.bytes_mut()[index * bb + offset] ^= mask;
     }
 
-    fn serialize_block(
-        block: &Block,
-        slot: &mut [u8],
-        payload_bytes: usize,
-        mac: &Mac,
-        bucket_index: u64,
-        version: u64,
-    ) {
+    /// Writes a block's slot fields — valid flag, address, leaf, hit,
+    /// payload kind/length and the payload bytes — leaving the tag field
+    /// zero. [`Self::seal_slot`] computes the tag afterwards; the split
+    /// lets the cheap field writes stay on the dispatching thread while
+    /// workers do the MAC work.
+    fn serialize_fields(block: &Block, slot: &mut [u8], payload_bytes: usize) {
         let (head, body_area) = slot.split_at_mut(SLOT_HEADER_BYTES);
         head[0] = 1; // valid
         head[1..9].copy_from_slice(&block.addr.0.to_le_bytes());
@@ -447,12 +727,17 @@ impl EncryptedStore {
         };
         head[14] = kind;
         head[15..17].copy_from_slice(&(len as u16).to_le_bytes());
-        // The tag binds the slot's raw bytes — header fields and the whole
-        // payload area, used or not (zeroed padding included, so a flip
-        // past `len` is still caught) — plus the bucket index and version,
-        // so replaying an authentic slot at a different tree position or
-        // from an older epoch fails verification. The tag field itself is
-        // zero at this point and excluded from coverage.
+    }
+
+    /// Computes and stores a serialized slot's authentication tag. The
+    /// tag binds the slot's raw bytes — header fields and the whole
+    /// payload area, used or not (zeroed padding included, so a flip
+    /// past `len` is still caught) — plus the bucket index and version,
+    /// so replaying an authentic slot at a different tree position or
+    /// from an older epoch fails verification. The tag field itself is
+    /// zero at this point and excluded from coverage.
+    fn seal_slot(slot: &mut [u8], mac: &Mac, bucket_index: u64, version: u64) {
+        let (head, body_area) = slot.split_at_mut(SLOT_HEADER_BYTES);
         let tag = mac.tag_parts(
             &[bucket_index, version],
             &[&head[..SLOT_TAG_OFFSET], body_area],
@@ -942,6 +1227,124 @@ mod tests {
             images
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// The same batch written through the serial loop and through a
+    /// pooled `write_buckets` must yield byte-identical images: same
+    /// nonce sequence, same versions, same ciphertext.
+    #[test]
+    fn write_buckets_is_byte_identical_to_serial_loop() {
+        for threads in [2usize, 4, 7] {
+            let mut serial = store();
+            let mut pooled = store();
+            pooled.attach_pool(Arc::new(WorkerPool::new(threads)));
+            assert!(pooled.parallel_active());
+            for round in 0..6u64 {
+                let batch: Vec<(usize, Bucket)> = (0..4)
+                    .map(|i| {
+                        let mut b = Bucket::new(3);
+                        for j in 0..=(i % 3) {
+                            b.push(data_block(round * 16 + i as u64 * 4 + j as u64, i as u8));
+                        }
+                        ((i + round as usize) % 8, b)
+                    })
+                    .collect();
+                let refs: Vec<(usize, &Bucket)> = batch.iter().map(|(idx, b)| (*idx, b)).collect();
+                for &(idx, b) in &refs {
+                    serial.write_bucket(idx, b);
+                }
+                pooled.write_buckets(&refs);
+            }
+            for idx in 0..8 {
+                assert_eq!(
+                    serial.ciphertext(idx),
+                    pooled.ciphertext(idx),
+                    "threads={threads} bucket={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_addrs_batch_matches_per_bucket_reads() {
+        let mut s = store();
+        s.attach_pool(Arc::new(WorkerPool::new(4)));
+        let batch: Vec<(usize, Bucket)> = (0..8)
+            .map(|i| {
+                let mut b = Bucket::new(3);
+                b.push(data_block(i as u64 * 2, i as u8));
+                b.push(data_block(i as u64 * 2 + 1, i as u8));
+                (i, b)
+            })
+            .collect();
+        let refs: Vec<(usize, &Bucket)> = batch.iter().map(|(idx, b)| (*idx, b)).collect();
+        s.write_buckets(&refs);
+        let indices: Vec<usize> = (0..8).collect();
+        let mut out = Vec::new();
+        s.bucket_addrs_batch(&indices, &mut out).expect("authentic");
+        assert_eq!(out.len(), 8);
+        let mut plain = Vec::new();
+        for (i, addrs) in out.iter().enumerate() {
+            let mut expect = Vec::new();
+            s.bucket_addrs_into(i, &mut plain, &mut expect).unwrap();
+            assert_eq!(addrs, &expect, "bucket {i}");
+        }
+        // A second round recycles the previous vectors.
+        s.bucket_addrs_batch(&indices, &mut out).expect("authentic");
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn bucket_addrs_batch_reports_first_error_in_path_order() {
+        let corrupt_and_read = |pool: bool, corrupt: &[usize]| {
+            let mut s = store();
+            if pool {
+                s.attach_pool(Arc::new(WorkerPool::new(4)));
+            }
+            for i in 0..8 {
+                let mut b = Bucket::new(3);
+                b.push(data_block(i as u64, 1));
+                s.write_bucket(i, &b);
+            }
+            for &idx in corrupt {
+                s.corrupt_byte(idx, BUCKET_HEADER_BYTES + 5, 0x20); // slot area
+            }
+            let mut out = Vec::new();
+            s.bucket_addrs_batch(&(0..8).collect::<Vec<_>>(), &mut out)
+        };
+        // Two corrupted buckets: the earlier one must be reported, with
+        // or without a pool.
+        let serial = corrupt_and_read(false, &[2, 5]);
+        let pooled = corrupt_and_read(true, &[2, 5]);
+        assert_eq!(serial, pooled);
+        assert!(matches!(
+            serial,
+            Err(OramError::Integrity { bucket: 2, .. })
+        ));
+        // Header corruption falls back to the serial arbitration.
+        let serial = corrupt_and_read(false, &[6]);
+        let pooled = corrupt_and_read(true, &[6]);
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn faulty_backing_disables_parallel_batches() {
+        let mut s = store();
+        s.attach_pool(Arc::new(WorkerPool::new(4)));
+        assert!(s.parallel_active());
+        s.enable_faults(FaultConfig::silent(7));
+        assert!(
+            !s.parallel_active(),
+            "fault injection must force the serial path"
+        );
+        // Batches still work, via the serial fallback.
+        let mut b = Bucket::new(3);
+        b.push(data_block(1, 0x33));
+        let b2 = b.clone();
+        s.write_buckets(&[(0, &b), (1, &b2)]);
+        let mut out = Vec::new();
+        s.bucket_addrs_batch(&[0, 1], &mut out).expect("authentic");
+        assert_eq!(out[0], vec![1]);
     }
 
     #[test]

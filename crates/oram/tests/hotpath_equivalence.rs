@@ -3,122 +3,32 @@
 //! The hot-path optimizations (reusable path scratch, counting-bucket
 //! write-back, wide stream-cipher XOR, gated image verification) must
 //! not change *what* the ORAM does — only how fast. These tests replay
-//! a fixed-seed workload and compare every observable of the run
-//! against goldens captured on the seed implementation: the stats
-//! counters, the stash-occupancy histogram, the physical access trace,
-//! and the stash peak. Any change to path selection, eviction order,
-//! or byte accounting shows up as a hash mismatch here.
+//! the fixed-seed workload from the shared `common` fixture and compare
+//! every observable of the run against goldens captured on the seed
+//! implementation: the stats counters, the stash-occupancy histogram,
+//! the physical access trace, and the stash peak. Any change to path
+//! selection, eviction order, or byte accounting shows up as a hash
+//! mismatch here.
 
+mod common;
+
+use common::{
+    assert_golden, fnv, golden_config, replay, replay_cfg, replay_observed, FNV_INIT,
+    GOLDEN_OPAQUE, GOLDEN_PAYLOADS,
+};
 use proram_mem::{AccessKind, BlockAddr};
 use proram_obs::{NoopSink, Obs};
 use proram_oram::{FaultConfig, OramConfig, PathOram};
 use proram_stats::{Rng64, Xoshiro256};
 
-/// FNV-1a-style fold used when the goldens were captured.
-fn fnv(acc: u64, v: u64) -> u64 {
-    (acc ^ v).wrapping_mul(0x0000_0100_0000_01B3)
-}
-
-const FNV_INIT: u64 = 0xcbf29ce484222325;
-
-struct RunDigest {
-    logical: u64,
-    data_paths: u64,
-    posmap_paths: u64,
-    background: u64,
-    bytes_moved: u64,
-    hist_hash: u64,
-    hist_total: u64,
-    trace_hash: u64,
-    trace_events: usize,
-    trace_dropped: u64,
-    stash_peak: usize,
-    allocs_avoided: u64,
-}
-
-/// Replays the golden workload: 256-block tree, ORAM seed 42, 2000
-/// uniform reads from a Xoshiro stream seeded with 7.
-fn replay(store_payloads: bool) -> RunDigest {
-    replay_cfg(golden_config(store_payloads))
-}
-
-fn golden_config(store_payloads: bool) -> OramConfig {
-    OramConfig::small_for_tests(256)
-        .to_builder()
-        .store_payloads(store_payloads)
-        .build()
-        .expect("valid golden configuration")
-}
-
-fn replay_cfg(cfg: OramConfig) -> RunDigest {
-    replay_observed(cfg, Obs::disabled())
-}
-
-fn replay_observed(cfg: OramConfig, obs: Obs) -> RunDigest {
-    let mut oram = PathOram::new(cfg, 42);
-    oram.attach_obs_handle(obs);
-    let mut rng = Xoshiro256::seed_from(7);
-    for _ in 0..2000 {
-        oram.try_access_block(BlockAddr(rng.next_below(256)), AccessKind::Read)
-            .unwrap();
-    }
-    let s = oram.oram_stats();
-    let h = oram.stash().occupancy_histogram();
-    let mut hist_hash = FNV_INIT;
-    for (v, c) in h.iter() {
-        hist_hash = fnv(fnv(hist_hash, v), c);
-    }
-    let leaves = oram.trace().observed_leaves();
-    let mut trace_hash = FNV_INIT;
-    for l in &leaves {
-        trace_hash = fnv(trace_hash, *l);
-    }
-    RunDigest {
-        logical: s.logical_accesses,
-        data_paths: s.data_path_accesses,
-        posmap_paths: s.posmap_path_accesses,
-        background: s.background_evictions,
-        bytes_moved: s.bytes_moved,
-        hist_hash,
-        hist_total: h.total(),
-        trace_hash,
-        trace_events: leaves.len(),
-        trace_dropped: oram.trace().dropped(),
-        stash_peak: oram.stash().peak(),
-        allocs_avoided: oram.allocs_avoided(),
-    }
-}
-
-fn assert_common(d: &RunDigest) {
-    assert_eq!(d.logical, 2000);
-    assert_eq!(d.data_paths, 2000);
-    assert_eq!(d.posmap_paths, 2210);
-    assert_eq!(d.background, 0);
-    assert_eq!(d.bytes_moved, 38_799_360);
-    assert_eq!(d.hist_total, 4210);
-    assert_eq!(d.trace_events, 4210);
-    assert_eq!(d.trace_dropped, 0);
-    // Every one of the 4210 path accesses reuses the scratch buffers
-    // (initialization warms them before the first access).
-    assert_eq!(d.allocs_avoided, 4210);
-}
-
 #[test]
 fn golden_run_with_payloads() {
-    let d = replay(true);
-    assert_common(&d);
-    assert_eq!(d.hist_hash, 0x7e34_7ba1_61c4_bef3);
-    assert_eq!(d.trace_hash, 0xb5a0_c950_fe1e_8801);
-    assert_eq!(d.stash_peak, 19);
+    assert_golden(&replay(true), &GOLDEN_PAYLOADS);
 }
 
 #[test]
 fn golden_run_without_payloads() {
-    let d = replay(false);
-    assert_common(&d);
-    assert_eq!(d.hist_hash, 0x06db_69e5_5d8e_25fe);
-    assert_eq!(d.trace_hash, 0xd4fb_1582_f412_add7);
-    assert_eq!(d.stash_peak, 21);
+    assert_golden(&replay(false), &GOLDEN_OPAQUE);
 }
 
 /// A structurally present but zero-rate fault injector must leave every
@@ -127,17 +37,12 @@ fn golden_run_without_payloads() {
 /// accounting, or the adversary-visible trace.
 #[test]
 fn golden_run_with_silent_fault_injector() {
-    let cfg = OramConfig::small_for_tests(256)
+    let cfg = golden_config(true)
         .to_builder()
-        .store_payloads(true)
         .fault(FaultConfig::silent(0xDEAD))
         .build()
         .expect("valid golden configuration");
-    let d = replay_cfg(cfg);
-    assert_common(&d);
-    assert_eq!(d.hist_hash, 0x7e34_7ba1_61c4_bef3);
-    assert_eq!(d.trace_hash, 0xb5a0_c950_fe1e_8801);
-    assert_eq!(d.stash_peak, 19);
+    assert_golden(&replay_cfg(cfg), &GOLDEN_PAYLOADS);
 }
 
 /// Attaching an enabled-but-retaining-nothing observability sink must
@@ -147,10 +52,7 @@ fn golden_run_with_silent_fault_injector() {
 #[test]
 fn goldens_unchanged_with_noop_sink_attached() {
     let d = replay_observed(golden_config(true), Obs::with_sink(Box::new(NoopSink)));
-    assert_common(&d);
-    assert_eq!(d.hist_hash, 0x7e34_7ba1_61c4_bef3);
-    assert_eq!(d.trace_hash, 0xb5a0_c950_fe1e_8801);
-    assert_eq!(d.stash_peak, 19);
+    assert_golden(&d, &GOLDEN_PAYLOADS);
 }
 
 /// Same property with the retaining ring sink: events accumulate on the
@@ -159,10 +61,7 @@ fn goldens_unchanged_with_noop_sink_attached() {
 fn goldens_unchanged_with_ring_sink_attached() {
     let obs = Obs::ring(1 << 12);
     let d = replay_observed(golden_config(false), obs.clone());
-    assert_common(&d);
-    assert_eq!(d.hist_hash, 0x06db_69e5_5d8e_25fe);
-    assert_eq!(d.trace_hash, 0xd4fb_1582_f412_add7);
-    assert_eq!(d.stash_peak, 21);
+    assert_golden(&d, &GOLDEN_OPAQUE);
     // The sink really was live for the whole replay.
     assert!(obs.event_count() > 0 || obs.dropped() > 0);
 }

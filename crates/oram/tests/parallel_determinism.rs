@@ -1,0 +1,78 @@
+//! Determinism goldens for the crypto worker pool.
+//!
+//! The pooled hot paths (parallel bucket re-encryption on write-back,
+//! parallel decrypt+verify on the gated image walk) must be *invisible*
+//! in every observable: nonces and versions are assigned in path order
+//! on the caller thread before dispatch, workers are pure, and results
+//! merge in bucket order — so the stats counters, stash histogram,
+//! physical access trace, and the encrypted image itself are
+//! byte-identical at any `crypto_threads` setting. These tests replay
+//! the shared `common` golden workload across thread counts and compare
+//! whole digests, including against the pinned single-threaded goldens.
+
+mod common;
+
+use common::{assert_golden, golden_config, replay_cfg, GOLDEN_OPAQUE, GOLDEN_PAYLOADS};
+
+/// Thread counts swept: serial (0), degenerate pool (1), even splits,
+/// and a count exceeding the path length's divisibility (7).
+const SWEEP: [usize; 5] = [0, 1, 2, 4, 7];
+
+fn replay_threads(store_payloads: bool, verify_image: bool, threads: usize) -> common::RunDigest {
+    let cfg = golden_config(store_payloads)
+        .to_builder()
+        .verify_image(verify_image)
+        .crypto_threads(threads)
+        .build()
+        .expect("valid golden configuration");
+    replay_cfg(cfg)
+}
+
+/// The encrypted (payloads-on) golden run matches the pinned goldens at
+/// every pool size: the pooled write-back produces the digests captured
+/// on the serial implementation.
+#[test]
+fn encrypted_goldens_hold_at_every_thread_count() {
+    for threads in SWEEP {
+        let d = replay_threads(true, false, threads);
+        assert_golden(&d, &GOLDEN_PAYLOADS);
+    }
+}
+
+/// The opaque (payloads-off) run has no encrypted store, so the pool
+/// never engages — but the config must still be accepted and the
+/// goldens must still hold.
+#[test]
+fn opaque_goldens_hold_at_every_thread_count() {
+    for threads in SWEEP {
+        let d = replay_threads(false, false, threads);
+        assert_golden(&d, &GOLDEN_OPAQUE);
+    }
+}
+
+/// With the per-read image verification gated on, the pooled
+/// decrypt+verify walk engages on every access; the run must still
+/// digest identically to the serial verify walk at every pool size.
+#[test]
+fn verified_image_digests_identical_at_every_thread_count() {
+    let baseline = replay_threads(true, true, 0);
+    assert_golden(&baseline, &GOLDEN_PAYLOADS);
+    for threads in SWEEP {
+        let d = replay_threads(true, true, threads);
+        assert_eq!(
+            d, baseline,
+            "verify_image digest diverged at {threads} threads"
+        );
+    }
+}
+
+/// Whole-digest equality across thread counts (stronger than the pinned
+/// subset: every field of the digest, compared pairwise).
+#[test]
+fn digests_identical_across_thread_counts() {
+    let baseline = replay_threads(true, false, 0);
+    for threads in SWEEP {
+        let d = replay_threads(true, false, threads);
+        assert_eq!(d, baseline, "digest diverged at {threads} threads");
+    }
+}

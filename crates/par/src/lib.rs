@@ -1,0 +1,413 @@
+//! Deterministic worker pool for the PrORAM hot paths.
+//!
+//! A [`WorkerPool`] owns a fixed set of persistent OS threads and exposes
+//! one operation: [`WorkerPool::run`], a fork/join over a `Vec` of
+//! independent items. Items are claimed atomically (first-come), but the
+//! result vector is **always returned in item order**, so the output of a
+//! `run` call is a pure function of its inputs — independent of thread
+//! count, scheduling, or claim interleaving. That ordered-merge contract
+//! is what lets the encrypted ORAM store parallelize per-bucket crypto
+//! while keeping its byte image golden-identical to the single-threaded
+//! build (DESIGN.md section 14).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism.** Worker closures must be pure functions of their
+//!    item; the pool never injects time, randomness, or thread identity
+//!    into a job. The only nondeterminism is *which* thread runs an item,
+//!    which the ordered merge erases.
+//! 2. **Low dispatch latency.** The ORAM hot path dispatches a batch
+//!    every few microseconds, so workers spin briefly on a generation
+//!    counter before parking on a condvar. A park/unpark costs ~µs; a
+//!    spin-observed dispatch costs ~100ns.
+//! 3. **`std`-only and `forbid(unsafe_code)`.** Jobs are owned
+//!    (`'static`) values published through an `Arc`; there is no lifetime
+//!    erasure, no channels, no external crates.
+//!
+//! The caller of [`WorkerPool::run`] participates in the batch (it claims
+//! items like any worker), so a pool built with [`WorkerPool::new`]`(n)`
+//! applies `n` total threads: `n - 1` pool workers plus the caller.
+//! `n <= 1` spawns nothing and `run` executes inline — byte-identical by
+//! construction and the natural spelling of "parallelism off".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Spin iterations a worker burns watching the generation counter before
+/// parking. Dispatch under load is spin-observed (no syscall); an idle
+/// pool parks within ~10µs.
+const SPIN_LIMIT: u32 = 4_096;
+
+/// Park timeout. Parked workers also wake on notify; the timeout only
+/// bounds the cost of a lost wakeup race.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// A type-erased batch of claimable jobs. Implemented by the private
+/// `BatchState`; workers only ever see this vtable.
+trait Batch: Send + Sync {
+    /// Claims and runs one item. Returns `false` once the batch is
+    /// exhausted (nothing was claimed).
+    fn run_one(&self) -> bool;
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    /// The batch currently being executed, if any. Written by the
+    /// dispatching caller, cloned by workers.
+    slot: Mutex<Option<Arc<dyn Batch>>>,
+    /// Bumped once per dispatched batch; workers watch it to detect new
+    /// work without taking the lock.
+    generation: AtomicU64,
+    /// Set once on drop; workers exit their loop.
+    shutdown: AtomicBool,
+    /// Wakes parked workers on dispatch and shutdown.
+    wake: Condvar,
+    /// Times a worker gave up spinning and parked (idle indicator).
+    parks: AtomicU64,
+}
+
+/// The per-batch state: the job closure, claimable items, and slots for
+/// results. Claiming is `next.fetch_add`; completion is `done` reaching
+/// the item count. Results land in item order regardless of who ran what.
+struct BatchState<T, R, F> {
+    f: F,
+    items: Vec<Mutex<Option<T>>>,
+    results: Vec<Mutex<Option<R>>>,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+impl<T, R, F> Batch for BatchState<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    fn run_one(&self) -> bool {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= self.items.len() {
+            return false;
+        }
+        if let Some(item) = self.items[i].lock().expect("item lock").take() {
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
+                Ok(r) => *self.results[i].lock().expect("result lock") = Some(r),
+                Err(_) => self.panicked.store(true, Ordering::Release),
+            }
+        }
+        // `done` counts claimed-and-finished items; the dispatcher waits
+        // for it to reach `items.len()` before reading any result.
+        self.done.fetch_add(1, Ordering::Release);
+        true
+    }
+}
+
+/// Cumulative dispatch counters, for observability (`proram-obs` lanes
+/// and the parallel bench report). All values are monotone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Batches dispatched through the worker path (inline runs excluded).
+    pub batches_dispatched: u64,
+    /// Total items across dispatched batches.
+    pub jobs_dispatched: u64,
+    /// Items the *calling* thread claimed while helping — the pool's
+    /// "steal" measure (callers steal work back from the pool).
+    pub jobs_caller_executed: u64,
+    /// Times a worker exhausted its spin budget and parked (idle).
+    pub worker_parks: u64,
+}
+
+/// A fixed-size pool of persistent worker threads with a fork/join
+/// [`run`](WorkerPool::run) API and deterministic, item-ordered results.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    batches_dispatched: AtomicU64,
+    jobs_dispatched: AtomicU64,
+    jobs_caller_executed: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Builds a pool applying `threads` total threads of parallelism:
+    /// `threads - 1` spawned workers plus the calling thread, which
+    /// participates in every [`run`](WorkerPool::run). `threads <= 1`
+    /// spawns nothing and `run` executes inline.
+    pub fn new(threads: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            wake: Condvar::new(),
+            parks: AtomicU64::new(0),
+        });
+        let workers = threads.saturating_sub(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("proram-par-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            batches_dispatched: AtomicU64::new(0),
+            jobs_dispatched: AtomicU64::new(0),
+            jobs_caller_executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of spawned worker threads (total parallelism minus the
+    /// caller).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total threads a `run` call applies (workers plus the caller).
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Snapshot of the cumulative dispatch counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            jobs_dispatched: self.jobs_dispatched.load(Ordering::Relaxed),
+            jobs_caller_executed: self.jobs_caller_executed.load(Ordering::Relaxed),
+            worker_parks: self.shared.parks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applies `f` to every item, in parallel across the pool plus the
+    /// calling thread, and returns the results **in item order**.
+    ///
+    /// `f` must be a pure function of its item for the pool's determinism
+    /// contract to hold; the pool itself adds no other nondeterminism.
+    /// With no workers (or fewer than two items) the batch runs inline on
+    /// the caller — same results, same order.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the calling thread if any job panicked.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        if self.handles.is_empty() || items.len() < 2 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        let batch = Arc::new(BatchState {
+            f,
+            items: items.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>(),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.jobs_dispatched.fetch_add(n as u64, Ordering::Relaxed);
+        {
+            let mut slot = self.shared.slot.lock().expect("dispatch lock");
+            *slot = Some(Arc::clone(&batch) as Arc<dyn Batch>);
+            // The generation bump is what workers watch; the slot write
+            // above happens-before it from their perspective because they
+            // re-take the slot lock after observing the bump.
+            self.shared.generation.fetch_add(1, Ordering::Release);
+        }
+        self.shared.wake.notify_all();
+        // The caller helps: claim items until the batch is exhausted.
+        let mut helped = 0u64;
+        while batch.run_one() {
+            helped += 1;
+        }
+        self.jobs_caller_executed
+            .fetch_add(helped, Ordering::Relaxed);
+        // Wait for claimed-but-unfinished items on worker threads. The
+        // tail is at most (workers) jobs long, so spin.
+        while batch.done.load(Ordering::Acquire) < n {
+            std::hint::spin_loop();
+        }
+        *self.shared.slot.lock().expect("retire lock") = None;
+        assert!(
+            !batch.panicked.load(Ordering::Acquire),
+            "a worker-pool job panicked"
+        );
+        batch
+            .results
+            .iter()
+            .map(|m| m.lock().expect("merge lock").take().expect("job result"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker body: watch the generation counter, run any published
+/// batch to exhaustion, spin briefly between batches, park when idle.
+fn worker_loop(shared: &Shared) {
+    let mut last_seen = 0u64;
+    let mut spins = 0u32;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let gen = shared.generation.load(Ordering::Acquire);
+        if gen != last_seen {
+            last_seen = gen;
+            spins = 0;
+            let batch = shared.slot.lock().expect("worker lock").clone();
+            if let Some(batch) = batch {
+                while batch.run_one() {}
+            }
+            continue;
+        }
+        if spins < SPIN_LIMIT {
+            spins += 1;
+            std::hint::spin_loop();
+            continue;
+        }
+        // Exhausted the spin budget: park until dispatch or shutdown.
+        spins = 0;
+        shared.parks.fetch_add(1, Ordering::Relaxed);
+        let guard = shared.slot.lock().expect("park lock");
+        if shared.shutdown.load(Ordering::Acquire)
+            || shared.generation.load(Ordering::Acquire) != last_seen
+        {
+            continue;
+        }
+        let _ = shared.wake.wait_timeout(guard, PARK_TIMEOUT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn inline_pool_runs_on_caller() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.run(vec![1u64, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(pool.stats().batches_dispatched, 0);
+    }
+
+    #[test]
+    fn results_are_in_item_order_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let items: Vec<u64> = (0..257).collect();
+            let out = pool.run(items, |x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let expect: Vec<u64> = (0..257u64)
+                .map(|x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_same_workers() {
+        let pool = WorkerPool::new(4);
+        for round in 0..100u64 {
+            let out = pool.run(vec![round, round + 1], |x| x + 1);
+            assert_eq!(out, vec![round + 1, round + 2]);
+        }
+        let s = pool.stats();
+        assert_eq!(s.batches_dispatched, 100);
+        assert_eq!(s.jobs_dispatched, 200);
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn single_item_batches_run_inline() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run(vec![41u32], |x| x + 1);
+        assert_eq!(out, vec![42]);
+        assert_eq!(pool.stats().batches_dispatched, 0);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Arc<Vec<AtomicU32>> = Arc::new((0..512).map(|_| AtomicU32::new(0)).collect());
+        let h = Arc::clone(&hits);
+        let out = pool.run((0..512usize).collect(), move |i| {
+            h[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..512).collect::<Vec<_>>());
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn caller_participates_in_batches() {
+        let pool = WorkerPool::new(2);
+        // Many cheap jobs: the caller must claim at least one.
+        for _ in 0..10 {
+            pool.run((0..1024u64).collect(), |x| x ^ 0xFF);
+        }
+        assert!(pool.stats().jobs_caller_executed > 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..64u32).collect(), |x| {
+                assert!(x != 13, "boom");
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked batch and runs the next one.
+        let out = pool.run(vec![1u32, 2], |x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(8);
+        pool.run((0..32u64).collect(), |x| x);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        // The store clones its Arc<WorkerPool>; Send + Sync must hold.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WorkerPool>();
+        assert_send_sync::<Arc<WorkerPool>>();
+    }
+}
