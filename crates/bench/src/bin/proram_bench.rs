@@ -38,6 +38,13 @@
 //! the sharded-controller ablation, asserts the bank-overlap win holds,
 //! and emits the `BENCH_pipeline.json` report (stdout unless `--out`).
 //!
+//! `proram-bench crash [--out PATH]` runs the exhaustive kill-point
+//! sweep of the crash-consistent commit protocol: every kill point x
+//! crossing cell must fire exactly once, recover auditor-clean, and land
+//! on the crash-free state digest — the command panics on any violation,
+//! making it a CI smoke gate. Emits the `BENCH_crash.json` report with
+//! per-cell recovery work and modeled recovery-latency statistics.
+//!
 //! `proram-bench fault` runs the fault-injection sweep (alias of the
 //! `fault_sweep` experiment): every fault class x rate cell must detect
 //! 100% of observable injected corruptions, and a zero-rate injector
@@ -54,7 +61,7 @@
 //! contracts, so it doubles as a CI smoke gate.
 
 use proram_bench::exp::{self, RunCtx};
-use proram_bench::{hotpath, jobs, obs, parallel, pipeline};
+use proram_bench::{crash, hotpath, jobs, obs, parallel, pipeline};
 use proram_stats::{BarChart, Table};
 use proram_workloads::{suite, tracefile, Scale, Suite};
 use std::path::PathBuf;
@@ -87,6 +94,7 @@ fn usage() -> ExitCode {
     eprintln!("       proram-bench hotpath [--ms N] [--threads N] [--out PATH]");
     eprintln!("       proram-bench parallel [--ms N] [--out PATH]");
     eprintln!("       proram-bench pipeline [--scale quick|standard] [--jobs N] [--out PATH]");
+    eprintln!("       proram-bench crash [--out PATH]");
     eprintln!("       proram-bench fault [--scale quick|standard] [--jobs N]");
     eprintln!("       proram-bench obs [--ms N] [--trace PATH] [--out PATH]");
     eprintln!("experiments:");
@@ -262,6 +270,26 @@ fn run_obs(ms: u64, trace_path: &PathBuf, out: Option<&PathBuf>) -> ExitCode {
     }
 }
 
+fn run_crash(out: Option<&PathBuf>) -> ExitCode {
+    eprintln!(
+        "[sweeping {} kill points x {} crossings with recovery...]",
+        proram_oram::KillPoint::ALL.len(),
+        crash::CROSSINGS.len()
+    );
+    // measure() panics if any cell fails to fire, recover auditor-clean,
+    // or land on the crash-free digest — the CI smoke gate.
+    let report = crash::measure();
+    let (min, mean, max) = report.latency_stats();
+    eprintln!(
+        "[{} cells recovered: {} rollbacks, {} replays, {} clean; recovery cycles min {min} / mean {mean:.0} / max {max}]",
+        report.cells.len(),
+        report.rollbacks(),
+        report.replays(),
+        report.clean_recoveries()
+    );
+    write_or_print(&crash::to_json(&report), out)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first().cloned() else {
@@ -390,6 +418,9 @@ fn main() -> ExitCode {
         // Regression smoke: measure() panics if the bank-overlap win or
         // shard scaling regresses.
         "pipeline" => run_pipeline(scale, njobs, hotpath_out.as_ref()),
+        // Crash-consistency smoke: measure() asserts every kill point
+        // recovers to the crash-free state.
+        "crash" => run_crash(hotpath_out.as_ref()),
         // Robustness smoke: the sweep asserts zero undetected corruptions
         // and zero-rate silence internally.
         "fault" => {

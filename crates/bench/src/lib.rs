@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod crash;
 pub mod exp;
 pub mod hotpath;
 pub mod jobs;

@@ -31,7 +31,7 @@ use proram_mem::{
 };
 use proram_obs::{rate_to_ppm, Obs, ObsEvent};
 use proram_oram::{
-    AccessReport, OramBackend, OramConfig, OramError, PathKind, PathOram, StageCycles,
+    AccessReport, OramBackend, OramConfig, OramError, PathKind, PathOram, RecoveryMode, StageCycles,
 };
 use std::collections::HashSet;
 
@@ -346,7 +346,7 @@ impl<O: OramBackend> SuperBlockOram<O> {
             });
         }
 
-        self.oram.write_path_from_stash(old_leaf);
+        self.oram.write_path_from_stash(old_leaf)?;
         let background_evictions = self.oram.drain_background()?;
         let tree_accesses = 1 + posmap_accesses + background_evictions;
         // A merged super-block fetch is one larger bucket-read batch on
@@ -474,7 +474,7 @@ impl<O: OramBackend> SuperBlockOram<O> {
                 b.leaf = new_leaf;
             }
         }
-        self.oram.write_path_from_stash(old_leaf);
+        self.oram.write_path_from_stash(old_leaf)?;
         let background_evictions = self.oram.drain_background()?;
         let tree_accesses = 1 + posmap_accesses + background_evictions;
         let fetch_cycles = self.oram.fetch_cycles();
@@ -502,14 +502,69 @@ impl<O: OramBackend> SuperBlockOram<O> {
         self.busy_until = complete;
         complete
     }
+
+    /// One transactional attempt at serving `req`: the whole composite
+    /// access — demand read or write-back, including every super-block
+    /// prefetch path and eviction it triggers — runs inside one backend
+    /// commit transaction (DESIGN.md section 15), so a crash anywhere
+    /// inside it rolls back to the access boundary.
+    fn attempt_txn(
+        &mut self,
+        req: MemRequest,
+        llc: &dyn CacheProbe,
+    ) -> Result<(AccessReport, Vec<Fill>), OramError> {
+        self.oram.txn_begin();
+        let out = match req.kind {
+            AccessKind::Read => self.demand_read(req.block, llc),
+            AccessKind::Write => self.writeback(req.block),
+        }?;
+        self.oram.txn_commit()?;
+        Ok(out)
+    }
 }
 
 impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
     fn access(&mut self, now: Cycle, req: MemRequest, llc: &dyn CacheProbe) -> AccessOutcome {
-        let attempt = match req.kind {
-            AccessKind::Read => self.demand_read(req.block, llc),
-            AccessKind::Write => self.writeback(req.block),
-        };
+        let mut attempt = self.attempt_txn(req, llc);
+        // A crashed access recovers in place: the backend rolls its
+        // journal back (or replays it forward past the epoch flip), and a
+        // rolled-back request is retried once — the checkpointed RNG
+        // replays identical randomness. A replayed transaction already
+        // committed, so the fill is delivered without re-executing (a
+        // retry would double-apply the remap); only the recovery work is
+        // charged. Backends without a commit protocol return `None` and
+        // fall through to the degraded-fault path below.
+        if let Err(OramError::Crashed { .. }) = attempt {
+            if let Some(rec) = self.oram.recover_crash() {
+                self.scheme_faults.recovered += 1;
+                attempt = if rec.mode == RecoveryMode::Replayed {
+                    let latency = rec.cycles.max(1);
+                    let fills = match req.kind {
+                        AccessKind::Read => vec![Fill::demand(req.block)],
+                        AccessKind::Write => Vec::new(),
+                    };
+                    Ok((
+                        AccessReport {
+                            latency,
+                            tree_accesses: 0,
+                            posmap_accesses: 0,
+                            background_evictions: 0,
+                            stages: StageCycles {
+                                fetch: latency,
+                                ..StageCycles::default()
+                            },
+                        },
+                        fills,
+                    ))
+                } else {
+                    self.attempt_txn(req, llc).map(|(mut r, f)| {
+                        r.latency += rec.cycles;
+                        r.stages.fetch += rec.cycles;
+                        (r, f)
+                    })
+                };
+            }
+        }
         // An unrecovered fault degrades the access instead of aborting the
         // simulation: the requested block is still delivered (reads), the
         // access is charged one path latency, and the fault is reported in

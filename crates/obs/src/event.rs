@@ -127,6 +127,59 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// A deterministic crash (kill) point inside an ORAM access, mirroring
+/// the controller's kill-point taxonomy without depending on the ORAM
+/// crate.
+///
+/// The first six variants are the entries of the staged access pipeline;
+/// the last three sit inside the storage commit protocol: while undo
+/// entries are being journaled, during the MAC-bound epoch flip, and
+/// inside a pooled encrypt job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Entering the position-map walk.
+    ResolvePosmap,
+    /// Entering the data-path fetch.
+    PathFetch,
+    /// Entering decrypt/authenticate.
+    DecryptVerify,
+    /// Entering the stash update.
+    StashUpdate,
+    /// Entering the path write-back.
+    WriteBack,
+    /// Entering background eviction.
+    Evict,
+    /// While appending an undo entry to the commit journal.
+    MidJournal,
+    /// During the epoch flip (after the flip, before the journal clears).
+    MidFlip,
+    /// Inside a pooled encrypt (seal) job.
+    PooledEncrypt,
+}
+
+impl CrashPoint {
+    /// Stable snake_case name used in JSONL traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::ResolvePosmap => "resolve_posmap",
+            CrashPoint::PathFetch => "path_fetch",
+            CrashPoint::DecryptVerify => "decrypt_verify",
+            CrashPoint::StashUpdate => "stash_update",
+            CrashPoint::WriteBack => "write_back",
+            CrashPoint::Evict => "evict",
+            CrashPoint::MidJournal => "mid_journal",
+            CrashPoint::MidFlip => "mid_flip",
+            CrashPoint::PooledEncrypt => "pooled_encrypt",
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One observable state transition of the PrORAM stack.
 ///
 /// All payloads are plain integers (rates are scaled to parts-per-million)
@@ -279,6 +332,32 @@ pub enum ObsEvent {
         /// Park transitions since the previous batch.
         parks: u64,
     },
+    /// A deterministic crash injection fired: the access unwinds as if
+    /// the process died at this point.
+    CrashInject {
+        /// Where the simulated death struck.
+        point: CrashPoint,
+        /// Which crossing of the point fired (1-based).
+        crossing: u64,
+    },
+    /// An access transaction committed: the epoch header flipped and the
+    /// undo journal was discarded.
+    JournalCommit {
+        /// Undo entries the journal held at commit.
+        entries: u64,
+        /// The epoch the flip advanced to.
+        epoch: u64,
+    },
+    /// Crash recovery ran: the journal was replayed (post-flip crash) or
+    /// rolled back (pre-flip crash) and the checkpoint restored.
+    RecoverReplay {
+        /// `true` for replay (epoch had flipped), `false` for rollback.
+        replay: bool,
+        /// Store buckets restored from undo entries.
+        restored: u64,
+        /// Tree buckets re-read and re-verified from the store image.
+        reverified: u64,
+    },
 }
 
 impl ObsEvent {
@@ -301,11 +380,14 @@ impl ObsEvent {
             ObsEvent::PoolDispatch { .. } => "pool_dispatch",
             ObsEvent::PoolSteal { .. } => "pool_steal",
             ObsEvent::PoolIdle { .. } => "pool_idle",
+            ObsEvent::CrashInject { .. } => "crash_inject",
+            ObsEvent::JournalCommit { .. } => "journal_commit",
+            ObsEvent::RecoverReplay { .. } => "recover_replay",
         }
     }
 
     /// Every discriminant name, for schema checks of JSONL traces.
-    pub const KINDS: [&'static str; 16] = [
+    pub const KINDS: [&'static str; 19] = [
         "access_issued",
         "stage_enter",
         "access_retired",
@@ -322,6 +404,9 @@ impl ObsEvent {
         "pool_dispatch",
         "pool_steal",
         "pool_idle",
+        "crash_inject",
+        "journal_commit",
+        "recover_replay",
     ];
 
     /// Serializes the event as one JSONL line (no trailing newline).
@@ -424,6 +509,23 @@ impl ObsEvent {
             }
             ObsEvent::PoolIdle { parks } => {
                 push_num(&mut s, "parks", parks);
+            }
+            ObsEvent::CrashInject { point, crossing } => {
+                s.push_str(&format!(",\"point\":\"{}\"", point.name()));
+                push_num(&mut s, "crossing", crossing);
+            }
+            ObsEvent::JournalCommit { entries, epoch } => {
+                push_num(&mut s, "entries", entries);
+                push_num(&mut s, "epoch", epoch);
+            }
+            ObsEvent::RecoverReplay {
+                replay,
+                restored,
+                reverified,
+            } => {
+                s.push_str(&format!(",\"replay\":{replay}"));
+                push_num(&mut s, "restored", restored);
+                push_num(&mut s, "reverified", reverified);
             }
         }
         s.push('}');
@@ -531,6 +633,19 @@ mod tests {
             },
             ObsEvent::PoolSteal { jobs: 3 },
             ObsEvent::PoolIdle { parks: 2 },
+            ObsEvent::CrashInject {
+                point: CrashPoint::MidFlip,
+                crossing: 1,
+            },
+            ObsEvent::JournalCommit {
+                entries: 24,
+                epoch: 7,
+            },
+            ObsEvent::RecoverReplay {
+                replay: false,
+                restored: 12,
+                reverified: 30,
+            },
         ];
         assert_eq!(events.len(), ObsEvent::KINDS.len());
         for e in &events {

@@ -16,6 +16,7 @@
 use crate::addr::{AddressSpace, Leaf};
 use crate::block::Block;
 use crate::controller::{OramStats, PathKind};
+use crate::crash::RecoveryReport;
 use crate::error::OramError;
 use crate::posmap::PosEntry;
 use proram_mem::{BlockAddr, FaultStats};
@@ -55,7 +56,39 @@ pub trait OramBackend {
     fn read_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) -> Result<(), OramError>;
 
     /// Write phase of one access, paired with the preceding read.
-    fn write_path_from_stash(&mut self, leaf: Leaf);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::Crashed`] when a store-level crash kill point
+    /// fired during the write-back (the write is dropped and the caller
+    /// must run recovery); backends without crash injection always return
+    /// `Ok`.
+    fn write_path_from_stash(&mut self, leaf: Leaf) -> Result<(), OramError>;
+
+    /// Opens the crash-consistent commit transaction of one composite
+    /// access (DESIGN.md section 15), so the scheme layer's multi-path
+    /// accesses roll back or replay as one unit. No-op for backends
+    /// without a commit protocol (the default) and for backends whose
+    /// crash injection is disabled.
+    fn txn_begin(&mut self) {}
+
+    /// Commits the transaction opened by [`OramBackend::txn_begin`].
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Crashed`] when a kill point fires inside the commit;
+    /// the caller must run [`OramBackend::recover_crash`].
+    fn txn_commit(&mut self) -> Result<(), OramError> {
+        Ok(())
+    }
+
+    /// Recovers after an access returned [`OramError::Crashed`]: the
+    /// backend restores its last consistent state and reports what
+    /// recovery did. `None` (the default) means the backend has no commit
+    /// protocol and the caller must treat the crash as unrecovered.
+    fn recover_crash(&mut self) -> Option<RecoveryReport> {
+        None
+    }
 
     /// Whether `addr` currently sits in the stash.
     fn stash_contains(&self, addr: BlockAddr) -> bool;

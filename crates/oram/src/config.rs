@@ -146,6 +146,17 @@ pub struct OramConfig {
     /// (DESIGN.md section 14). Requires `store_payloads` to matter;
     /// without an image there is no crypto to parallelize.
     pub crypto_threads: usize,
+    /// Deterministic crash injection (requires `store_payloads`): every
+    /// access runs under the crash-consistent commit protocol of
+    /// DESIGN.md section 15, and the configured kill point fires on its
+    /// Nth crossing, unwinding the access as
+    /// [`crate::OramError::Crashed`]. Recovery
+    /// ([`crate::PathOram::recover`]) then rolls the journal back or
+    /// replays it forward. `None` disables both injection and journaling
+    /// — the hot path is byte-identical to a crash-free build. Mutually
+    /// exclusive with [`OramConfig::fault`]: the injectors' accounting
+    /// assumes they own the failure surface alone.
+    pub crash: Option<crate::crash::CrashConfig>,
 }
 
 impl OramConfig {
@@ -185,6 +196,7 @@ impl OramConfig {
             scrub_interval: 0,
             pipeline: None,
             crypto_threads: 0,
+            crash: None,
         }
     }
 
@@ -359,6 +371,32 @@ impl OramConfig {
                 "scrub_interval",
                 "scrubbing requires store_payloads (there is no image to verify otherwise)",
             ));
+        }
+        if let Some(crash) = &self.crash {
+            if !self.store_payloads {
+                return Err(ConfigError::new(
+                    "crash",
+                    "crash injection requires store_payloads (the commit protocol journals the image)",
+                ));
+            }
+            if self.fault.is_some() {
+                return Err(ConfigError::new(
+                    "crash",
+                    "crash injection and fault injection are mutually exclusive",
+                ));
+            }
+            if crash.point == crate::crash::KillPoint::PooledEncrypt && self.crypto_threads < 2 {
+                return Err(ConfigError::new(
+                    "crash",
+                    format!(
+                        "the {} kill point needs crypto_threads >= 2 (got {})",
+                        crash.point, self.crypto_threads
+                    ),
+                ));
+            }
+            if let Err(msg) = crash.validate() {
+                return Err(ConfigError::new("crash", msg));
+            }
         }
         if self.crypto_threads > 256 {
             return Err(ConfigError::new(
@@ -568,6 +606,14 @@ impl OramConfigBuilder {
         self
     }
 
+    /// Arms deterministic crash injection: the kill point fires on its
+    /// configured crossing and every access runs under the commit
+    /// protocol (DESIGN.md section 15).
+    pub fn crash(mut self, crash: crate::crash::CrashConfig) -> Self {
+        self.cfg.crash = Some(crash);
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -605,6 +651,7 @@ impl Default for OramConfig {
             scrub_interval: 0,
             pipeline: None,
             crypto_threads: 0,
+            crash: None,
         }
     }
 }
@@ -723,6 +770,55 @@ mod tests {
             ..OramConfig::small_for_tests(256)
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn crash_injection_validation_gates() {
+        use crate::crash::{CrashConfig, KillPoint};
+        // Without a stored image there is nothing to journal.
+        let err = OramConfig::builder()
+            .crash(CrashConfig::first(KillPoint::WriteBack))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "crash");
+        assert!(err.to_string().contains("requires store_payloads"), "{err}");
+        // Crash and fault injection own the failure surface exclusively.
+        let err = OramConfig {
+            crash: Some(CrashConfig::first(KillPoint::WriteBack)),
+            fault: Some(FaultConfig::silent(1)),
+            ..OramConfig::small_for_tests(256)
+        }
+        .check()
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // PooledEncrypt can only fire inside an actual worker pool.
+        let err = OramConfig {
+            crash: Some(CrashConfig::first(KillPoint::PooledEncrypt)),
+            ..OramConfig::small_for_tests(256)
+        }
+        .check()
+        .unwrap_err();
+        assert!(err.to_string().contains("crypto_threads >= 2"), "{err}");
+        // Crossings are 1-based.
+        let err = OramConfig {
+            crash: Some(CrashConfig::at(KillPoint::WriteBack, 0)),
+            ..OramConfig::small_for_tests(256)
+        }
+        .check()
+        .unwrap_err();
+        assert_eq!(err.field(), "crash");
+        // And the well-formed variants pass.
+        OramConfig {
+            crash: Some(CrashConfig::at(KillPoint::MidJournal, 3)),
+            ..OramConfig::small_for_tests(256)
+        }
+        .validate();
+        OramConfig {
+            crash: Some(CrashConfig::first(KillPoint::PooledEncrypt)),
+            crypto_threads: 3,
+            ..OramConfig::small_for_tests(256)
+        }
+        .validate();
     }
 
     #[test]

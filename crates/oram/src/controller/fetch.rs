@@ -56,6 +56,12 @@ impl PathOram {
     /// The stash-update half of a path fetch: moves the (verified) path's
     /// blocks into the stash and records stats, trace and occupancy.
     pub(crate) fn fill_path_into_stash(&mut self, leaf: Leaf, kind: PathKind) {
+        if self.txn_open {
+            // A fetched path's buckets lose blocks to the stash; recovery
+            // must re-verify them even if the crash lands before the
+            // write-back journals them.
+            self.txn_touched.extend(self.tree.path_indices(leaf));
+        }
         let peak_before = self.stash.peak();
         read_path(&mut self.tree, &mut self.stash, leaf);
         match kind {

@@ -57,7 +57,7 @@ impl PathOram {
         if let Some(victim) = self.plb.insert(block) {
             self.stash.insert(victim);
         }
-        self.write_path_from_stash(old_leaf);
+        self.write_path_from_stash(old_leaf)?;
         Ok(accesses)
     }
 

@@ -20,6 +20,10 @@ fn fault_kind(err: &OramError) -> FaultKind {
         OramError::Transient { .. } => FaultKind::Transient,
         OramError::StashOverflow { .. } => FaultKind::StashPressure,
         OramError::BlockMissing { .. } => FaultKind::BlockMissing,
+        // Crash unwinds are propagated (never repaired here) and crash
+        // injection excludes fault injection by config validation, so this
+        // classification is only a defensive nearest-neighbor.
+        OramError::Crashed { .. } => FaultKind::Transient,
     }
 }
 
@@ -113,9 +117,9 @@ impl PathOram {
                             // the access, but the bucket went unread.
                             self.ctrl_faults.unrecovered += 1;
                         }
-                        OramError::StashOverflow { .. } | OramError::BlockMissing { .. } => {
-                            return Err(err)
-                        }
+                        OramError::StashOverflow { .. }
+                        | OramError::BlockMissing { .. }
+                        | OramError::Crashed { .. } => return Err(err),
                     }
                 }
                 Err(err) => return Err(err),
@@ -171,9 +175,11 @@ impl PathOram {
                     });
                     self.ctrl_faults.unrecovered += 1;
                 }
-                Err(err @ (OramError::StashOverflow { .. } | OramError::BlockMissing { .. })) => {
-                    return Err(err)
-                }
+                Err(
+                    err @ (OramError::StashOverflow { .. }
+                    | OramError::BlockMissing { .. }
+                    | OramError::Crashed { .. }),
+                ) => return Err(err),
             }
         }
         Ok(())

@@ -14,7 +14,17 @@ use proram_obs::{FaultKind, ObsEvent};
 impl PathOram {
     /// Greedily writes stash blocks back to the path to `leaf` and
     /// re-encrypts the touched buckets into the storage image.
-    pub fn write_path_from_stash(&mut self, leaf: Leaf) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::Crashed`] when a store-level crash kill point
+    /// fired during the write-back; the encrypted image keeps its
+    /// pre-crash bytes and [`PathOram::recover`] must run before the next
+    /// access.
+    pub fn write_path_from_stash(&mut self, leaf: Leaf) -> Result<(), OramError> {
+        if self.txn_open {
+            self.txn_touched.extend(self.tree.path_indices(leaf));
+        }
         write_path_with(&mut self.tree, &mut self.stash, leaf, &mut self.scratch);
         if let Some(store) = self.store.as_mut() {
             if store.parallel_active() {
@@ -51,6 +61,7 @@ impl PathOram {
                 }
             }
         }
+        self.store_crash_check()
     }
 
     /// Performs one background eviction (paper Section 2.4): read and
@@ -62,8 +73,7 @@ impl PathOram {
     pub fn try_background_evict(&mut self) -> Result<(), OramError> {
         let leaf = self.random_leaf();
         self.try_read_path_into_stash(leaf, super::PathKind::Dummy)?;
-        self.write_path_from_stash(leaf);
-        Ok(())
+        self.write_path_from_stash(leaf)
     }
 
     /// Issues background evictions until the stash is under its limit,

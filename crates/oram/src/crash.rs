@@ -1,0 +1,278 @@
+//! Deterministic crash-point injection.
+//!
+//! The fault layer ([`crate::fault`]) models an adversarial or unreliable
+//! *medium*: bytes flip, writes tear, stale images replay. This module
+//! models a dying *controller process*: the access is killed at an exact,
+//! enumerable point and everything volatile is presumed lost. Each
+//! [`KillPoint`] names one such point; arming a [`CrashConfig`] makes the
+//! Nth crossing of that point unwind the access as
+//! [`crate::OramError::Crashed`], after which the harness runs
+//! [`crate::PathOram::recover`] to roll back or replay the store's undo
+//! journal and restore the sealed checkpoint.
+//!
+//! Injection is countdown-based, not rate-based, so a sweep over
+//! `KillPoint::ALL` × crossing indices enumerates every distinct crash
+//! schedule deterministically — the property the crash-recovery test
+//! suite and the `crash` bench subcommand rely on.
+
+use std::fmt;
+
+/// One enumerable point where a simulated process death can strike.
+///
+/// The first six variants are the entries of the staged access pipeline
+/// ([`crate::pipeline::AccessStage`]); the last three live inside the
+/// storage commit protocol, where a real crash is most damaging: while
+/// undo entries are being journaled, during the MAC-bound epoch flip,
+/// and inside a pooled encrypt job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KillPoint {
+    /// Entering the position-map walk.
+    ResolvePosmap,
+    /// Entering the data-path fetch.
+    PathFetch,
+    /// Entering decrypt/authenticate.
+    DecryptVerify,
+    /// Entering the stash update.
+    StashUpdate,
+    /// Entering the path write-back.
+    WriteBack,
+    /// Entering background eviction.
+    Evict,
+    /// While appending an undo entry to the commit journal: the entry is
+    /// durable, the home bucket write it guards never happens.
+    MidJournal,
+    /// During the epoch flip: the epoch header has advanced but the
+    /// journal has not yet been discarded, so recovery must *replay*
+    /// (keep the committed image) instead of rolling back.
+    MidFlip,
+    /// Inside a pooled encrypt (seal) job: the job panics mid-batch and
+    /// the whole write batch is abandoned before any bucket commits.
+    PooledEncrypt,
+}
+
+impl KillPoint {
+    /// Every kill point, in pipeline-then-commit order.
+    pub const ALL: [KillPoint; 9] = [
+        KillPoint::ResolvePosmap,
+        KillPoint::PathFetch,
+        KillPoint::DecryptVerify,
+        KillPoint::StashUpdate,
+        KillPoint::WriteBack,
+        KillPoint::Evict,
+        KillPoint::MidJournal,
+        KillPoint::MidFlip,
+        KillPoint::PooledEncrypt,
+    ];
+
+    /// Stable snake_case name used in reports and JSONL traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            KillPoint::ResolvePosmap => "resolve_posmap",
+            KillPoint::PathFetch => "path_fetch",
+            KillPoint::DecryptVerify => "decrypt_verify",
+            KillPoint::StashUpdate => "stash_update",
+            KillPoint::WriteBack => "write_back",
+            KillPoint::Evict => "evict",
+            KillPoint::MidJournal => "mid_journal",
+            KillPoint::MidFlip => "mid_flip",
+            KillPoint::PooledEncrypt => "pooled_encrypt",
+        }
+    }
+
+    /// The obs-crate mirror of this point.
+    pub(crate) fn obs(self) -> proram_obs::CrashPoint {
+        match self {
+            KillPoint::ResolvePosmap => proram_obs::CrashPoint::ResolvePosmap,
+            KillPoint::PathFetch => proram_obs::CrashPoint::PathFetch,
+            KillPoint::DecryptVerify => proram_obs::CrashPoint::DecryptVerify,
+            KillPoint::StashUpdate => proram_obs::CrashPoint::StashUpdate,
+            KillPoint::WriteBack => proram_obs::CrashPoint::WriteBack,
+            KillPoint::Evict => proram_obs::CrashPoint::Evict,
+            KillPoint::MidJournal => proram_obs::CrashPoint::MidJournal,
+            KillPoint::MidFlip => proram_obs::CrashPoint::MidFlip,
+            KillPoint::PooledEncrypt => proram_obs::CrashPoint::PooledEncrypt,
+        }
+    }
+
+    /// `true` for the points that fire inside the storage commit
+    /// protocol rather than at a pipeline-stage entry.
+    pub fn is_store_point(self) -> bool {
+        matches!(
+            self,
+            KillPoint::MidJournal | KillPoint::MidFlip | KillPoint::PooledEncrypt
+        )
+    }
+}
+
+impl fmt::Display for KillPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Arms deterministic crash injection on a controller
+/// ([`crate::config::OramConfig::crash`]).
+///
+/// The injector fires exactly once, on the `crossing`-th crossing
+/// (1-based) of `point`, then disarms — so the post-recovery retry of
+/// the killed access runs to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashConfig {
+    /// The kill point to arm.
+    pub point: KillPoint,
+    /// Which crossing of the point fires (1-based).
+    pub crossing: u64,
+}
+
+impl CrashConfig {
+    /// Arms the first crossing of `point`.
+    pub fn first(point: KillPoint) -> CrashConfig {
+        CrashConfig { point, crossing: 1 }
+    }
+
+    /// Arms the `crossing`-th crossing (1-based) of `point`.
+    pub fn at(point: KillPoint, crossing: u64) -> CrashConfig {
+        CrashConfig { point, crossing }
+    }
+
+    /// Validates the configuration (crossing indices are 1-based).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.crossing == 0 {
+            return Err("crash crossing is 1-based and must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The live countdown for an armed [`CrashConfig`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CrashArm {
+    pub(crate) point: KillPoint,
+    /// Crossings left before the kill fires.
+    pub(crate) remaining: u64,
+    /// Set once the kill fired; the arm never fires again.
+    pub(crate) fired: bool,
+}
+
+impl CrashArm {
+    pub(crate) fn new(cfg: CrashConfig) -> CrashArm {
+        CrashArm {
+            point: cfg.point,
+            remaining: cfg.crossing,
+            fired: false,
+        }
+    }
+
+    /// Records one crossing of `point`; returns `true` if the kill
+    /// fires now.
+    pub(crate) fn cross(&mut self, point: KillPoint) -> bool {
+        if self.fired || point != self.point {
+            return false;
+        }
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            self.fired = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// How [`crate::PathOram::recover`] resolved the interrupted access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// No journal was pending; the store was already consistent.
+    Clean,
+    /// The crash struck before the epoch flip: every journaled bucket
+    /// was restored to its pre-transaction image and the pre-access
+    /// checkpoint was adopted.
+    RolledBack,
+    /// The crash struck after the epoch flip: the committed image was
+    /// kept and the post-access checkpoint was adopted.
+    Replayed,
+}
+
+impl RecoveryMode {
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryMode::Clean => "clean",
+            RecoveryMode::RolledBack => "rolled_back",
+            RecoveryMode::Replayed => "replayed",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What one [`crate::PathOram::recover`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Rollback, replay, or nothing to do.
+    pub mode: RecoveryMode,
+    /// Undo entries the journal held.
+    pub journal_entries: usize,
+    /// Store buckets restored from undo entries (rollback only).
+    pub buckets_restored: usize,
+    /// Tree buckets re-read and re-authenticated from the store image.
+    pub buckets_reverified: usize,
+    /// Modeled recovery latency in cycles (journal restore plus the
+    /// re-verification reads, charged at the path-fetch byte rate).
+    pub cycles: u64,
+}
+
+/// Cumulative crash/recovery counters for a controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashStats {
+    /// Injected kills that fired.
+    pub crashes_injected: u64,
+    /// Recoveries that rolled the journal back.
+    pub rollbacks: u64,
+    /// Recoveries that replayed (kept) the committed image.
+    pub replays: u64,
+    /// Recoveries that found a consistent store (nothing pending).
+    pub clean_recoveries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_points_have_unique_names() {
+        let mut names: Vec<&str> = KillPoint::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KillPoint::ALL.len());
+    }
+
+    #[test]
+    fn arm_fires_on_the_nth_crossing_exactly_once() {
+        let mut arm = CrashArm::new(CrashConfig::at(KillPoint::WriteBack, 3));
+        assert!(!arm.cross(KillPoint::WriteBack));
+        assert!(!arm.cross(KillPoint::PathFetch));
+        assert!(!arm.cross(KillPoint::WriteBack));
+        assert!(arm.cross(KillPoint::WriteBack));
+        // Disarmed after firing.
+        assert!(!arm.cross(KillPoint::WriteBack));
+    }
+
+    #[test]
+    fn zero_crossing_rejected() {
+        assert!(CrashConfig::at(KillPoint::MidFlip, 0).validate().is_err());
+        assert!(CrashConfig::first(KillPoint::MidFlip).validate().is_ok());
+    }
+
+    #[test]
+    fn store_points_are_classified() {
+        assert!(KillPoint::MidJournal.is_store_point());
+        assert!(KillPoint::MidFlip.is_store_point());
+        assert!(KillPoint::PooledEncrypt.is_store_point());
+        assert!(!KillPoint::WriteBack.is_store_point());
+    }
+}

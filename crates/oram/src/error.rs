@@ -63,6 +63,16 @@ pub enum OramError {
         /// Leaf label of the path that was searched.
         leaf: u32,
     },
+    /// A deterministic crash injection fired mid-access: the process is
+    /// simulated as dead at the given kill point, leaving the store's
+    /// undo journal (and possibly a torn path) behind. The access
+    /// unwinds as a value so the harness can run
+    /// [`crate::PathOram::recover`] and retry — the crash-consistency
+    /// analogue of a power failure.
+    Crashed {
+        /// The kill point where the simulated death struck.
+        point: crate::crash::KillPoint,
+    },
 }
 
 impl fmt::Display for OramError {
@@ -100,6 +110,9 @@ impl fmt::Display for OramError {
                 f,
                 "placement invariant broken: block {addr} is on neither the path to leaf {leaf} nor in the stash"
             ),
+            OramError::Crashed { point } => {
+                write!(f, "simulated crash at kill point {}", point.name())
+            }
         }
     }
 }
@@ -113,7 +126,9 @@ impl OramError {
             OramError::Integrity { bucket, .. }
             | OramError::Rollback { bucket, .. }
             | OramError::Transient { bucket, .. } => Some(*bucket),
-            OramError::StashOverflow { .. } | OramError::BlockMissing { .. } => None,
+            OramError::StashOverflow { .. }
+            | OramError::BlockMissing { .. }
+            | OramError::Crashed { .. } => None,
         }
     }
 }

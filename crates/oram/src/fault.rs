@@ -289,8 +289,14 @@ impl FaultyStore {
                 return Ok(());
             }
             self.stats.injected_transients += 1;
-            // Exponential backoff before the next attempt.
-            self.stats.backoff_cycles += self.cfg.retry_backoff_cycles << (attempts - 1).min(16);
+            // Exponential backoff before the next attempt. Doubling is
+            // capped with saturating arithmetic: a large base cost times a
+            // deep retry (the shift alone caps at 2^16) must clamp to
+            // u64::MAX, not wrap, so latency accounting stays monotone at
+            // extreme retry budgets.
+            let doubling = 1u64 << (attempts - 1).min(16);
+            let backoff = self.cfg.retry_backoff_cycles.saturating_mul(doubling);
+            self.stats.backoff_cycles = self.stats.backoff_cycles.saturating_add(backoff);
         }
         self.stats.transient_retries += u64::from(max_attempts - 1);
         Err(max_attempts)
@@ -439,6 +445,44 @@ mod tests {
             "rate 0.5 with budget 8 mostly succeeds"
         );
         assert!(s.stats().recovered > 0);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing_at_high_budgets() {
+        // A pathological deployment: near-maximal base backoff and a
+        // retry budget deep enough to hit the shift cap many times over.
+        // Before the saturating fix the doubling wrapped u64 and the
+        // accumulated backoff_cycles went *down* across retries.
+        let cfg = FaultConfig {
+            retry_budget: 200,
+            retry_backoff_cycles: u64::MAX / 2,
+            ..FaultConfig::single(FaultClass::Transient, 1.0, 21)
+        };
+        let mut s = store(cfg);
+        assert_eq!(s.read_gate(), Err(201));
+        assert_eq!(
+            s.stats().backoff_cycles,
+            u64::MAX,
+            "accumulated backoff clamps at u64::MAX"
+        );
+
+        // Monotonicity under repeated exhausted reads: saturated stays
+        // saturated.
+        assert_eq!(s.read_gate(), Err(201));
+        assert_eq!(s.stats().backoff_cycles, u64::MAX);
+    }
+
+    #[test]
+    fn backoff_doubles_exactly_below_the_saturation_range() {
+        let cfg = FaultConfig {
+            retry_budget: 4,
+            retry_backoff_cycles: 64,
+            ..FaultConfig::single(FaultClass::Transient, 1.0, 21)
+        };
+        let mut s = store(cfg);
+        assert_eq!(s.read_gate(), Err(5));
+        // 64 * (1 + 2 + 4 + 8 + 16) = 64 * 31.
+        assert_eq!(s.stats().backoff_cycles, 64 * 31);
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! The commit journal and sealed checkpoint records.
+//!
+//! The crash-consistency protocol (DESIGN.md section 15) makes every
+//! ORAM access all-or-nothing with three durable artifacts, all held in
+//! the untrusted store's journal area:
+//!
+//! * **Undo entries** ([`UndoEntry`]): before a bucket's home location
+//!   is overwritten for the first time in a transaction, its old raw
+//!   image and trusted version counter are journaled. Rolling the
+//!   journal back restores the exact pre-transaction byte image.
+//! * **Sealed checkpoints** ([`Checkpoint`]): the controller's volatile
+//!   state — stash, PLB, on-chip position-map top table and RNG state —
+//!   serialized and MAC-sealed. Checkpoint A is taken at transaction
+//!   begin, checkpoint B at commit; recovery adopts A after a rollback
+//!   and B after a replay.
+//! * **The epoch header**: a trusted monotonic counter bound by a MAC.
+//!   The commit "flips" it after all home writes land; recovery compares
+//!   it against the journal's begin epoch to decide rollback (not yet
+//!   flipped) versus replay (flipped, journal not yet discarded).
+//!
+//! Everything here is plain serialization plus one MAC; the protocol
+//! logic lives in [`crate::storage`] (journaling, flip) and
+//! [`crate::controller`] (`PathOram::recover`).
+
+use crate::addr::Leaf;
+use crate::block::{Block, Payload};
+use crate::crypto::Mac;
+use crate::posmap::PosEntry;
+use proram_mem::BlockAddr;
+
+/// Domain-separation constant folded into checkpoint MACs so a sealed
+/// checkpoint can never be confused with a sealed slot or epoch header.
+const CHECKPOINT_DOMAIN: u64 = 0x4350_4B54_5052_4F52; // "CPKTPROR"
+
+/// Domain-separation constant for the epoch header MAC.
+pub(crate) const EPOCH_DOMAIN: u64 = 0x4550_4F43_5052_4F52; // "EPOCPROR"
+
+/// One first-touch undo record: the raw store image and trusted version
+/// a bucket had before the current transaction first overwrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct UndoEntry {
+    /// Heap index of the bucket.
+    pub index: usize,
+    /// The full pre-transaction ciphertext image (header + body).
+    pub image: Vec<u8>,
+    /// The trusted version counter before the transaction.
+    pub version: u64,
+}
+
+/// The live journal of one open transaction.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TxnJournal {
+    /// Epoch at transaction begin; recovery compares the store's epoch
+    /// against this to pick rollback vs replay.
+    pub begin_epoch: u64,
+    /// First-touch undo entries, in write order.
+    pub entries: Vec<UndoEntry>,
+    /// Sealed checkpoint A (pre-access state), written at begin.
+    pub checkpoint_a: Vec<u8>,
+    /// Sealed checkpoint B (post-access state), written during commit
+    /// just before the flip.
+    pub checkpoint_b: Option<Vec<u8>>,
+}
+
+impl TxnJournal {
+    /// `true` if `index` already has an undo entry this transaction.
+    pub fn touched(&self, index: usize) -> bool {
+        self.entries.iter().any(|e| e.index == index)
+    }
+}
+
+/// A decoded controller checkpoint: everything volatile the recovery
+/// path must restore. The tree's plaintext buckets are deliberately
+/// absent — they are rebuilt by decrypting and re-authenticating the
+/// (rolled-back or replayed) store image, which is what makes recovery
+/// honest about what survives a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Checkpoint {
+    /// Store epoch when the checkpoint was taken.
+    pub epoch: u64,
+    /// Controller RNG state (leaf remaps and eviction choices replay
+    /// identically after a rollback).
+    pub rng: [u64; 4],
+    /// The on-chip position-map top table.
+    pub top: Vec<PosEntry>,
+    /// Stash contents.
+    pub stash: Vec<Block>,
+    /// PLB contents, MRU first.
+    pub plb: Vec<Block>,
+}
+
+impl Checkpoint {
+    /// Serializes and MAC-seals the checkpoint into one record.
+    pub fn seal(&self, mac: &Mac) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.stash.len() * 32);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        for w in self.rng {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        push_len(&mut out, self.top.len());
+        for e in &self.top {
+            encode_entry(&mut out, e);
+        }
+        push_len(&mut out, self.stash.len());
+        for b in &self.stash {
+            encode_block(&mut out, b);
+        }
+        push_len(&mut out, self.plb.len());
+        for b in &self.plb {
+            encode_block(&mut out, b);
+        }
+        let tag = mac.tag_parts(&[CHECKPOINT_DOMAIN, self.epoch], &[&out]);
+        out.extend_from_slice(&tag.to_le_bytes());
+        out
+    }
+
+    /// Verifies the seal and decodes a checkpoint record.
+    ///
+    /// Returns `None` on a truncated record or MAC mismatch — a torn or
+    /// tampered checkpoint must never be adopted.
+    pub fn unseal(bytes: &[u8], mac: &Mac) -> Option<Checkpoint> {
+        if bytes.len() < 8 + 32 + 8 {
+            return None;
+        }
+        let (body, tag_bytes) = bytes.split_at(bytes.len() - 8);
+        let mut r = Reader { buf: body, pos: 0 };
+        let epoch = r.u64()?;
+        let mut rng = [0u64; 4];
+        for w in &mut rng {
+            *w = r.u64()?;
+        }
+        let tag = u64::from_le_bytes(tag_bytes.try_into().ok()?);
+        if mac.tag_parts(&[CHECKPOINT_DOMAIN, epoch], &[body]) != tag {
+            return None;
+        }
+        let top_len = r.len()?;
+        let mut top = Vec::with_capacity(top_len);
+        for _ in 0..top_len {
+            top.push(decode_entry(&mut r)?);
+        }
+        let stash_len = r.len()?;
+        let mut stash = Vec::with_capacity(stash_len);
+        for _ in 0..stash_len {
+            stash.push(decode_block(&mut r)?);
+        }
+        let plb_len = r.len()?;
+        let mut plb = Vec::with_capacity(plb_len);
+        for _ in 0..plb_len {
+            plb.push(decode_block(&mut r)?);
+        }
+        if r.pos != body.len() {
+            return None; // trailing garbage
+        }
+        Some(Checkpoint {
+            epoch,
+            rng,
+            top,
+            stash,
+            plb,
+        })
+    }
+}
+
+fn push_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(
+        &u32::try_from(len)
+            .expect("checkpoint section length")
+            .to_le_bytes(),
+    );
+}
+
+fn encode_entry(out: &mut Vec<u8>, e: &PosEntry) {
+    out.extend_from_slice(&e.leaf.0.to_le_bytes());
+    out.extend_from_slice(&e.merge.to_le_bytes());
+    out.extend_from_slice(&e.brk.to_le_bytes());
+    out.push(u8::from(e.prefetch));
+}
+
+fn decode_entry(r: &mut Reader<'_>) -> Option<PosEntry> {
+    Some(PosEntry {
+        leaf: Leaf(r.u32()?),
+        merge: r.i16()?,
+        brk: r.i16()?,
+        prefetch: r.u8()? != 0,
+    })
+}
+
+fn encode_block(out: &mut Vec<u8>, b: &Block) {
+    out.extend_from_slice(&b.addr.0.to_le_bytes());
+    out.extend_from_slice(&b.leaf.0.to_le_bytes());
+    out.push(u8::from(b.hit));
+    match &b.payload {
+        Payload::Opaque => out.push(0),
+        Payload::Data(data) => {
+            out.push(1);
+            push_len(out, data.len());
+            out.extend_from_slice(data);
+        }
+        Payload::PosMap(entries) => {
+            out.push(2);
+            push_len(out, entries.len());
+            for e in entries.iter() {
+                encode_entry(out, e);
+            }
+        }
+    }
+}
+
+fn decode_block(r: &mut Reader<'_>) -> Option<Block> {
+    let addr = BlockAddr(r.u64()?);
+    let leaf = Leaf(r.u32()?);
+    let hit = r.u8()? != 0;
+    let payload = match r.u8()? {
+        0 => Payload::Opaque,
+        1 => {
+            let len = r.len()?;
+            Payload::Data(r.bytes(len)?.to_vec().into_boxed_slice())
+        }
+        2 => {
+            let len = r.len()?;
+            let mut entries = Vec::with_capacity(len);
+            for _ in 0..len {
+                entries.push(decode_entry(r)?);
+            }
+            Payload::PosMap(entries.into_boxed_slice())
+        }
+        _ => return None,
+    };
+    Some(Block {
+        addr,
+        leaf,
+        hit,
+        payload,
+    })
+}
+
+/// A bounds-checked little-endian cursor.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+
+    fn i16(&mut self) -> Option<i16> {
+        Some(i16::from_le_bytes(self.bytes(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+
+    fn len(&mut self) -> Option<usize> {
+        Some(self.u32()? as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            epoch: 5,
+            rng: [1, 2, 3, 4],
+            top: vec![
+                PosEntry {
+                    leaf: Leaf(9),
+                    merge: -3,
+                    brk: 4,
+                    prefetch: true,
+                },
+                PosEntry::new(Leaf(2)),
+            ],
+            stash: vec![
+                Block::opaque(BlockAddr(7), Leaf(1)),
+                Block::with_data(BlockAddr(8), Leaf(2), vec![0xAB; 16].into()),
+            ],
+            plb: vec![Block::posmap(
+                BlockAddr(100),
+                Leaf(3),
+                vec![PosEntry::new(Leaf(5)), PosEntry::new(Leaf(6))].into(),
+            )],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_seal() {
+        let mac = Mac::new(0xDEAD_BEEF);
+        let cp = sample_checkpoint();
+        let sealed = cp.seal(&mac);
+        let back = Checkpoint::unseal(&sealed, &mac).expect("seal verifies");
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_rejected() {
+        let mac = Mac::new(0xDEAD_BEEF);
+        let sealed = sample_checkpoint().seal(&mac);
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Checkpoint::unseal(&bad, &mac).is_none(),
+                "flip at byte {i} must fail the seal"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let mac = Mac::new(1);
+        let sealed = sample_checkpoint().seal(&mac);
+        for cut in 0..sealed.len() {
+            assert!(Checkpoint::unseal(&sealed[..cut], &mac).is_none());
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let sealed = sample_checkpoint().seal(&Mac::new(1));
+        assert!(Checkpoint::unseal(&sealed, &Mac::new(2)).is_none());
+    }
+
+    #[test]
+    fn journal_tracks_first_touch() {
+        let mut j = TxnJournal::default();
+        assert!(!j.touched(3));
+        j.entries.push(UndoEntry {
+            index: 3,
+            image: vec![0; 8],
+            version: 1,
+        });
+        assert!(j.touched(3));
+        assert!(!j.touched(4));
+    }
+}

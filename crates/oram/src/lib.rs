@@ -49,10 +49,12 @@ pub mod block;
 pub mod bucket;
 pub mod config;
 pub mod controller;
+pub mod crash;
 pub mod crypto;
 pub mod error;
 pub mod eviction;
 pub mod fault;
+mod journal;
 pub mod pipeline;
 pub mod plb;
 pub mod posmap;
@@ -69,6 +71,7 @@ pub use block::{Block, Payload};
 pub use bucket::Bucket;
 pub use config::{ConfigError, OramConfig, OramConfigBuilder};
 pub use controller::{AccessReport, OramStats, PathKind, PathOram};
+pub use crash::{CrashConfig, CrashStats, KillPoint, RecoveryMode, RecoveryReport};
 pub use crypto::{Mac, StreamCipher};
 pub use error::OramError;
 pub use eviction::PathScratch;
@@ -93,6 +96,7 @@ pub mod prelude {
     pub use crate::backend_trait::OramBackend;
     pub use crate::config::{ConfigError, OramConfig, OramConfigBuilder};
     pub use crate::controller::{AccessReport, PathOram};
+    pub use crate::crash::{CrashConfig, CrashStats, KillPoint, RecoveryMode, RecoveryReport};
     pub use crate::error::OramError;
     pub use proram_obs::{NoopSink, Obs, ObsEvent, ObsSink, RingSink};
 }

@@ -22,6 +22,7 @@
 
 use crate::addr::Leaf;
 use crate::controller::{AccessReport, PathKind, PathOram};
+use crate::crash::KillPoint;
 use crate::error::OramError;
 use proram_mem::{AccessKind, BlockAddr};
 use proram_obs::{ObsEvent, StageKind};
@@ -162,6 +163,7 @@ impl AccessMachine {
                     addr,
                     stage: StageKind::ResolvePosmap,
                 });
+                oram.crash_gate(KillPoint::ResolvePosmap)?;
                 oram.note_logical_access();
                 self.backoff_before = oram.backoff_cycles();
                 self.posmap_accesses = oram.try_resolve_posmap(self.request.addr)?;
@@ -173,6 +175,7 @@ impl AccessMachine {
             }
             AccessStage::PathFetch => {
                 self.emit_stage(oram, StageKind::PathFetch);
+                oram.crash_gate(KillPoint::PathFetch)?;
                 // The fetch is one batch of bucket reads, one per off-chip
                 // level; recording its size here keeps the hot path
                 // allocation-free (an explicit batch is available via
@@ -183,12 +186,14 @@ impl AccessMachine {
             }
             AccessStage::DecryptVerify => {
                 self.emit_stage(oram, StageKind::DecryptVerify);
+                oram.crash_gate(KillPoint::DecryptVerify)?;
                 oram.verify_gate(self.old_leaf)?;
                 self.stage = AccessStage::StashUpdate;
                 Ok(None)
             }
             AccessStage::StashUpdate => {
                 self.emit_stage(oram, StageKind::StashUpdate);
+                oram.crash_gate(KillPoint::StashUpdate)?;
                 oram.fill_path_into_stash(self.old_leaf, PathKind::Data);
                 oram.claim_block(self.request.addr, self.old_leaf, self.new_leaf)?;
                 self.stage = AccessStage::WriteBack;
@@ -196,12 +201,14 @@ impl AccessMachine {
             }
             AccessStage::WriteBack => {
                 self.emit_stage(oram, StageKind::WriteBack);
-                oram.write_path_from_stash(self.old_leaf);
+                oram.crash_gate(KillPoint::WriteBack)?;
+                oram.write_path_from_stash(self.old_leaf)?;
                 self.stage = AccessStage::Evict;
                 Ok(None)
             }
             AccessStage::Evict => {
                 self.emit_stage(oram, StageKind::Evict);
+                oram.crash_gate(KillPoint::Evict)?;
                 let background_evictions = oram.drain_and_periodic_scrub()?;
                 let backoff = oram.backoff_cycles() - self.backoff_before;
                 let fetch_cycles = oram.fetch_cycles();

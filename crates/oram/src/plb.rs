@@ -125,6 +125,12 @@ impl Plb {
         std::mem::take(&mut self.blocks).into_iter().collect()
     }
 
+    /// Iterates resident blocks in recency order, MRU first (used to
+    /// serialize the PLB into a crash-consistency checkpoint).
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
     /// `(hits, misses)` since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)

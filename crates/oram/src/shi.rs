@@ -282,7 +282,8 @@ impl ShiOram {
             .get_mut(addr)
             .unwrap_or_else(|| panic!("invariant broken: {addr} missing from {old_leaf}"));
         block.leaf = new_leaf;
-        self.write_path_from_stash(old_leaf);
+        self.write_path_from_stash(old_leaf)
+            .expect("shi backend write-back is infallible");
         let background_evictions = self
             .drain_background()
             .expect("shi backend has no encrypted image to fault");
@@ -359,9 +360,10 @@ impl OramBackend for ShiOram {
         Ok(())
     }
 
-    fn write_path_from_stash(&mut self, leaf: Leaf) {
+    fn write_path_from_stash(&mut self, leaf: Leaf) -> Result<(), OramError> {
         write_path(&mut self.tree, &mut self.stash, leaf);
         self.eviction_step();
+        Ok(())
     }
 
     fn stash_contains(&self, addr: BlockAddr) -> bool {
@@ -379,8 +381,7 @@ impl OramBackend for ShiOram {
     fn background_evict(&mut self) -> Result<(), OramError> {
         let leaf = self.random_leaf();
         self.read_path_into_stash(leaf, PathKind::Dummy)?;
-        self.write_path_from_stash(leaf);
-        Ok(())
+        self.write_path_from_stash(leaf)
     }
 
     fn drain_background(&mut self) -> Result<u64, OramError> {

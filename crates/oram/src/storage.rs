@@ -31,9 +31,11 @@
 use crate::addr::Leaf;
 use crate::block::{Block, Payload};
 use crate::bucket::Bucket;
+use crate::crash::{CrashArm, KillPoint};
 use crate::crypto::{Mac, StreamCipher};
 use crate::error::OramError;
 use crate::fault::{FaultConfig, FaultyStore};
+use crate::journal::{TxnJournal, UndoEntry, EPOCH_DOMAIN};
 use crate::posmap::PosEntry;
 use proram_mem::{BlockAddr, FaultStats};
 use proram_par::WorkerPool;
@@ -116,6 +118,45 @@ pub struct EncryptedStore {
     body_scratch: Vec<Vec<u8>>,
     /// Recycled per-bucket address vectors for the parallel read path.
     addr_scratch: Vec<Vec<u64>>,
+    /// Trusted epoch counter; the commit flip advances it after all home
+    /// writes of a transaction landed.
+    epoch: u64,
+    /// The durable epoch header's MAC, binding [`Self::epoch`].
+    epoch_tag: u64,
+    /// Undo journal of the open transaction, when crash consistency is
+    /// armed (`None` = journaling off; writes go straight home).
+    journal: Option<TxnJournal>,
+    /// Countdown arm for the store-level kill points (`MidJournal`,
+    /// `MidFlip`, `PooledEncrypt`).
+    crash: Option<CrashArm>,
+    /// Once a kill point fired the store is "dead": every subsequent
+    /// write is dropped until [`Self::recover_txn`] clears the state,
+    /// exactly as if the process had exited mid-access.
+    fired: Option<KillPoint>,
+    /// Test hook: make job `N` of the next pooled write batch panic
+    /// without arming the crash machinery (exercises the graceful serial
+    /// fallback rather than the crash protocol).
+    pool_panic_job: Option<usize>,
+}
+
+/// What [`EncryptedStore::recover_txn`] did with the open journal; the
+/// controller finishes recovery from this (checkpoint adoption, tree
+/// rebuild, re-verification).
+#[derive(Debug)]
+pub(crate) struct StoreRecovery {
+    /// `true` = the epoch had already flipped: home images are
+    /// authoritative and checkpoint B is adopted. `false` = rollback:
+    /// journaled images were restored and checkpoint A is adopted.
+    pub replay: bool,
+    /// The sealed checkpoint to adopt (A on rollback, B on replay).
+    pub checkpoint: Vec<u8>,
+    /// Bucket indices touched by the transaction's journal, in first-write
+    /// order — the set whose tree mirror must be rebuilt and re-verified.
+    pub touched: Vec<usize>,
+    /// Undo entries the journal held.
+    pub entries: usize,
+    /// Bucket images physically restored (0 on replay).
+    pub restored: usize,
 }
 
 /// One bucket's worth of parallel write work: the caller has already
@@ -127,6 +168,10 @@ struct SealJob {
     nonce: u64,
     version: u64,
     body: Vec<u8>,
+    /// When set the job panics instead of sealing — either the
+    /// `PooledEncrypt` kill point (simulated process death inside the
+    /// crypto worker) or the pool-panic test hook.
+    boom: bool,
 }
 
 /// One bucket's worth of parallel read work: the caller authenticated
@@ -169,6 +214,12 @@ impl EncryptedStore {
             pool: None,
             body_scratch: Vec::new(),
             addr_scratch: Vec::new(),
+            epoch: 0,
+            epoch_tag: mac.tag(&[EPOCH_DOMAIN, 0], &[]),
+            journal: None,
+            crash: None,
+            fired: None,
+            pool_panic_job: None,
         }
     }
 
@@ -263,6 +314,180 @@ impl EncryptedStore {
         header[16..24].copy_from_slice(&tag.to_le_bytes());
     }
 
+    // ----- crash-consistent commit protocol (DESIGN.md section 15) -----
+
+    /// Arms (or disarms) the store-level kill points. The controller owns
+    /// the pipeline-stage points; the store fires `MidJournal`, `MidFlip`
+    /// and `PooledEncrypt` itself because only it sees those crossings.
+    pub(crate) fn arm_crash(&mut self, arm: Option<CrashArm>) {
+        self.crash = arm;
+    }
+
+    /// The kill point that killed this store, if one fired. The store
+    /// stays dead (writes dropped) until `recover_txn`.
+    pub fn crash_fired(&self) -> Option<KillPoint> {
+        self.fired
+    }
+
+    /// Trusted epoch counter (advanced by each commit flip).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Verifies the durable epoch header's MAC against the trusted epoch.
+    pub fn epoch_header_ok(&self) -> bool {
+        self.epoch_tag == self.mac.tag(&[EPOCH_DOMAIN, self.epoch], &[])
+    }
+
+    /// The store's MAC (checkpoints are sealed under the same key domain
+    /// machinery as slots and the epoch header).
+    pub(crate) fn mac(&self) -> &Mac {
+        &self.mac
+    }
+
+    /// Test hook: makes job `job` of the next pooled write batch panic on
+    /// its worker, exercising the pool's panic surface and the serial
+    /// fallback without arming crash injection.
+    pub fn inject_pool_panic(&mut self, job: usize) {
+        self.pool_panic_job = Some(job);
+    }
+
+    /// Opens a transaction: subsequent bucket writes journal a first-touch
+    /// undo entry (old image + old version) before touching home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open — the controller must
+    /// commit or recover first.
+    pub(crate) fn begin_txn(&mut self, checkpoint_a: Vec<u8>) {
+        assert!(self.journal.is_none(), "transaction already open");
+        self.journal = Some(TxnJournal {
+            begin_epoch: self.epoch,
+            entries: Vec::new(),
+            checkpoint_a,
+            checkpoint_b: None,
+        });
+    }
+
+    /// Commits the open transaction: stores checkpoint B, flips the
+    /// MAC-bound epoch header, and discards the journal. After the flip
+    /// the transaction is durable — a crash between flip and discard is
+    /// replayed forward by recovery, not rolled back.
+    ///
+    /// Returns the journal's entry count (for observability).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Crashed`] if the `MidFlip` kill point fires between
+    /// the flip and the journal discard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub(crate) fn commit_txn(&mut self, checkpoint_b: Vec<u8>) -> Result<u64, OramError> {
+        let journal = self.journal.as_mut().expect("commit without begin_txn");
+        journal.checkpoint_b = Some(checkpoint_b);
+        let entries = journal.entries.len() as u64;
+        self.epoch += 1;
+        self.epoch_tag = self.mac.tag(&[EPOCH_DOMAIN, self.epoch], &[]);
+        if self.cross(KillPoint::MidFlip) {
+            return Err(OramError::Crashed {
+                point: KillPoint::MidFlip,
+            });
+        }
+        self.journal = None;
+        Ok(entries)
+    }
+
+    /// Store-level recovery: compares the epoch header against the open
+    /// journal's begin epoch. Not yet flipped → roll every journaled
+    /// image and version counter back; flipped → home is authoritative,
+    /// discard the undo images. Either way the journal closes, the crash
+    /// state clears, and the sealed checkpoint to adopt (A on rollback, B
+    /// on replay) is handed to the controller.
+    ///
+    /// Returns `None` when no transaction was open (a crash before the
+    /// first journaled write needs only checkpoint-free cleanup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the durable epoch header fails its MAC — recovery must
+    /// never trust a forged epoch.
+    pub(crate) fn recover_txn(&mut self) -> Option<StoreRecovery> {
+        assert!(self.epoch_header_ok(), "epoch header failed authentication");
+        self.fired = None;
+        let journal = self.journal.take()?;
+        let entries = journal.entries.len();
+        let touched: Vec<usize> = journal.entries.iter().map(|e| e.index).collect();
+        if self.epoch == journal.begin_epoch {
+            // Rollback: restore the pre-transaction image and trusted
+            // version of every touched bucket, newest-first so a bucket
+            // journaled once is restored exactly once either way.
+            let bb = self.bucket_bytes();
+            for e in journal.entries.iter().rev() {
+                self.backing.bytes_mut()[e.index * bb..(e.index + 1) * bb]
+                    .copy_from_slice(&e.image);
+                self.versions[e.index] = e.version;
+            }
+            Some(StoreRecovery {
+                replay: false,
+                checkpoint: journal.checkpoint_a,
+                touched,
+                entries,
+                restored: entries,
+            })
+        } else {
+            let checkpoint = journal
+                .checkpoint_b
+                .expect("a flipped transaction always carries checkpoint B");
+            Some(StoreRecovery {
+                replay: true,
+                checkpoint,
+                touched,
+                entries,
+                restored: 0,
+            })
+        }
+    }
+
+    /// Records a first-touch undo entry for `index` if a transaction is
+    /// open. Returns `false` when the `MidJournal` kill point fired on
+    /// this crossing — the caller must drop the write (the undo entry
+    /// itself is durable; the home write never happens).
+    fn journal_record(&mut self, index: usize) -> bool {
+        let Some(journal) = self.journal.as_mut() else {
+            return true;
+        };
+        if journal.touched(index) {
+            return true;
+        }
+        let bb = self.bucket_bytes();
+        let image = self.backing.bytes()[index * bb..(index + 1) * bb].to_vec();
+        let version = self.versions[index];
+        self.journal
+            .as_mut()
+            .expect("journal open")
+            .entries
+            .push(UndoEntry {
+                index,
+                image,
+                version,
+            });
+        !self.cross(KillPoint::MidJournal)
+    }
+
+    /// Crosses a store-level kill point; `true` means it fired and the
+    /// store is now dead.
+    fn cross(&mut self, point: KillPoint) -> bool {
+        if let Some(arm) = self.crash.as_mut() {
+            if arm.cross(point) {
+                self.fired = Some(point);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Serializes, encrypts and stores `bucket` at `index` under a fresh
     /// nonce, advancing the bucket's trusted version counter.
     ///
@@ -271,11 +496,21 @@ impl EncryptedStore {
     /// Panics if the bucket exceeds `z` blocks or a payload exceeds the
     /// payload area.
     pub fn write_bucket(&mut self, index: usize, bucket: &Bucket) {
+        if self.fired.is_some() || !self.journal_record(index) {
+            return; // the "process" died; this write never reaches DRAM
+        }
         assert!(bucket.len() <= self.z, "bucket exceeds Z");
         let nonce = self.next_nonce;
         self.next_nonce += 1;
         let version = self.versions[index] + 1;
         self.versions[index] = version;
+        self.write_bucket_at(index, bucket, nonce, version);
+    }
+
+    /// The encrypt-and-store body of [`EncryptedStore::write_bucket`],
+    /// with the nonce/version already assigned (also the serial-fallback
+    /// path when a pooled batch loses its workers to a panic).
+    fn write_bucket_at(&mut self, index: usize, bucket: &Bucket, nonce: u64, version: u64) {
         let bb = self.bucket_bytes();
         let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
         // Serialize and encrypt directly in the image — no staging buffer.
@@ -315,6 +550,9 @@ impl EncryptedStore {
     /// Panics if any bucket exceeds `z` blocks or a payload exceeds the
     /// payload area.
     pub fn write_buckets(&mut self, buckets: &[(usize, &Bucket)]) {
+        if self.fired.is_some() {
+            return; // the "process" died; nothing reaches DRAM
+        }
         if !self.parallel_active() || buckets.len() < 2 {
             for &(index, bucket) in buckets {
                 self.write_bucket(index, bucket);
@@ -324,16 +562,30 @@ impl EncryptedStore {
         let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
         let body_bytes = self.z * slot_bytes;
         let payload_bytes = self.payload_bytes;
-        // Fork: assign nonces/versions and serialize slot fields in path
-        // order on this thread — the sequenced, cheap part — so workers
-        // receive pure, owned seal/encrypt jobs.
-        let mut jobs = Vec::with_capacity(buckets.len());
-        for &(index, bucket) in buckets {
+        // Fork: journal first touches, assign nonces/versions and
+        // serialize slot fields in path order on this thread — the
+        // sequenced, cheap part — so workers receive pure, owned
+        // seal/encrypt jobs. Journaling and assignment both precede the
+        // dispatch so a crash anywhere in the batch (`MidJournal` here,
+        // `PooledEncrypt` in a worker) leaves every bucket of the batch
+        // covered by an undo entry, version bumps included.
+        let mut jobs: Vec<SealJob> = Vec::with_capacity(buckets.len());
+        let panic_job = self.pool_panic_job.take();
+        for (k, &(index, bucket)) in buckets.iter().enumerate() {
+            if !self.journal_record(index) {
+                // MidJournal fired mid-batch: abandon the whole batch.
+                for job in jobs {
+                    self.body_scratch.push(job.body);
+                }
+                return;
+            }
             assert!(bucket.len() <= self.z, "bucket exceeds Z");
             let nonce = self.next_nonce;
             self.next_nonce += 1;
             let version = self.versions[index] + 1;
             self.versions[index] = version;
+            let boom = (self.journal.is_some() && self.cross(KillPoint::PooledEncrypt))
+                || panic_job == Some(k);
             let mut body = self.body_scratch.pop().unwrap_or_default();
             body.clear();
             body.resize(body_bytes, 0);
@@ -346,11 +598,20 @@ impl EncryptedStore {
                 nonce,
                 version,
                 body,
+                boom,
             });
         }
+        // Record the assignments before the pool consumes the jobs: on a
+        // non-crash worker panic the serial fallback recomputes each
+        // bucket under its original (nonce, version), keeping the image
+        // byte-identical to an all-clean run.
+        let assigned: Vec<(u64, u64)> = jobs.iter().map(|j| (j.nonce, j.version)).collect();
         let (mac, cipher) = (self.mac, self.cipher);
         let pool = Arc::clone(self.pool.as_ref().expect("parallel_active implies pool"));
-        let sealed = pool.run(jobs, move |mut job: SealJob| {
+        let sealed = match pool.try_run(jobs, move |mut job: SealJob| {
+            if job.boom {
+                panic!("injected panic in pooled seal job");
+            }
             for i in 0..job.body.len() / slot_bytes {
                 let slot = &mut job.body[i * slot_bytes..(i + 1) * slot_bytes];
                 if slot[0] == 1 {
@@ -359,7 +620,24 @@ impl EncryptedStore {
             }
             cipher.encrypt(job.nonce, &mut job.body);
             job
-        });
+        }) {
+            Ok(sealed) => sealed,
+            Err(_) if self.fired.is_some() => {
+                // The PooledEncrypt kill point: the worker "process" died
+                // before any commit (pooled commits happen after the
+                // join), so the batch simply never lands.
+                return;
+            }
+            Err(_) => {
+                // Graceful degradation: a real (uninjected-crash) worker
+                // panic consumed the jobs; recompute serially under the
+                // recorded assignments.
+                for (&(index, bucket), &(nonce, version)) in buckets.iter().zip(&assigned) {
+                    self.write_bucket_at(index, bucket, nonce, version);
+                }
+                return;
+            }
+        };
         // Join: commit results in bucket order, recycling the buffers.
         let bb = self.bucket_bytes();
         for job in sealed {
@@ -586,7 +864,7 @@ impl EncryptedStore {
         let slot_bytes = SLOT_HEADER_BYTES + self.payload_bytes;
         let z = self.z;
         let pool = Arc::clone(self.pool.as_ref().expect("parallel_active implies pool"));
-        let done = pool.run(jobs, move |mut job: VerifyJob| {
+        let done = match pool.try_run(jobs, move |mut job: VerifyJob| {
             if job.nonce != 0 {
                 cipher.decrypt(job.nonce, &mut job.body);
             }
@@ -602,7 +880,13 @@ impl EncryptedStore {
                 }
             }
             job
-        });
+        }) {
+            Ok(done) => done,
+            // Graceful degradation: a worker panic consumed the jobs (and
+            // their scratch buffers); the read is side-effect-free, so
+            // just redo it serially.
+            Err(_) => return self.bucket_addrs_batch_serial(indices, out),
+        };
         // Join: merge in path order; the first bad slot wins.
         let mut first_err = None;
         for job in done {
@@ -1354,5 +1638,165 @@ mod tests {
         let mut b = Bucket::new(1);
         b.push(data_block(0, 1)); // 128-byte payload into 16-byte slot
         s.write_bucket(0, &b);
+    }
+
+    use crate::crash::CrashConfig;
+
+    fn one_block_bucket(addr: u64, fill: u8) -> Bucket {
+        let mut b = Bucket::new(3);
+        b.push(data_block(addr, fill));
+        b
+    }
+
+    #[test]
+    fn txn_rollback_restores_images_and_versions() {
+        let mut s = store();
+        s.write_bucket(2, &one_block_bucket(10, 0xAA));
+        s.write_bucket(3, &one_block_bucket(11, 0xBB));
+        let before: Vec<Vec<u8>> = (0..8).map(|i| s.ciphertext(i).to_vec()).collect();
+        s.begin_txn(vec![0xCA; 4]);
+        s.write_bucket(2, &one_block_bucket(12, 0xCC));
+        s.write_bucket(2, &one_block_bucket(13, 0xDD)); // second touch: one undo entry
+        s.write_bucket(5, &one_block_bucket(14, 0xEE));
+        assert_ne!(s.ciphertext(2), &before[2][..]);
+        let rec = s.recover_txn().expect("open transaction");
+        assert!(!rec.replay);
+        assert_eq!(rec.checkpoint, vec![0xCA; 4]);
+        assert_eq!(rec.entries, 2, "first-touch journaling");
+        assert_eq!(rec.restored, 2);
+        assert_eq!(rec.touched, vec![2, 5]);
+        for (i, img) in before.iter().enumerate() {
+            assert_eq!(s.ciphertext(i), &img[..], "bucket {i} rolled back");
+        }
+        // Versions rolled back too: the whole image re-authenticates and
+        // the pre-transaction content is served.
+        s.verify_all().expect("rolled-back image authenticates");
+        assert_eq!(s.try_read_bucket(2).unwrap()[0].addr, BlockAddr(10));
+        // The store works normally after recovery.
+        s.write_bucket(2, &one_block_bucket(20, 0x11));
+        assert_eq!(s.try_read_bucket(2).unwrap()[0].addr, BlockAddr(20));
+    }
+
+    #[test]
+    fn txn_commit_discards_journal_and_flips_epoch() {
+        let mut s = store();
+        assert_eq!(s.epoch(), 0);
+        s.begin_txn(vec![1]);
+        s.write_bucket(1, &one_block_bucket(5, 0x55));
+        let entries = s.commit_txn(vec![2]).expect("no crash armed");
+        assert_eq!(entries, 1);
+        assert_eq!(s.epoch(), 1);
+        assert!(s.epoch_header_ok());
+        assert!(s.recover_txn().is_none(), "journal discarded at commit");
+        assert_eq!(s.try_read_bucket(1).unwrap()[0].addr, BlockAddr(5));
+    }
+
+    #[test]
+    fn mid_flip_crash_replays_forward() {
+        let mut s = store();
+        s.write_bucket(4, &one_block_bucket(30, 0x30));
+        s.begin_txn(vec![0xA]);
+        s.write_bucket(4, &one_block_bucket(31, 0x31));
+        s.arm_crash(Some(CrashArm::new(CrashConfig::first(KillPoint::MidFlip))));
+        let err = s.commit_txn(vec![0xB]).expect_err("MidFlip fires");
+        assert!(matches!(
+            err,
+            OramError::Crashed {
+                point: KillPoint::MidFlip
+            }
+        ));
+        assert_eq!(s.crash_fired(), Some(KillPoint::MidFlip));
+        assert_eq!(s.epoch(), 1, "the flip itself landed");
+        let rec = s.recover_txn().expect("journal still open");
+        assert!(rec.replay, "flipped epoch means roll forward");
+        assert_eq!(rec.checkpoint, vec![0xB], "checkpoint B is adopted");
+        assert_eq!(rec.restored, 0);
+        assert!(s.crash_fired().is_none());
+        s.verify_all().expect("committed image authenticates");
+        assert_eq!(s.try_read_bucket(4).unwrap()[0].addr, BlockAddr(31));
+    }
+
+    #[test]
+    fn mid_journal_crash_drops_the_home_write() {
+        let mut s = store();
+        s.write_bucket(6, &one_block_bucket(40, 0x40));
+        let before = s.ciphertext(6).to_vec();
+        s.begin_txn(vec![0xA]);
+        s.arm_crash(Some(CrashArm::new(CrashConfig::first(
+            KillPoint::MidJournal,
+        ))));
+        s.write_bucket(6, &one_block_bucket(41, 0x41));
+        assert_eq!(s.crash_fired(), Some(KillPoint::MidJournal));
+        assert_eq!(s.ciphertext(6), &before[..], "home write dropped");
+        // The dead store drops every later write of the doomed run.
+        s.write_bucket(7, &one_block_bucket(42, 0x42));
+        assert!(s.try_read_bucket(7).unwrap().is_empty());
+        let rec = s.recover_txn().expect("open transaction");
+        assert!(!rec.replay);
+        assert_eq!(rec.entries, 1, "the undo entry itself is durable");
+        s.verify_all().expect("rolled-back image authenticates");
+        assert_eq!(s.try_read_bucket(6).unwrap()[0].addr, BlockAddr(40));
+    }
+
+    /// A genuine (non-injected-crash) worker panic must degrade to the
+    /// serial path and still produce the byte-identical image.
+    #[test]
+    fn pooled_panic_falls_back_to_byte_identical_serial_writes() {
+        for boom_job in [0usize, 2, 3] {
+            let mut serial = store();
+            let mut pooled = store();
+            pooled.attach_pool(Arc::new(WorkerPool::new(3)));
+            for round in 0..3u64 {
+                let batch: Vec<(usize, Bucket)> = (0..4)
+                    .map(|i| {
+                        (
+                            (i + round as usize) % 8,
+                            one_block_bucket(round * 8 + i as u64, i as u8),
+                        )
+                    })
+                    .collect();
+                let refs: Vec<(usize, &Bucket)> = batch.iter().map(|(idx, b)| (*idx, b)).collect();
+                for &(idx, b) in &refs {
+                    serial.write_bucket(idx, b);
+                }
+                if round == 1 {
+                    pooled.inject_pool_panic(boom_job);
+                }
+                pooled.write_buckets(&refs);
+            }
+            for idx in 0..8 {
+                assert_eq!(
+                    serial.ciphertext(idx),
+                    pooled.ciphertext(idx),
+                    "boom_job={boom_job} bucket={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_encrypt_crash_abandons_the_batch_and_rolls_back() {
+        let mut s = store();
+        s.attach_pool(Arc::new(WorkerPool::new(2)));
+        s.write_bucket(0, &one_block_bucket(50, 0x50));
+        let before: Vec<Vec<u8>> = (0..8).map(|i| s.ciphertext(i).to_vec()).collect();
+        s.begin_txn(vec![0xA]);
+        s.arm_crash(Some(CrashArm::new(CrashConfig::at(
+            KillPoint::PooledEncrypt,
+            2,
+        ))));
+        let b0 = one_block_bucket(51, 0x51);
+        let b1 = one_block_bucket(52, 0x52);
+        let b2 = one_block_bucket(53, 0x53);
+        s.write_buckets(&[(0, &b0), (1, &b1), (2, &b2)]);
+        assert_eq!(s.crash_fired(), Some(KillPoint::PooledEncrypt));
+        for (i, img) in before.iter().enumerate() {
+            assert_eq!(s.ciphertext(i), &img[..], "no commit before join");
+        }
+        let rec = s.recover_txn().expect("open transaction");
+        assert!(!rec.replay);
+        assert_eq!(rec.entries, 3, "whole batch journaled before dispatch");
+        s.verify_all().expect("version counters rolled back");
+        assert_eq!(s.try_read_bucket(0).unwrap()[0].addr, BlockAddr(50));
     }
 }

@@ -119,6 +119,12 @@ pub fn replay_observed(cfg: OramConfig, obs: Obs) -> RunDigest {
         oram.try_access_block(BlockAddr(rng.next_below(TREE_BLOCKS)), AccessKind::Read)
             .unwrap();
     }
+    digest_state(&oram)
+}
+
+/// Digests every observable of a finished replay (for tests that drive
+/// the workload themselves, e.g. with mid-run injection).
+pub fn digest_state(oram: &PathOram) -> RunDigest {
     let s = oram.oram_stats();
     let h = oram.stash().occupancy_histogram();
     let mut hist_hash = FNV_INIT;

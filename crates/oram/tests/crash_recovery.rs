@@ -1,0 +1,271 @@
+//! Crash-consistency acceptance suite (DESIGN.md section 15).
+//!
+//! Exhaustively sweeps every [`KillPoint`] over several crossing indices,
+//! and after every injected crash requires:
+//!
+//! * **auditor-clean recovery** — block conservation (every logical block
+//!   exactly once across stash ∪ PLB ∪ tree) and posmap↔tree agreement
+//!   ([`PathOram::audit_full`]);
+//! * **determinism** — the post-recovery state digest equals the
+//!   crash-free run's digest (rollbacks retry with the checkpointed RNG,
+//!   replays keep the committed state);
+//! * **observational silence when disarmed** — an armed-but-never-fired
+//!   injector and no injector at all produce byte-identical images.
+
+use proram_mem::{AccessKind, BlockAddr, Fill, MemRequest, MemoryBackend, NoProbe};
+use proram_oram::{
+    CrashConfig, CrashStats, KillPoint, OramConfig, OramError, PathOram, RecoveryMode,
+};
+use proram_stats::{Rng64, Xoshiro256};
+
+const BLOCKS: u64 = 128;
+const ACCESSES: usize = 40;
+const ORAM_SEED: u64 = 7;
+const WORKLOAD_SEED: u64 = 3;
+
+fn base_config(crypto_threads: usize) -> OramConfig {
+    OramConfig {
+        crypto_threads,
+        ..OramConfig::small_for_tests(BLOCKS)
+    }
+}
+
+/// The fixed workload: `ACCESSES` reads at externally-drawn addresses (so
+/// the address sequence is independent of the controller's RNG).
+fn addresses() -> Vec<BlockAddr> {
+    let mut rng = Xoshiro256::seed_from(WORKLOAD_SEED);
+    (0..ACCESSES)
+        .map(|_| BlockAddr(rng.next_below(BLOCKS)))
+        .collect()
+}
+
+/// Runs the workload crash-free and returns the final state digest.
+fn crash_free_digest(crypto_threads: usize) -> u64 {
+    let mut oram = PathOram::new(base_config(crypto_threads), ORAM_SEED);
+    for &addr in &addresses() {
+        oram.try_access_block(addr, AccessKind::Read).unwrap();
+    }
+    oram.audit_full();
+    oram.state_digest()
+}
+
+/// Runs the workload with `crash` armed, recovering (and, after a
+/// rollback, retrying) every injected kill. Returns the final digest and
+/// the crash counters.
+fn run_with_recovery(crash: CrashConfig, crypto_threads: usize) -> (u64, CrashStats) {
+    let cfg = OramConfig {
+        crash: Some(crash),
+        ..base_config(crypto_threads)
+    };
+    let mut oram = PathOram::new(cfg, ORAM_SEED);
+    for &addr in &addresses() {
+        match oram.try_access_block(addr, AccessKind::Read) {
+            Ok(_) => {}
+            Err(OramError::Crashed { point }) => {
+                let rec = oram.recover();
+                oram.audit_full();
+                if rec.mode != RecoveryMode::Replayed {
+                    oram.try_access_block(addr, AccessKind::Read)
+                        .unwrap_or_else(|e| panic!("retry after {point} rollback failed: {e}"));
+                }
+            }
+            Err(e) => panic!("unexpected error under {}: {e}", crash.point),
+        }
+    }
+    oram.audit_full();
+    (oram.state_digest(), oram.crash_stats())
+}
+
+#[test]
+fn exhaustive_kill_point_sweep_recovers_to_crash_free_state() {
+    let serial_digest = crash_free_digest(1);
+    let pooled_digest = crash_free_digest(2);
+    // Pooled and serial crypto are byte-identical by contract, so the
+    // plaintext state digest cannot differ either.
+    assert_eq!(serial_digest, pooled_digest, "pool changed behavior");
+    for point in KillPoint::ALL {
+        for crossing in 1..=3u64 {
+            let threads = if point == KillPoint::PooledEncrypt {
+                2
+            } else {
+                1
+            };
+            let crash = CrashConfig::at(point, crossing);
+            let (digest, stats) = run_with_recovery(crash, threads);
+            assert_eq!(
+                stats.crashes_injected, 1,
+                "{point} crossing {crossing}: kill never fired"
+            );
+            assert_eq!(
+                stats.rollbacks + stats.replays + stats.clean_recoveries,
+                1,
+                "{point} crossing {crossing}: recovery miscounted"
+            );
+            assert_eq!(
+                digest, serial_digest,
+                "{point} crossing {crossing}: post-recovery state diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_is_deterministic_across_runs() {
+    for point in [
+        KillPoint::WriteBack,
+        KillPoint::MidJournal,
+        KillPoint::MidFlip,
+    ] {
+        let a = run_with_recovery(CrashConfig::at(point, 2), 1);
+        let b = run_with_recovery(CrashConfig::at(point, 2), 1);
+        assert_eq!(a, b, "{point}: same seed, different recovery outcome");
+    }
+}
+
+#[test]
+fn pre_flip_crashes_roll_back_and_post_flip_crashes_replay() {
+    let (_, writeback) = run_with_recovery(CrashConfig::first(KillPoint::WriteBack), 1);
+    assert_eq!(writeback.rollbacks, 1, "pre-flip kill must roll back");
+    assert_eq!(writeback.replays, 0);
+
+    let (_, mid_flip) = run_with_recovery(CrashConfig::first(KillPoint::MidFlip), 1);
+    assert_eq!(mid_flip.replays, 1, "post-flip kill must replay");
+    assert_eq!(mid_flip.rollbacks, 0);
+
+    // A kill at the very first stage entry strikes before any journaled
+    // write: recovery finds nothing pending.
+    let (_, resolve) = run_with_recovery(CrashConfig::first(KillPoint::ResolvePosmap), 1);
+    assert_eq!(resolve.clean_recoveries + resolve.rollbacks, 1);
+}
+
+#[test]
+fn armed_but_unfired_injector_is_observationally_silent() {
+    let run = |crash: Option<CrashConfig>| {
+        let cfg = OramConfig {
+            crash,
+            ..base_config(1)
+        };
+        let mut oram = PathOram::new(cfg, ORAM_SEED);
+        for &addr in &addresses() {
+            oram.try_access_block(addr, AccessKind::Read).unwrap();
+        }
+        let image: Vec<Vec<u8>> = (0..oram.storage().unwrap().num_buckets())
+            .map(|i| oram.storage().unwrap().ciphertext(i).to_vec())
+            .collect();
+        (oram.state_digest(), image)
+    };
+    // A crossing far past anything the workload reaches never fires; the
+    // run must match the no-injector run byte for byte.
+    let (armed_digest, armed_image) = run(Some(CrashConfig::at(KillPoint::MidFlip, 1_000_000)));
+    let (clean_digest, clean_image) = run(None);
+    assert_eq!(armed_digest, clean_digest);
+    assert_eq!(
+        armed_image, clean_image,
+        "commit protocol changed the image"
+    );
+}
+
+#[test]
+fn memory_backend_recovers_and_retries_transparently() {
+    let cfg = OramConfig {
+        crash: Some(CrashConfig::at(KillPoint::WriteBack, 2)),
+        ..base_config(1)
+    };
+    let mut oram = PathOram::new(cfg, ORAM_SEED);
+    let mut now = 0;
+    for &addr in &addresses() {
+        let out = oram.access(now, MemRequest::read(addr), &NoProbe);
+        assert_eq!(out.fills, vec![Fill::demand(addr)], "fill must be served");
+        now = out.complete_at;
+    }
+    let stats = oram.crash_stats();
+    assert_eq!(stats.crashes_injected, 1, "the armed kill never fired");
+    assert_eq!(stats.rollbacks, 1);
+    // The degraded-fault counter must stay clean: the crash was recovered,
+    // not absorbed.
+    assert_eq!(MemoryBackend::stats(&oram).faults.unrecovered, 0);
+    oram.audit_full();
+}
+
+#[test]
+fn recover_without_a_crash_is_a_clean_no_op() {
+    let mut oram = PathOram::new(base_config(1), ORAM_SEED);
+    oram.try_access_block(BlockAddr(5), AccessKind::Read)
+        .unwrap();
+    let before = oram.state_digest();
+    let rec = oram.recover();
+    assert_eq!(rec.mode, RecoveryMode::Clean);
+    assert_eq!(rec.journal_entries, 0);
+    assert_eq!(rec.cycles, 0);
+    assert_eq!(oram.state_digest(), before);
+    assert_eq!(oram.crash_stats().clean_recoveries, 1);
+}
+
+#[test]
+fn recovery_reports_work_and_charges_latency() {
+    let cfg = OramConfig {
+        crash: Some(CrashConfig::at(KillPoint::MidJournal, 3)),
+        ..base_config(1)
+    };
+    let mut oram = PathOram::new(cfg, ORAM_SEED);
+    let mut report = None;
+    for &addr in &addresses() {
+        match oram.try_access_block(addr, AccessKind::Read) {
+            Ok(_) => {}
+            Err(OramError::Crashed { .. }) => {
+                report = Some(oram.recover());
+                break;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    let report = report.expect("mid-journal kill fired");
+    assert_eq!(report.mode, RecoveryMode::RolledBack);
+    assert!(report.journal_entries > 0, "journal held no entries");
+    assert_eq!(report.buckets_restored, report.journal_entries);
+    assert!(report.buckets_reverified >= report.buckets_restored);
+    assert!(report.cycles > 0, "recovery must cost cycles");
+}
+
+#[test]
+fn crash_events_reach_an_attached_sink() {
+    use proram_obs::{Obs, ObsEvent};
+
+    let cfg = OramConfig {
+        crash: Some(CrashConfig::first(KillPoint::WriteBack)),
+        ..base_config(1)
+    };
+    let mut oram = PathOram::new(cfg, ORAM_SEED);
+    oram.attach_obs_handle(Obs::ring(4096));
+    let addr = addresses()[0];
+    let err = oram
+        .try_access_block(addr, AccessKind::Read)
+        .expect_err("first write-back entry must crash");
+    assert!(matches!(
+        err,
+        OramError::Crashed {
+            point: KillPoint::WriteBack
+        }
+    ));
+    oram.recover();
+    oram.try_access_block(addr, AccessKind::Read).unwrap();
+    let events = oram.obs().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::CrashInject { crossing: 1, .. })),
+        "crash_inject missing"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::RecoverReplay { replay: false, .. })),
+        "recover_replay missing"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::JournalCommit { .. })),
+        "journal_commit missing (retry must commit)"
+    );
+}

@@ -12,7 +12,9 @@
 
 mod common;
 
-use common::{assert_golden, golden_config, replay_cfg, GOLDEN_OPAQUE, GOLDEN_PAYLOADS};
+use common::{
+    assert_golden, digest_state, golden_config, replay_cfg, GOLDEN_OPAQUE, GOLDEN_PAYLOADS,
+};
 
 /// Thread counts swept: serial (0), degenerate pool (1), even splits,
 /// and a count exceeding the path length's divisibility (7).
@@ -75,4 +77,41 @@ fn digests_identical_across_thread_counts() {
         let d = replay_threads(true, false, threads);
         assert_eq!(d, baseline, "digest diverged at {threads} threads");
     }
+}
+
+/// A worker panicking mid-batch must not abort the process: the batch
+/// surfaces as `Err(PoolError)`, the store falls back to byte-identical
+/// serial writes, and the run still reproduces the pinned goldens.
+#[test]
+fn mid_batch_worker_panic_falls_back_to_serial_and_stays_golden() {
+    use proram_mem::{AccessKind, BlockAddr};
+    use proram_oram::PathOram;
+    use proram_stats::{Rng64, Xoshiro256};
+
+    let cfg = golden_config(true)
+        .to_builder()
+        .crypto_threads(4)
+        .build()
+        .expect("valid golden configuration");
+    let baseline = replay_cfg(cfg.clone());
+    assert_golden(&baseline, &GOLDEN_PAYLOADS);
+
+    let mut oram = PathOram::new(cfg, common::ORAM_SEED);
+    let mut rng = Xoshiro256::seed_from(common::WORKLOAD_SEED);
+    for i in 0..common::ACCESSES {
+        // Periodically make one job of the next pooled write batch panic
+        // inside its worker, at varying positions within the batch.
+        if i % 400 == 200 {
+            oram.storage_mut()
+                .expect("payloads on")
+                .inject_pool_panic((i / 400) as usize % 3);
+        }
+        oram.try_access_block(
+            BlockAddr(rng.next_below(common::TREE_BLOCKS)),
+            AccessKind::Read,
+        )
+        .expect("panicked batches must fall back, not fail");
+    }
+    let d = digest_state(&oram);
+    assert_eq!(d, baseline, "serial fallback diverged from the pooled run");
 }

@@ -35,9 +35,41 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// A poisoned pool mutex means some job panicked while holding it; the
+/// data under every pool lock is a plain `Option` that is always left in
+/// a valid state, so the poison flag carries no information we need.
+/// Recovering (instead of unwrapping) keeps a panicked batch from
+/// cascading into unrelated batches — the same convention as the obs
+/// sink's shared core lock.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A batch failed because one or more jobs panicked.
+///
+/// Returned by [`WorkerPool::try_run`]. The pool itself survives — the
+/// panic is contained to the batch — so callers can fall back to running
+/// the work serially (recomputing from their own source data; items
+/// consumed by the failed batch are not returned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolError {
+    /// Number of jobs in the batch that panicked.
+    pub panicked_jobs: usize,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} worker-pool job(s) panicked", self.panicked_jobs)
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// Spin iterations a worker burns watching the generation counter before
 /// parking. Dispatch under load is spin-observed (no syscall); an idle
@@ -81,7 +113,7 @@ struct BatchState<T, R, F> {
     results: Vec<Mutex<Option<R>>>,
     next: AtomicUsize,
     done: AtomicUsize,
-    panicked: AtomicBool,
+    panicked: AtomicUsize,
 }
 
 impl<T, R, F> Batch for BatchState<T, R, F>
@@ -95,10 +127,12 @@ where
         if i >= self.items.len() {
             return false;
         }
-        if let Some(item) = self.items[i].lock().expect("item lock").take() {
+        if let Some(item) = relock(&self.items[i]).take() {
             match catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
-                Ok(r) => *self.results[i].lock().expect("result lock") = Some(r),
-                Err(_) => self.panicked.store(true, Ordering::Release),
+                Ok(r) => *relock(&self.results[i]) = Some(r),
+                Err(_) => {
+                    self.panicked.fetch_add(1, Ordering::Release);
+                }
             }
         }
         // `done` counts claimed-and-finished items; the dispatcher waits
@@ -205,15 +239,55 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Re-panics on the calling thread if any job panicked.
+    /// Panics on the calling thread if any job panicked. Callers that
+    /// need to survive a job panic (e.g. to fall back to a serial
+    /// recompute) should use [`try_run`](WorkerPool::try_run) instead.
     pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send + 'static,
         R: Send + 'static,
         F: Fn(T) -> R + Send + Sync + 'static,
     {
+        match self.try_run(items, f) {
+            Ok(out) => out,
+            Err(e) => panic!("a worker-pool job panicked ({e})"),
+        }
+    }
+
+    /// Fallible form of [`run`](WorkerPool::run): applies `f` to every
+    /// item in parallel and returns the results in item order, or
+    /// `Err(PoolError)` if any job panicked.
+    ///
+    /// A job panic is contained to its batch — the pool's workers, locks
+    /// and counters all survive (poisoned mutexes are recovered via
+    /// [`PoisonError::into_inner`]), so the caller can degrade gracefully
+    /// by redoing the batch serially. Items consumed by a failed batch
+    /// are not returned; the caller must recompute from its own source
+    /// data.
+    pub fn try_run<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
         if self.handles.is_empty() || items.len() < 2 {
-            return items.into_iter().map(f).collect();
+            // Inline path: catch per-item so a panic surfaces the same
+            // way (as Err) at every thread count.
+            let mut out = Vec::with_capacity(items.len());
+            let mut panicked = 0usize;
+            for item in items {
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => out.push(r),
+                    Err(_) => panicked += 1,
+                }
+            }
+            return if panicked == 0 {
+                Ok(out)
+            } else {
+                Err(PoolError {
+                    panicked_jobs: panicked,
+                })
+            };
         }
         let n = items.len();
         let batch = Arc::new(BatchState {
@@ -222,12 +296,12 @@ impl WorkerPool {
             results: (0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>(),
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
-            panicked: AtomicBool::new(false),
+            panicked: AtomicUsize::new(0),
         });
         self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
         self.jobs_dispatched.fetch_add(n as u64, Ordering::Relaxed);
         {
-            let mut slot = self.shared.slot.lock().expect("dispatch lock");
+            let mut slot = relock(&self.shared.slot);
             *slot = Some(Arc::clone(&batch) as Arc<dyn Batch>);
             // The generation bump is what workers watch; the slot write
             // above happens-before it from their perspective because they
@@ -247,16 +321,18 @@ impl WorkerPool {
         while batch.done.load(Ordering::Acquire) < n {
             std::hint::spin_loop();
         }
-        *self.shared.slot.lock().expect("retire lock") = None;
-        assert!(
-            !batch.panicked.load(Ordering::Acquire),
-            "a worker-pool job panicked"
-        );
-        batch
+        *relock(&self.shared.slot) = None;
+        let panicked = batch.panicked.load(Ordering::Acquire);
+        if panicked > 0 {
+            return Err(PoolError {
+                panicked_jobs: panicked,
+            });
+        }
+        Ok(batch
             .results
             .iter()
-            .map(|m| m.lock().expect("merge lock").take().expect("job result"))
-            .collect()
+            .map(|m| relock(m).take().expect("job result"))
+            .collect())
     }
 }
 
@@ -283,7 +359,7 @@ fn worker_loop(shared: &Shared) {
         if gen != last_seen {
             last_seen = gen;
             spins = 0;
-            let batch = shared.slot.lock().expect("worker lock").clone();
+            let batch = relock(&shared.slot).clone();
             if let Some(batch) = batch {
                 while batch.run_one() {}
             }
@@ -297,7 +373,7 @@ fn worker_loop(shared: &Shared) {
         // Exhausted the spin budget: park until dispatch or shutdown.
         spins = 0;
         shared.parks.fetch_add(1, Ordering::Relaxed);
-        let guard = shared.slot.lock().expect("park lock");
+        let guard = relock(&shared.slot);
         if shared.shutdown.load(Ordering::Acquire)
             || shared.generation.load(Ordering::Acquire) != last_seen
         {
@@ -394,6 +470,46 @@ mod tests {
         // The pool survives a panicked batch and runs the next one.
         let out = pool.run(vec![1u32, 2], |x| x);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_run_surfaces_panics_as_err_and_pool_survives() {
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let res = pool.try_run((0..64u32).collect(), |x| {
+                assert!(x != 13, "boom");
+                x
+            });
+            let err = res.expect_err("job 13 panicked");
+            assert!(err.panicked_jobs >= 1, "threads={threads}");
+            // Graceful degradation: the same pool still runs clean
+            // batches — no abort, no poisoned-lock cascade.
+            let out = pool
+                .try_run((0..64u32).collect(), |x| x * 2)
+                .expect("clean batch after a panicked one");
+            assert_eq!(out, (0..64u32).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_run_counts_every_panicked_job() {
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .try_run((0..16u32).collect(), |x| {
+                assert!(x % 2 == 0, "odd jobs explode");
+                x
+            })
+            .expect_err("half the jobs panicked");
+        assert_eq!(err.panicked_jobs, 8);
+        assert!(err.to_string().contains("8"));
+    }
+
+    #[test]
+    fn try_run_matches_run_on_clean_batches() {
+        let pool = WorkerPool::new(3);
+        let a = pool.try_run((0..100u64).collect(), |x| x * 3).unwrap();
+        let b = pool.run((0..100u64).collect(), |x| x * 3);
+        assert_eq!(a, b);
     }
 
     #[test]

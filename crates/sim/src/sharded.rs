@@ -47,6 +47,12 @@ pub struct ShardedOram {
     /// Worker pool for [`ShardedOram::access_batch`]; `None` (the
     /// default) steps shards serially on the calling thread.
     pool: Option<Arc<WorkerPool>>,
+    /// Batches in which a shard worker panicked and the abandoned slice
+    /// was re-served serially (graceful degradation, never an abort).
+    batch_panics: u64,
+    /// Armed fault injection: the next *parallel* batch panics inside its
+    /// worker on reaching this original request index (taken once).
+    panic_at: Option<usize>,
 }
 
 impl std::fmt::Debug for ShardedOram {
@@ -67,6 +73,12 @@ struct ShardJob {
     reqs: Vec<(usize, MemRequest)>,
     /// Outcomes, same order as `reqs` (filled by the worker).
     outcomes: Vec<(usize, AccessOutcome)>,
+    /// Set when a request panicked on the worker: the remaining slice is
+    /// abandoned and re-served serially at the merge barrier. Catching
+    /// *inside* the job is what keeps the moved controller alive — a
+    /// panic that escaped the closure would consume the job, and the
+    /// shard's tree, stash and position map with it.
+    panicked: bool,
 }
 
 impl ShardedOram {
@@ -103,6 +115,8 @@ impl ShardedOram {
             shards,
             label: format!("{}_sh{num_shards}", scheme.label()),
             pool: None,
+            batch_panics: 0,
+            panic_at: None,
         }
     }
 
@@ -216,13 +230,25 @@ impl ShardedOram {
                 ctrl,
                 reqs,
                 outcomes: Vec::new(),
+                panicked: false,
             })
             .collect();
         let pool = Arc::clone(self.pool.as_ref().expect("parallel implies pool"));
+        let panic_at = self.panic_at.take();
         let done = pool.run(jobs, move |mut job: ShardJob| {
             job.outcomes.reserve(job.reqs.len());
             for &(orig, req) in &job.reqs {
-                let mut outcome = job.ctrl.access(now, req, &NoProbe);
+                let boom = panic_at == Some(orig);
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    assert!(!boom, "injected shard worker panic");
+                    job.ctrl.access(now, req, &NoProbe)
+                }));
+                let Ok(mut outcome) = attempt else {
+                    // Keep the controller; its unserved requests fall
+                    // back to the caller thread at the merge barrier.
+                    job.panicked = true;
+                    break;
+                };
                 for fill in &mut outcome.fills {
                     fill.block = BlockAddr(fill.block.0 * n + job.shard as u64);
                 }
@@ -233,16 +259,47 @@ impl ShardedOram {
         // Join: controllers return to their slots in shard order and
         // outcomes merge back to original request positions.
         let mut out: Vec<Option<AccessOutcome>> = reqs.iter().map(|_| None).collect();
+        let mut unserved: Vec<usize> = Vec::new();
         for job in done {
             debug_assert_eq!(job.shard, self.shards.len());
+            if job.panicked {
+                self.batch_panics += 1;
+                unserved.extend(
+                    job.reqs
+                        .iter()
+                        .skip(job.outcomes.len())
+                        .map(|&(orig, _)| orig),
+                );
+            }
             self.shards.push(job.ctrl);
             for (orig, outcome) in job.outcomes {
                 out[orig] = Some(outcome);
             }
         }
+        // Graceful degradation: requests a panicked shard abandoned are
+        // re-served serially through the normal single-request path, so
+        // the batch still returns one outcome per request and later
+        // batches keep working.
+        for orig in unserved {
+            out[orig] = Some(self.access(now, reqs[orig], &NoProbe));
+        }
         out.into_iter()
             .map(|o| o.expect("every request served by its shard"))
             .collect()
+    }
+
+    /// Times a shard batch hit a worker panic and fell back to serial
+    /// service for the abandoned slice.
+    pub fn batch_panics(&self) -> u64 {
+        self.batch_panics
+    }
+
+    /// Arms deterministic worker-panic injection: the next parallel batch
+    /// panics inside the worker thread when it reaches the request at
+    /// original index `orig`, exercising the abandoned-slice serial
+    /// fallback without corrupting any controller.
+    pub fn inject_worker_panic(&mut self, orig: usize) {
+        self.panic_at = Some(orig);
     }
 }
 
@@ -428,6 +485,30 @@ mod tests {
             );
         }
         assert_eq!(s.stats().demand_accesses, 8);
+    }
+
+    #[test]
+    fn worker_panic_degrades_to_serial_and_batch_completes() {
+        let reqs: Vec<MemRequest> = (0..16u64).map(|a| MemRequest::read(BlockAddr(a))).collect();
+        let mut s = sharded(4);
+        s.set_worker_threads(4);
+        s.inject_worker_panic(5);
+        let outcomes = s.access_batch(0, &reqs);
+        assert_eq!(outcomes.len(), 16);
+        for (req, o) in reqs.iter().zip(&outcomes) {
+            assert!(
+                o.fills.iter().any(|f| f.block == req.block),
+                "demand block {:?} missing after panic fallback",
+                req.block
+            );
+        }
+        assert_eq!(s.batch_panics(), 1);
+        // The controllers and the pool both survive: the next batch is
+        // clean and the panic counter stays put.
+        let again = s.access_batch(0, &reqs);
+        assert_eq!(again.len(), 16);
+        assert_eq!(s.batch_panics(), 1);
+        assert_eq!(s.stats().demand_accesses, 32);
     }
 
     #[test]
