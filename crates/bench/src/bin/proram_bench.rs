@@ -43,7 +43,16 @@
 //! crossing cell must fire exactly once, recover auditor-clean, and land
 //! on the crash-free state digest — the command panics on any violation,
 //! making it a CI smoke gate. Emits the `BENCH_crash.json` report with
-//! per-cell recovery work and modeled recovery-latency statistics.
+//! per-cell recovery work and modeled recovery-latency statistics
+//! (written to `BENCH_crash.json` unless `--out` overrides the path).
+//!
+//! `proram-bench treetop [--ms N] [--out PATH]` sweeps the functional
+//! treetop cache (`treetop_levels` in {0, 1, 2, 4, 6}) crossed with the
+//! flat and subtree-packed store layouts on the encrypted hot-path
+//! kernel, and emits the `BENCH_treetop.json` report (written to
+//! `BENCH_treetop.json` unless `--out` overrides the path). The sweep
+//! panics if `treetop_levels = 4` is not at least 1.3x the uncached
+//! baseline in accesses/sec, so it doubles as a CI smoke gate.
 //!
 //! `proram-bench fault` runs the fault-injection sweep (alias of the
 //! `fault_sweep` experiment): every fault class x rate cell must detect
@@ -61,7 +70,7 @@
 //! contracts, so it doubles as a CI smoke gate.
 
 use proram_bench::exp::{self, RunCtx};
-use proram_bench::{crash, hotpath, jobs, obs, parallel, pipeline};
+use proram_bench::{crash, hotpath, jobs, obs, parallel, pipeline, treetop};
 use proram_stats::{BarChart, Table};
 use proram_workloads::{suite, tracefile, Scale, Suite};
 use std::path::PathBuf;
@@ -95,6 +104,7 @@ fn usage() -> ExitCode {
     eprintln!("       proram-bench parallel [--ms N] [--out PATH]");
     eprintln!("       proram-bench pipeline [--scale quick|standard] [--jobs N] [--out PATH]");
     eprintln!("       proram-bench crash [--out PATH]");
+    eprintln!("       proram-bench treetop [--ms N] [--out PATH]");
     eprintln!("       proram-bench fault [--scale quick|standard] [--jobs N]");
     eprintln!("       proram-bench obs [--ms N] [--trace PATH] [--out PATH]");
     eprintln!("experiments:");
@@ -290,6 +300,27 @@ fn run_crash(out: Option<&PathBuf>) -> ExitCode {
     write_or_print(&crash::to_json(&report), out)
 }
 
+fn run_treetop(ms: u64, out: Option<&PathBuf>) -> ExitCode {
+    eprintln!(
+        "[sweeping treetop_levels over {:?} x {{flat, subtree_packed}}, {ms} ms each...]",
+        treetop::SWEEP
+    );
+    // measure() panics if the treetop_levels=4 win drops below the
+    // floor — the CI smoke gate.
+    let points = treetop::measure(ms);
+    for p in &points {
+        eprintln!(
+            "[treetop={} layout={}: {:.1} acc/s, {} B/access, {} B saved]",
+            p.treetop_levels,
+            p.layout,
+            p.throughput.units_per_sec(),
+            p.bytes_per_access,
+            p.bytes_saved
+        );
+    }
+    write_or_print(&treetop::to_json(&points, ms), out)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first().cloned() else {
@@ -419,8 +450,20 @@ fn main() -> ExitCode {
         // shard scaling regresses.
         "pipeline" => run_pipeline(scale, njobs, hotpath_out.as_ref()),
         // Crash-consistency smoke: measure() asserts every kill point
-        // recovers to the crash-free state.
-        "crash" => run_crash(hotpath_out.as_ref()),
+        // recovers to the crash-free state. Defaults to the repo-root
+        // artifact name like every other BENCH_*.json producer.
+        "crash" => {
+            let default = PathBuf::from("BENCH_crash.json");
+            run_crash(Some(hotpath_out.as_ref().unwrap_or(&default)))
+        }
+        // Treetop-cache sweep; measure() asserts the speedup floor.
+        "treetop" => {
+            let default = PathBuf::from("BENCH_treetop.json");
+            run_treetop(
+                hotpath_ms.unwrap_or(1_000),
+                Some(hotpath_out.as_ref().unwrap_or(&default)),
+            )
+        }
         // Robustness smoke: the sweep asserts zero undetected corruptions
         // and zero-rate silence internally.
         "fault" => {

@@ -28,3 +28,4 @@ pub mod microbench;
 pub mod obs;
 pub mod parallel;
 pub mod pipeline;
+pub mod treetop;

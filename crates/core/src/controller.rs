@@ -642,6 +642,8 @@ impl<O: OramBackend> MemoryBackend for SuperBlockOram<O> {
             data_path_cycles: o.data_path_accesses * self.oram.fetch_cycles(),
             posmap_path_cycles: o.posmap_path_accesses * self.oram.fetch_cycles(),
             dummy_path_cycles: o.background_evictions * self.oram.fetch_cycles(),
+            treetop_hits: o.treetop_hits,
+            treetop_bytes_saved: o.treetop_bytes_saved,
             faults: self.oram.fault_stats() + self.scheme_faults,
         }
     }

@@ -258,6 +258,13 @@ pub struct BackendStats {
     pub posmap_path_cycles: u64,
     /// Busy cycles attributable to dummy / background-eviction accesses.
     pub dummy_path_cycles: u64,
+    /// Treetop-cache bucket hits: path buckets served from trusted
+    /// on-chip memory instead of the encrypted store (0 for DRAM and
+    /// for `treetop_levels = 0`).
+    pub treetop_hits: u64,
+    /// Bytes that never crossed the memory bus because the treetop
+    /// cache absorbed them.
+    pub treetop_bytes_saved: u64,
     /// Fault injection / detection / recovery counters (all-zero without
     /// fault injection).
     pub faults: FaultStats,
@@ -282,6 +289,8 @@ impl std::ops::Sub for BackendStats {
             data_path_cycles: self.data_path_cycles - rhs.data_path_cycles,
             posmap_path_cycles: self.posmap_path_cycles - rhs.posmap_path_cycles,
             dummy_path_cycles: self.dummy_path_cycles - rhs.dummy_path_cycles,
+            treetop_hits: self.treetop_hits - rhs.treetop_hits,
+            treetop_bytes_saved: self.treetop_bytes_saved - rhs.treetop_bytes_saved,
             faults: self.faults - rhs.faults,
         }
     }
@@ -306,6 +315,8 @@ impl std::ops::Add for BackendStats {
             data_path_cycles: self.data_path_cycles + rhs.data_path_cycles,
             posmap_path_cycles: self.posmap_path_cycles + rhs.posmap_path_cycles,
             dummy_path_cycles: self.dummy_path_cycles + rhs.dummy_path_cycles,
+            treetop_hits: self.treetop_hits + rhs.treetop_hits,
+            treetop_bytes_saved: self.treetop_bytes_saved + rhs.treetop_bytes_saved,
             faults: self.faults + rhs.faults,
         }
     }
@@ -361,6 +372,8 @@ impl BackendStats {
             ("data_path_cycles", self.data_path_cycles),
             ("posmap_path_cycles", self.posmap_path_cycles),
             ("dummy_path_cycles", self.dummy_path_cycles),
+            ("treetop_hits", self.treetop_hits),
+            ("treetop_bytes_saved", self.treetop_bytes_saved),
         ];
         for (name, value) in pairs {
             registry.counter_add(&format!("{prefix}{name}"), value);
@@ -525,6 +538,8 @@ mod tests {
             data_path_cycles: 10,
             posmap_path_cycles: 11,
             dummy_path_cycles: 12,
+            treetop_hits: 15,
+            treetop_bytes_saved: 16,
             faults: FaultStats {
                 injected_bit_flips: 13,
                 undetected: 14,
@@ -535,10 +550,12 @@ mod tests {
         s.snapshot_into(&mut reg, "backend.");
         assert_eq!(reg.counter("backend.demand_accesses"), 1);
         assert_eq!(reg.counter("backend.dummy_path_cycles"), 12);
+        assert_eq!(reg.counter("backend.treetop_hits"), 15);
+        assert_eq!(reg.counter("backend.treetop_bytes_saved"), 16);
         assert_eq!(reg.counter("backend.faults.injected_bit_flips"), 13);
         assert_eq!(reg.counter("backend.faults.undetected"), 14);
-        // 12 backend counters + 15 fault counters, all registered.
-        assert_eq!(reg.counters_with_prefix("backend.").count(), 27);
+        // 14 backend counters + 15 fault counters, all registered.
+        assert_eq!(reg.counters_with_prefix("backend.").count(), 29);
         // Snapshotting a second copy accumulates (shard aggregation).
         s.snapshot_into(&mut reg, "backend.");
         assert_eq!(reg.counter("backend.demand_accesses"), 2);

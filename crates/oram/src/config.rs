@@ -89,6 +89,13 @@ pub struct OramConfig {
     /// access; level `k` needs `(2^k - 1) * Z` on-chip block slots, so
     /// only a handful of levels are realistic.
     pub treetop_levels: u32,
+    /// Physical arrangement of the off-chip buckets in the encrypted
+    /// store. [`crate::TreeLayout::Flat`] (the default) keeps heap order
+    /// and is byte-identical to the pre-layout goldens;
+    /// [`crate::TreeLayout::SubtreePacked`] packs subtrees contiguously for
+    /// DRAM-row / host-cache locality. Purely a physical-address choice:
+    /// every logical observable is identical across layouts.
+    pub layout: crate::layout::TreeLayout,
     /// Timing model.
     pub timing: OramTiming,
     /// Keep and verify real payload bytes and an encrypted DRAM image.
@@ -146,6 +153,15 @@ pub struct OramConfig {
     /// (DESIGN.md section 14). Requires `store_payloads` to matter;
     /// without an image there is no crypto to parallelize.
     pub crypto_threads: usize,
+    /// Pick the crypto thread count automatically at construction:
+    /// pooled dispatch is only attached when the host reports more than
+    /// one core **and** the off-chip per-path ciphertext is large enough
+    /// to amortize dispatch overhead (BENCH_parallel.json measured 0.39x
+    /// at 2 threads on a 1-core box). Requires `crypto_threads == 0`
+    /// (the explicit setting always wins and stays deterministic).
+    /// Because pooled and serial crypto are byte-identical by contract,
+    /// auto mode never changes observable behavior — only wall-clock.
+    pub crypto_threads_auto: bool,
     /// Deterministic crash injection (requires `store_payloads`): every
     /// access runs under the crash-consistent commit protocol of
     /// DESIGN.md section 15, and the configured kill point fires on its
@@ -191,11 +207,13 @@ impl OramConfig {
             init_group_size: 1,
             dense_tree: false,
             treetop_levels: 0,
+            layout: crate::layout::TreeLayout::Flat,
             fault: None,
             stash_hard_capacity: None,
             scrub_interval: 0,
             pipeline: None,
             crypto_threads: 0,
+            crypto_threads_auto: false,
             crash: None,
         }
     }
@@ -323,7 +341,8 @@ impl OramConfig {
             return Err(ConfigError::new(
                 "treetop_levels",
                 format!(
-                    "treetop cache ({}) must leave at least one off-chip level (tree has {levels})",
+                    "treetop cache ({}) must leave at least one off-chip level: \
+                     off_chip_levels() would clamp to 1 of {levels} tree levels",
                     self.treetop_levels
                 ),
             ));
@@ -336,6 +355,24 @@ impl OramConfig {
                     self.treetop_levels, self.treetop_levels
                 ),
             ));
+        }
+        if let crate::layout::TreeLayout::SubtreePacked { height } = self.layout {
+            if height == 0 {
+                return Err(ConfigError::new(
+                    "layout",
+                    "subtree-packed layout needs a height of at least 1",
+                ));
+            }
+            let depth = self.off_chip_levels();
+            if !depth.is_multiple_of(height) {
+                return Err(ConfigError::new(
+                    "layout",
+                    format!(
+                        "subtree height ({height}) must divide the off-chip depth \
+                         (off_chip_levels() = {depth})"
+                    ),
+                ));
+            }
         }
         if self.store_payloads {
             let entry_bytes = crate::storage::ENTRY_BYTES as u64;
@@ -385,6 +422,16 @@ impl OramConfig {
                     "crash injection and fault injection are mutually exclusive",
                 ));
             }
+            if crash.point == crate::crash::KillPoint::PooledEncrypt && self.crypto_threads_auto {
+                return Err(ConfigError::new(
+                    "crash",
+                    format!(
+                        "the {} kill point needs a deterministic pool; \
+                         crypto_threads_auto is machine-dependent",
+                        crash.point
+                    ),
+                ));
+            }
             if crash.point == crate::crash::KillPoint::PooledEncrypt && self.crypto_threads < 2 {
                 return Err(ConfigError::new(
                     "crash",
@@ -403,6 +450,16 @@ impl OramConfig {
                 "crypto_threads",
                 format!(
                     "crypto_threads ({}) exceeds the 256-thread cap",
+                    self.crypto_threads
+                ),
+            ));
+        }
+        if self.crypto_threads_auto && self.crypto_threads != 0 {
+            return Err(ConfigError::new(
+                "crypto_threads_auto",
+                format!(
+                    "crypto_threads_auto replaces an explicit thread count; \
+                     set crypto_threads to 0 (got {})",
                     self.crypto_threads
                 ),
             ));
@@ -545,6 +602,12 @@ impl OramConfigBuilder {
         self
     }
 
+    /// Sets the physical arrangement of the off-chip bucket store.
+    pub fn tree_layout(mut self, layout: crate::layout::TreeLayout) -> Self {
+        self.cfg.layout = layout;
+        self
+    }
+
     /// Sets the timing model.
     pub fn timing(mut self, timing: OramTiming) -> Self {
         self.cfg.timing = timing;
@@ -606,6 +669,14 @@ impl OramConfigBuilder {
         self
     }
 
+    /// Picks the crypto thread count automatically at construction
+    /// (serial on small per-path payloads or single-core hosts; see
+    /// [`OramConfig::crypto_threads_auto`]).
+    pub fn crypto_threads_auto(mut self, on: bool) -> Self {
+        self.cfg.crypto_threads_auto = on;
+        self
+    }
+
     /// Arms deterministic crash injection: the kill point fires on its
     /// configured crossing and every access runs under the commit
     /// protocol (DESIGN.md section 15).
@@ -646,11 +717,13 @@ impl Default for OramConfig {
             init_group_size: 1,
             dense_tree: false,
             treetop_levels: 0,
+            layout: crate::layout::TreeLayout::Flat,
             fault: None,
             stash_hard_capacity: None,
             scrub_interval: 0,
             pipeline: None,
             crypto_threads: 0,
+            crypto_threads_auto: false,
             crash: None,
         }
     }
@@ -739,6 +812,80 @@ mod tests {
             ..OramConfig::small_for_tests(64)
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn subtree_layout_height_must_divide_off_chip_depth() {
+        use crate::layout::TreeLayout;
+        // small_for_tests(256) builds an 8-level tree; with treetop 2 the
+        // off-chip depth is 6.
+        let base = OramConfig {
+            treetop_levels: 2,
+            ..OramConfig::small_for_tests(256)
+        };
+        for height in [1, 2, 3, 6] {
+            OramConfig {
+                layout: TreeLayout::SubtreePacked { height },
+                ..base.clone()
+            }
+            .validate();
+        }
+        let err = OramConfig {
+            layout: TreeLayout::SubtreePacked { height: 4 },
+            ..base.clone()
+        }
+        .check()
+        .unwrap_err();
+        assert_eq!(err.field(), "layout");
+        assert!(err.to_string().contains("off_chip_levels() = 6"), "{err}");
+        let err = OramConfig {
+            layout: TreeLayout::SubtreePacked { height: 0 },
+            ..base
+        }
+        .check()
+        .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn treetop_bound_error_references_off_chip_levels() {
+        let err = OramConfig {
+            treetop_levels: 64,
+            ..OramConfig::small_for_tests(64)
+        }
+        .check()
+        .unwrap_err();
+        assert!(err.to_string().contains("off_chip_levels()"), "{err}");
+    }
+
+    #[test]
+    fn crypto_threads_auto_excludes_explicit_counts() {
+        let base = OramConfig::small_for_tests(256);
+        base.to_builder()
+            .crypto_threads_auto(true)
+            .build()
+            .expect("auto with crypto_threads 0 is fine");
+        let err = base
+            .to_builder()
+            .crypto_threads(2)
+            .crypto_threads_auto(true)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "crypto_threads_auto");
+        assert!(err.to_string().contains("set crypto_threads to 0"), "{err}");
+    }
+
+    #[test]
+    fn crypto_threads_auto_rejects_pooled_encrypt_kills() {
+        use crate::crash::{CrashConfig, KillPoint};
+        let err = OramConfig {
+            crash: Some(CrashConfig::first(KillPoint::PooledEncrypt)),
+            crypto_threads_auto: true,
+            ..OramConfig::small_for_tests(256)
+        }
+        .check()
+        .unwrap_err();
+        assert!(err.to_string().contains("machine-dependent"), "{err}");
     }
 
     #[test]
@@ -846,6 +993,7 @@ mod tests {
             .plb_blocks(8)
             .dense_tree(false)
             .treetop_levels(1)
+            .tree_layout(crate::layout::TreeLayout::SubtreePacked { height: 1 })
             .store_payloads(true)
             .verify_image(true)
             .trace_capacity(1 << 10)
@@ -860,6 +1008,10 @@ mod tests {
         assert_eq!(cfg.stash_hard_capacity, Some(200));
         assert_eq!(cfg.scrub_interval, 64);
         assert_eq!(cfg.crypto_threads, 3);
+        assert_eq!(
+            cfg.layout,
+            crate::layout::TreeLayout::SubtreePacked { height: 1 }
+        );
     }
 
     #[test]

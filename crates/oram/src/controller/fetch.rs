@@ -79,6 +79,10 @@ impl PathOram {
             }
         }
         self.stats.bytes_moved += self.path_bytes;
+        if self.config.treetop_levels > 0 {
+            self.stats.treetop_hits += u64::from(self.config.treetop_levels);
+            self.stats.treetop_bytes_saved += self.treetop_saved_bytes;
+        }
         self.stash.sample_occupancy();
         // Watermark events fire only when the all-time peak moves, so an
         // attached sink sees the (rare) growth edges, not every access.
@@ -114,7 +118,9 @@ impl PathOram {
     }
 
     /// Renders the path to `leaf` as an explicit bucket-read batch for the
-    /// bank-aware scheduler: one [`BucketRead`] per off-chip bucket, each
+    /// bank-aware scheduler: one [`BucketRead`] per off-chip bucket,
+    /// addressed by its *physical* store index under the configured
+    /// [`crate::TreeLayout`], each
     /// moving the derate-adjusted wire bytes of one bucket
     /// ([`crate::OramTiming::bucket_wire_bytes`]). Treetop-cached levels
     /// are on-chip and never appear in the batch. A super-block merged
@@ -129,7 +135,7 @@ impl PathOram {
         self.tree
             .path_indices(leaf)
             .skip(skip)
-            .map(|idx| BucketRead::new(idx as u64, bucket_bytes))
+            .map(|idx| BucketRead::new(self.layout.phys_of(idx) as u64, bucket_bytes))
             .collect()
     }
 }

@@ -45,6 +45,7 @@ use crate::crash::{CrashArm, CrashStats, KillPoint, RecoveryMode, RecoveryReport
 use crate::error::OramError;
 use crate::eviction::PathScratch;
 use crate::journal::Checkpoint;
+use crate::layout::StoreLayout;
 use crate::pipeline::{AccessMachine, AccessRequest, StageCycles};
 use crate::plb::Plb;
 use crate::posmap::PosEntry;
@@ -108,6 +109,12 @@ pub struct OramStats {
     pub background_evictions: u64,
     /// Bytes moved on the memory bus (all path accesses).
     pub bytes_moved: u64,
+    /// Buckets served from the on-chip treetop cache (one per cached
+    /// level per path access; zero with `treetop_levels == 0`).
+    pub treetop_hits: u64,
+    /// DRAM bytes the treetop cache saved: what the cached levels would
+    /// have moved had they round-tripped through the store.
+    pub treetop_bytes_saved: u64,
 }
 
 impl OramStats {
@@ -180,6 +187,13 @@ pub struct PathOram {
     /// ([`OramConfig::pipeline`]).
     pub(crate) fetch_cycles: u64,
     pub(crate) path_bytes: u64,
+    /// DRAM bytes one path access would additionally move without the
+    /// treetop cache (full-path bytes minus off-chip `path_bytes`).
+    pub(crate) treetop_saved_bytes: u64,
+    /// Heap-index ↔ physical-index map of the off-chip store: the top
+    /// [`StoreLayout::treetop_buckets`] heap buckets live on chip and
+    /// have no store image.
+    pub(crate) layout: StoreLayout,
     pub(crate) busy_until: Cycle,
     pub(crate) label: String,
     /// Reusable write-back scratch (see [`PathScratch`]).
@@ -269,9 +283,15 @@ impl PathOram {
         let path_blocks = levels as usize * config.z;
         let resting_limit = config.stash_limit.saturating_sub(path_blocks).max(8);
         let mut stash = Stash::new(resting_limit);
+        // The store only holds the off-chip buckets: the treetop lives in
+        // trusted on-chip memory and never gets a ciphertext image. With
+        // `treetop_levels == 0` and the flat layout the map is the
+        // identity, so the image (and its nonce sequence) is byte-
+        // identical to the pre-layout goldens.
+        let layout = StoreLayout::new(levels, config.treetop_levels, config.layout);
         let mut store = if config.store_payloads {
             let mut store = EncryptedStore::new(
-                tree.num_buckets(),
+                layout.num_off_chip(),
                 config.z,
                 config.timing.block_bytes as usize,
                 rng.next_u64(),
@@ -309,15 +329,23 @@ impl PathOram {
             }
         }
         if let Some(store) = store.as_mut() {
-            for idx in 0..tree.num_buckets() {
-                store.write_bucket(idx, tree.bucket(idx));
+            for idx in layout.treetop_buckets()..tree.num_buckets() {
+                store.write_bucket(layout.phys_of(idx), tree.bucket(idx));
             }
             // Crypto worker pool for the hot paths. `< 2` means serial:
             // a "pool" of one thread is the caller itself. The store's
             // batch entry points keep the image byte-identical either way.
-            if config.crypto_threads >= 2 {
+            // Auto mode picks the count from the host and the off-chip
+            // payload; pooled and serial crypto are byte-identical, so
+            // the machine-dependent choice never changes behavior.
+            let crypto_threads = if config.crypto_threads_auto {
+                Self::auto_crypto_threads(store.bucket_bytes(), config.off_chip_levels())
+            } else {
+                config.crypto_threads
+            };
+            if crypto_threads >= 2 {
                 store.attach_pool(std::sync::Arc::new(proram_par::WorkerPool::new(
-                    config.crypto_threads,
+                    crypto_threads,
                 )));
             }
         }
@@ -349,6 +377,7 @@ impl PathOram {
         let off_chip = config.off_chip_levels();
         let path_cycles = config.timing.path_cycles(off_chip, config.z);
         let path_bytes = config.timing.path_bytes(off_chip, config.z);
+        let treetop_saved_bytes = config.timing.path_bytes(levels, config.z) - path_bytes;
         // With the bank-aware pipeline, the per-path fetch cost comes from
         // scheduling one path's bucket-read batch on an idle bank
         // scheduler; the lump-sum model keeps fetch == path cost.
@@ -374,6 +403,8 @@ impl PathOram {
             path_cycles,
             fetch_cycles,
             path_bytes,
+            treetop_saved_bytes,
+            layout,
             busy_until: 0,
             label: "oram".to_owned(),
             scratch: PathScratch::new(),
@@ -423,9 +454,31 @@ impl PathOram {
         }
     }
 
+    /// Thread count for [`OramConfig::crypto_threads_auto`]: serial
+    /// unless the host has more than one core **and** one off-chip path's
+    /// ciphertext is large enough to amortize pool dispatch. The 16 KiB
+    /// floor comes from BENCH_parallel.json, where pooled dispatch at
+    /// ~6 KiB per path ran 0.39x on a single-core box.
+    fn auto_crypto_threads(bucket_bytes: usize, off_chip_levels: u32) -> usize {
+        /// Smallest per-path ciphertext worth dispatching to workers.
+        const AUTO_POOL_MIN_PATH_BYTES: u64 = 16 * 1024;
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let per_path = bucket_bytes as u64 * u64::from(off_chip_levels);
+        if cores <= 1 || per_path < AUTO_POOL_MIN_PATH_BYTES {
+            0
+        } else {
+            cores.min(8)
+        }
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
+
+    /// The heap-index ↔ physical-index layout of the off-chip store.
+    pub fn store_layout(&self) -> &StoreLayout {
+        &self.layout
+    }
 
     /// The configuration this ORAM was built with.
     pub fn config(&self) -> &OramConfig {
@@ -702,10 +755,14 @@ impl PathOram {
                 None => false,
             };
             if updated {
-                // Keep the encrypted image coherent.
-                let bucket = self.tree.bucket(idx).clone();
-                if let Some(store) = self.store.as_mut() {
-                    store.write_bucket(idx, &bucket);
+                // Keep the encrypted image coherent. Treetop buckets have
+                // no image — the on-chip plaintext is authoritative.
+                if idx >= self.layout.treetop_buckets() {
+                    let bucket = self.tree.bucket(idx).clone();
+                    let phys = self.layout.phys_of(idx);
+                    if let Some(store) = self.store.as_mut() {
+                        store.write_bucket(phys, &bucket);
+                    }
                 }
                 return true;
             }
@@ -787,8 +844,13 @@ impl PathOram {
         }
     }
 
-    /// Seals the controller's volatile state (RNG, top table, stash, PLB)
-    /// into one MAC-bound checkpoint record.
+    /// Seals the controller's volatile state (RNG, top table, stash, PLB,
+    /// treetop buckets) into one MAC-bound checkpoint record.
+    ///
+    /// The treetop is volatile on-chip SRAM with no ciphertext image, so
+    /// its buckets ride in the checkpoint: recovery adopts checkpoint A's
+    /// pre-access treetop after a rollback and checkpoint B's post-access
+    /// treetop after a replay — exactly like the stash.
     fn seal_checkpoint(&self) -> Vec<u8> {
         let store = self
             .store
@@ -804,6 +866,9 @@ impl PathOram {
             top: self.top.clone(),
             stash,
             plb: self.plb.iter().cloned().collect(),
+            treetop: (0..self.layout.treetop_buckets())
+                .map(|idx| self.tree.bucket(idx).iter().cloned().collect())
+                .collect(),
         }
         .seal(store.mac())
     }
@@ -923,23 +988,45 @@ impl PathOram {
             plb.insert(block);
         }
         self.plb = plb;
-        // Rebuild the tree mirror of every bucket the transaction touched
-        // from the (rolled-back or replayed) store image. The store is
-        // the durable medium; decrypt-and-authenticate is what makes the
-        // rebuilt plaintext trustworthy.
-        let touched: std::collections::BTreeSet<usize> = rec
-            .touched
-            .iter()
-            .copied()
-            .chain(std::mem::take(&mut self.txn_touched))
-            .collect();
+        // The treetop is volatile SRAM with no store image: adopt the
+        // checkpointed buckets wholesale (A's pre-access contents after a
+        // rollback, B's post-access contents after a replay).
+        let treetop = self.layout.treetop_buckets();
+        assert_eq!(
+            checkpoint.treetop.len(),
+            treetop,
+            "adopted checkpoint has the wrong treetop geometry"
+        );
+        for (idx, blocks) in checkpoint.treetop.into_iter().enumerate() {
+            let bucket = self.tree.bucket_mut(idx);
+            bucket.drain();
+            for block in blocks {
+                bucket.push(block);
+            }
+        }
+        // Rebuild the tree mirror of every off-chip bucket the transaction
+        // touched from the (rolled-back or replayed) store image. The
+        // store is the durable medium; decrypt-and-authenticate is what
+        // makes the rebuilt plaintext trustworthy. The journal's indices
+        // are already physical; the controller's touched set is heap-side
+        // and drops its treetop prefix (those buckets came back with the
+        // checkpoint above).
+        let taken = std::mem::take(&mut self.txn_touched);
+        let mut touched: std::collections::BTreeSet<usize> = rec.touched.iter().copied().collect();
+        touched.extend(
+            taken
+                .into_iter()
+                .filter(|&heap| heap >= treetop)
+                .map(|heap| self.layout.phys_of(heap)),
+        );
         let mut reverified = 0usize;
-        for &idx in &touched {
+        for &phys in &touched {
+            let heap = self.layout.heap_of(phys);
             let store = self.store.as_mut().expect("store present above");
             let blocks = store
-                .try_read_bucket(idx)
+                .try_read_bucket(phys)
                 .expect("recovered bucket failed authentication");
-            let bucket = self.tree.bucket_mut(idx);
+            let bucket = self.tree.bucket_mut(heap);
             bucket.drain();
             for block in blocks {
                 bucket.push(block);
@@ -963,8 +1050,9 @@ impl PathOram {
             reverified: reverified as u64,
         });
         // Modeled recovery latency: every restored image write and every
-        // re-verification read costs one bucket's share of a path fetch.
-        let levels = u64::from(self.config.tree_levels()).max(1);
+        // re-verification read costs one off-chip bucket's share of a
+        // path fetch (restored/reverified buckets are all off-chip).
+        let levels = u64::from(self.config.off_chip_levels()).max(1);
         let per_bucket = (self.path_cycles / levels).max(1);
         let cycles = (restored + reverified as u64) * per_bucket;
         RecoveryReport {
@@ -1302,6 +1390,8 @@ impl MemoryBackend for PathOram {
             data_path_cycles: s.data_path_accesses * self.fetch_cycles,
             posmap_path_cycles: s.posmap_path_accesses * self.fetch_cycles,
             dummy_path_cycles: s.background_evictions * self.fetch_cycles,
+            treetop_hits: s.treetop_hits,
+            treetop_bytes_saved: s.treetop_bytes_saved,
             faults: self.fault_stats(),
         }
     }

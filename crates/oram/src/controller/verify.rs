@@ -28,24 +28,32 @@ fn fault_kind(err: &OramError) -> FaultKind {
 }
 
 impl PathOram {
-    /// Decrypts, authenticates and cross-checks every bucket on the path
-    /// to `leaf` against the logical tree, repairing detected faults in
-    /// place when recovery is enabled. Addr-only reads through reusable
-    /// buffers — no payload reconstruction, no allocation on the clean
-    /// path.
+    /// Decrypts, authenticates and cross-checks every *off-chip* bucket
+    /// on the path to `leaf` against the logical tree, repairing detected
+    /// faults in place when recovery is enabled. Treetop-cached levels
+    /// are trusted plaintext and skipped. Addr-only reads through
+    /// reusable buffers — no payload reconstruction, no allocation on the
+    /// clean path.
     pub(crate) fn verify_path(&mut self, leaf: Leaf) -> Result<(), OramError> {
         let recover = self.recovery_enabled();
         let Some(store) = self.store.as_mut() else {
             return Ok(());
         };
+        let skip = (self.config.tree_levels() - self.config.off_chip_levels()) as usize;
         if !recover && store.parallel_active() {
             // Pooled path: per-bucket decrypt + slot verification fan
             // across the crypto workers; the merge preserves path order,
             // so the error surfaced (if any) matches the serial loop.
             // Recovery stays serial — repairs mutate the image mid-walk.
+            // Treetop buckets are plaintext on-chip state: nothing to
+            // decrypt, so they never enter the batch.
             self.verify_batch_indices.clear();
-            self.verify_batch_indices
-                .extend(self.tree.path_indices(leaf));
+            self.verify_batch_indices.extend(
+                self.tree
+                    .path_indices(leaf)
+                    .skip(skip)
+                    .map(|idx| self.layout.phys_of(idx)),
+            );
             let before = if self.obs.is_enabled() {
                 store.pool_stats()
             } else {
@@ -62,27 +70,32 @@ impl PathOram {
                     store.pool_stats().unwrap_or_default(),
                 );
             }
-            for (&idx, store_addrs) in self
+            for (&phys, store_addrs) in self
                 .verify_batch_indices
                 .iter()
                 .zip(self.verify_batch_addrs.iter_mut())
             {
+                let heap = self.layout.heap_of(phys);
                 self.verify_tree_addrs.clear();
                 self.verify_tree_addrs
-                    .extend(self.tree.bucket(idx).iter().map(|b| b.addr.0));
+                    .extend(self.tree.bucket(heap).iter().map(|b| b.addr.0));
                 store_addrs.sort_unstable();
                 self.verify_tree_addrs.sort_unstable();
                 assert_eq!(
                     *store_addrs, self.verify_tree_addrs,
-                    "encrypted image diverged at bucket {idx}"
+                    "encrypted image diverged at bucket {heap}"
                 );
             }
             return Ok(());
         }
-        for idx in self.tree.path_indices(leaf) {
+        for idx in self.tree.path_indices(leaf).skip(skip) {
+            let phys = self.layout.phys_of(idx);
             self.verify_store_addrs.clear();
-            match store.bucket_addrs_into(idx, &mut self.verify_plain, &mut self.verify_store_addrs)
-            {
+            match store.bucket_addrs_into(
+                phys,
+                &mut self.verify_plain,
+                &mut self.verify_store_addrs,
+            ) {
                 Ok(()) => {
                     self.verify_tree_addrs.clear();
                     self.verify_tree_addrs
@@ -105,7 +118,7 @@ impl PathOram {
                             // The logical tree is trusted on-chip state:
                             // restore the bucket by re-encrypting it under a
                             // fresh nonce and version.
-                            store.write_bucket(idx, self.tree.bucket(idx));
+                            store.write_bucket(phys, self.tree.bucket(idx));
                             self.ctrl_faults.recovered += 1;
                             self.obs.emit(|| ObsEvent::FaultRecovered {
                                 kind,
@@ -160,7 +173,7 @@ impl PathOram {
                         kind,
                         bucket: idx as u64,
                     });
-                    store.write_bucket(idx, self.tree.bucket(idx));
+                    store.write_bucket(idx, self.tree.bucket(self.layout.heap_of(idx)));
                     self.ctrl_faults.recovered += 1;
                     self.obs.emit(|| ObsEvent::FaultRecovered {
                         kind,

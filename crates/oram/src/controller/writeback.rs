@@ -38,10 +38,12 @@ impl PathOram {
                 } else {
                     None
                 };
+                let skip = (self.config.tree_levels() - self.config.off_chip_levels()) as usize;
                 let buckets: Vec<(usize, &crate::bucket::Bucket)> = self
                     .tree
                     .path_indices(leaf)
-                    .map(|idx| (idx, self.tree.bucket(idx)))
+                    .skip(skip)
+                    .map(|idx| (self.layout.phys_of(idx), self.tree.bucket(idx)))
                     .collect();
                 store.write_buckets(&buckets);
                 if let Some(before) = before {
@@ -56,8 +58,9 @@ impl PathOram {
                 }
             } else {
                 // Serial path stays allocation-free.
-                for idx in self.tree.path_indices(leaf) {
-                    store.write_bucket(idx, self.tree.bucket(idx));
+                let skip = (self.config.tree_levels() - self.config.off_chip_levels()) as usize;
+                for idx in self.tree.path_indices(leaf).skip(skip) {
+                    store.write_bucket(self.layout.phys_of(idx), self.tree.bucket(idx));
                 }
             }
         }

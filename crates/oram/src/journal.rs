@@ -9,8 +9,9 @@
 //!   image and trusted version counter are journaled. Rolling the
 //!   journal back restores the exact pre-transaction byte image.
 //! * **Sealed checkpoints** ([`Checkpoint`]): the controller's volatile
-//!   state — stash, PLB, on-chip position-map top table and RNG state —
-//!   serialized and MAC-sealed. Checkpoint A is taken at transaction
+//!   state — stash, PLB, on-chip position-map top table, treetop-cached
+//!   buckets and RNG state — serialized and MAC-sealed. Checkpoint A is
+//!   taken at transaction
 //!   begin, checkpoint B at commit; recovery adopts A after a rollback
 //!   and B after a replay.
 //! * **The epoch header**: a trusted monotonic counter bound by a MAC.
@@ -39,7 +40,9 @@ pub(crate) const EPOCH_DOMAIN: u64 = 0x4550_4F43_5052_4F52; // "EPOCPROR"
 /// a bucket had before the current transaction first overwrote it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct UndoEntry {
-    /// Heap index of the bucket.
+    /// Physical off-chip store index of the bucket. Treetop buckets are
+    /// on-chip and never journaled — they ride in the sealed
+    /// checkpoints instead.
     pub index: usize,
     /// The full pre-transaction ciphertext image (header + body).
     pub image: Vec<u8>,
@@ -70,10 +73,12 @@ impl TxnJournal {
 }
 
 /// A decoded controller checkpoint: everything volatile the recovery
-/// path must restore. The tree's plaintext buckets are deliberately
+/// path must restore. The *off-chip* tree buckets are deliberately
 /// absent — they are rebuilt by decrypting and re-authenticating the
 /// (rolled-back or replayed) store image, which is what makes recovery
-/// honest about what survives a crash.
+/// honest about what survives a crash. The on-chip treetop buckets have
+/// no encrypted image at all, so their plaintext contents ride inside
+/// the sealed record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Checkpoint {
     /// Store epoch when the checkpoint was taken.
@@ -87,6 +92,11 @@ pub(crate) struct Checkpoint {
     pub stash: Vec<Block>,
     /// PLB contents, MRU first.
     pub plb: Vec<Block>,
+    /// On-chip treetop bucket contents, heap order `0..treetop_buckets`.
+    /// Checkpoint A carries the pre-access treetop (adopted on
+    /// rollback); checkpoint B the post-access treetop (adopted on
+    /// replay).
+    pub treetop: Vec<Vec<Block>>,
 }
 
 impl Checkpoint {
@@ -108,6 +118,13 @@ impl Checkpoint {
         push_len(&mut out, self.plb.len());
         for b in &self.plb {
             encode_block(&mut out, b);
+        }
+        push_len(&mut out, self.treetop.len());
+        for bucket in &self.treetop {
+            push_len(&mut out, bucket.len());
+            for b in bucket {
+                encode_block(&mut out, b);
+            }
         }
         let tag = mac.tag_parts(&[CHECKPOINT_DOMAIN, self.epoch], &[&out]);
         out.extend_from_slice(&tag.to_le_bytes());
@@ -148,6 +165,16 @@ impl Checkpoint {
         for _ in 0..plb_len {
             plb.push(decode_block(&mut r)?);
         }
+        let treetop_len = r.len()?;
+        let mut treetop = Vec::with_capacity(treetop_len);
+        for _ in 0..treetop_len {
+            let bucket_len = r.len()?;
+            let mut bucket = Vec::with_capacity(bucket_len);
+            for _ in 0..bucket_len {
+                bucket.push(decode_block(&mut r)?);
+            }
+            treetop.push(bucket);
+        }
         if r.pos != body.len() {
             return None; // trailing garbage
         }
@@ -157,6 +184,7 @@ impl Checkpoint {
             top,
             stash,
             plb,
+            treetop,
         })
     }
 }
@@ -298,6 +326,7 @@ mod tests {
                 Leaf(3),
                 vec![PosEntry::new(Leaf(5)), PosEntry::new(Leaf(6))].into(),
             )],
+            treetop: vec![vec![Block::opaque(BlockAddr(11), Leaf(4))], vec![]],
         }
     }
 

@@ -55,6 +55,7 @@ pub mod error;
 pub mod eviction;
 pub mod fault;
 mod journal;
+pub mod layout;
 pub mod pipeline;
 pub mod plb;
 pub mod posmap;
@@ -76,6 +77,7 @@ pub use crypto::{Mac, StreamCipher};
 pub use error::OramError;
 pub use eviction::PathScratch;
 pub use fault::{FaultClass, FaultConfig, FaultyStore};
+pub use layout::{StoreLayout, TreeLayout};
 pub use pipeline::{AccessCompletion, AccessMachine, AccessRequest, AccessStage, StageCycles};
 pub use plb::Plb;
 pub use posmap::PosEntry;

@@ -39,9 +39,10 @@ fn addresses() -> Vec<BlockAddr> {
         .collect()
 }
 
-/// Runs the workload crash-free and returns the final state digest.
-fn crash_free_digest(crypto_threads: usize) -> u64 {
-    let mut oram = PathOram::new(base_config(crypto_threads), ORAM_SEED);
+/// Runs the workload crash-free under `cfg` and returns the final state
+/// digest.
+fn crash_free_digest_cfg(cfg: OramConfig) -> u64 {
+    let mut oram = PathOram::new(cfg, ORAM_SEED);
     for &addr in &addresses() {
         oram.try_access_block(addr, AccessKind::Read).unwrap();
     }
@@ -49,13 +50,23 @@ fn crash_free_digest(crypto_threads: usize) -> u64 {
     oram.state_digest()
 }
 
+/// Runs the workload crash-free and returns the final state digest.
+fn crash_free_digest(crypto_threads: usize) -> u64 {
+    crash_free_digest_cfg(base_config(crypto_threads))
+}
+
 /// Runs the workload with `crash` armed, recovering (and, after a
 /// rollback, retrying) every injected kill. Returns the final digest and
 /// the crash counters.
 fn run_with_recovery(crash: CrashConfig, crypto_threads: usize) -> (u64, CrashStats) {
+    run_with_recovery_cfg(crash, base_config(crypto_threads))
+}
+
+/// [`run_with_recovery`] under an arbitrary base configuration.
+fn run_with_recovery_cfg(crash: CrashConfig, base: OramConfig) -> (u64, CrashStats) {
     let cfg = OramConfig {
         crash: Some(crash),
-        ..base_config(crypto_threads)
+        ..base
     };
     let mut oram = PathOram::new(cfg, ORAM_SEED);
     for &addr in &addresses() {
@@ -104,6 +115,42 @@ fn exhaustive_kill_point_sweep_recovers_to_crash_free_state() {
             assert_eq!(
                 digest, serial_digest,
                 "{point} crossing {crossing}: post-recovery state diverged"
+            );
+        }
+    }
+}
+
+/// With a nonzero treetop, checkpoints carry the on-chip buckets: a
+/// pre-flip kill rolls the treetop back to its pre-access contents
+/// (checkpoint A), a post-flip kill replays the committed ones
+/// (checkpoint B), and either way the recovered state matches the
+/// crash-free run under the same treetop exactly.
+#[test]
+fn treetop_rollback_and_replay_recover_to_crash_free_state() {
+    for treetop in [1u32, 2] {
+        let base = base_config(1)
+            .to_builder()
+            .treetop_levels(treetop)
+            .build()
+            .expect("valid treetop configuration");
+        let clean = crash_free_digest_cfg(base.clone());
+        for (point, rolls_back) in [(KillPoint::WriteBack, true), (KillPoint::MidFlip, false)] {
+            let (digest, stats) = run_with_recovery_cfg(CrashConfig::at(point, 2), base.clone());
+            assert_eq!(
+                stats.crashes_injected, 1,
+                "treetop {treetop}, {point}: kill never fired"
+            );
+            if rolls_back {
+                assert_eq!(
+                    stats.rollbacks, 1,
+                    "treetop {treetop}: {point} must roll back"
+                );
+            } else {
+                assert_eq!(stats.replays, 1, "treetop {treetop}: {point} must replay");
+            }
+            assert_eq!(
+                digest, clean,
+                "treetop {treetop}, {point}: post-recovery state diverged"
             );
         }
     }

@@ -79,6 +79,28 @@ fn digests_identical_across_thread_counts() {
     }
 }
 
+/// Treetop caching shrinks the pooled batches (only the off-chip
+/// suffix is dispatched); the digest must stay identical across thread
+/// counts with `treetop_levels = 2`, pool or no pool.
+#[test]
+fn treetop_digests_identical_across_thread_counts() {
+    let replay_treetop = |threads: usize| {
+        let cfg = golden_config(true)
+            .to_builder()
+            .treetop_levels(2)
+            .verify_image(true)
+            .crypto_threads(threads)
+            .build()
+            .expect("valid treetop configuration");
+        replay_cfg(cfg)
+    };
+    let baseline = replay_treetop(0);
+    for threads in SWEEP {
+        let d = replay_treetop(threads);
+        assert_eq!(d, baseline, "treetop digest diverged at {threads} threads");
+    }
+}
+
 /// A worker panicking mid-batch must not abort the process: the batch
 /// surfaces as `Err(PoolError)`, the store falls back to byte-identical
 /// serial writes, and the run still reproduces the pinned goldens.
